@@ -1,0 +1,64 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Each benchmark exercises a representative configuration of one paper
+table/figure; the full sweeps (all x-axis values, printed series) live in
+``repro.bench.experiments`` and are run with
+``python -m repro.bench.experiments.all``.
+
+Everything here uses the ``tiny`` scale so that
+``pytest benchmarks/ --benchmark-only`` completes in minutes; pass larger
+scales to the experiment CLIs for paper-shaped runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import real_collection, synthetic_collection
+from repro.bench.tuned import tuned
+from repro.indexes.registry import build_index
+from repro.queries.generator import QueryWorkload
+
+SCALE = "tiny"
+N_QUERIES = 30
+
+
+@pytest.fixture(scope="session")
+def eclog():
+    return real_collection("eclog", SCALE)
+
+
+@pytest.fixture(scope="session")
+def wikipedia():
+    return real_collection("wikipedia", SCALE)
+
+
+@pytest.fixture(scope="session")
+def synthetic():
+    return synthetic_collection(SCALE)
+
+
+@pytest.fixture(scope="session")
+def eclog_workload(eclog):
+    return QueryWorkload(eclog, seed=0).by_num_elements(3, N_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def wikipedia_workload(wikipedia):
+    return QueryWorkload(wikipedia, seed=0).by_num_elements(3, N_QUERIES)
+
+
+@pytest.fixture(scope="session")
+def built_indexes(eclog):
+    """Every paper method built over ECLOG once, tuned."""
+    from repro.indexes.registry import PAPER_METHODS
+
+    return {key: build_index(key, eclog, **tuned(key)) for key in PAPER_METHODS}
+
+
+def run_workload(index, queries):
+    """The benchmark body: answer every query, fold the result sizes."""
+    total = 0
+    for q in queries:
+        total += len(index.query(q))
+    return total

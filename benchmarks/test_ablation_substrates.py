@@ -1,0 +1,86 @@
+"""Ablation — why HINT? (paper's motivation, §1 and §2.3).
+
+Range-query throughput of HINT against the other interval substrates on the
+same records, plus HINT's own optimisation ablations (subdivisions on/off,
+beneficial sorting vs none vs by-id).  The paper's motivation cites [19, 20]:
+HINT outperforms the 1D grid and tree structures by large factors — this
+bench lets a user verify the ordering held before trusting the composite
+results.
+"""
+
+import random
+
+import pytest
+
+from repro.intervals import (
+    Grid1D,
+    Hint,
+    IntervalTree,
+    LinearScan,
+    PeriodIndex,
+    SegmentTree,
+    SortPolicy,
+    TimelineIndex,
+)
+
+N = 4000
+N_QUERIES = 60
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = random.Random(17)
+    return [
+        (i, st, st + rng.randint(0, 2_000))
+        for i, st in enumerate(rng.randint(0, 1_000_000) for _ in range(N))
+    ]
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = random.Random(18)
+    out = []
+    for _ in range(N_QUERIES):
+        a = rng.randint(0, 1_000_000)
+        out.append((a, a + 1_000))  # 0.1 % extent
+    return out
+
+
+def run_ranges(index, queries):
+    total = 0
+    for a, b in queries:
+        total += len(index.range_query(a, b))
+    return total
+
+
+BUILDERS = {
+    "hint": lambda r: Hint.build(r, num_bits=8),
+    "grid1d": lambda r: Grid1D.build(r, n_slices=50),
+    "interval-tree": IntervalTree.build,
+    "segment-tree": SegmentTree.build,
+    "timeline": lambda r: TimelineIndex.build(r, checkpoint_every=256),
+    "period-index": lambda r: PeriodIndex.build(r, n_partitions=32),
+    "linear-scan": LinearScan.build,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_substrate_range_queries(benchmark, records, queries, name):
+    index = BUILDERS[name](records)
+    total = benchmark(run_ranges, index, queries)
+    assert total > 0
+
+
+HINT_VARIANTS = {
+    "subs+sort (paper default)": dict(sort_policy=SortPolicy.TEMPORAL, use_subdivisions=True),
+    "subs only": dict(sort_policy=SortPolicy.NONE, use_subdivisions=True),
+    "no optimisations": dict(sort_policy=SortPolicy.NONE, use_subdivisions=False),
+    "by-id sorting (Alg. 4 layout)": dict(sort_policy=SortPolicy.BY_ID, use_subdivisions=True),
+}
+
+
+@pytest.mark.parametrize("name", sorted(HINT_VARIANTS))
+def test_hint_optimisation_ablation(benchmark, records, queries, name):
+    index = Hint.build(records, num_bits=8, **HINT_VARIANTS[name])
+    total = benchmark(run_ranges, index, queries)
+    assert total > 0

@@ -1,0 +1,75 @@
+"""Ablation — interpreted vs numpy-backed HINT range queries.
+
+Quantifies what :class:`~repro.intervals.hint.vectorized.VectorizedHint`
+buys over the dynamic list-based index at two query shapes: narrow queries
+(comparison-dominated: the masks win) and wide queries (extend-dominated:
+both are C-speed).
+"""
+
+import random
+
+import pytest
+
+from repro.intervals.hint import Hint
+from repro.intervals.hint.vectorized import VectorizedHint
+
+N = 30_000
+DOMAIN = 1_000_000
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = random.Random(6)
+    return [
+        (i, st, st + rng.randint(0, 20_000))
+        for i, st in enumerate(rng.randint(0, DOMAIN) for _ in range(N))
+    ]
+
+
+@pytest.fixture(scope="module")
+def list_hint(records):
+    return Hint.build(records, num_bits=10)
+
+
+@pytest.fixture(scope="module")
+def vec_hint(records):
+    return VectorizedHint.build(records, num_bits=10)
+
+
+NARROW = [(a, a + 500) for a in range(0, DOMAIN - 500, DOMAIN // 50)]
+WIDE = [(a, a + DOMAIN // 5) for a in range(0, DOMAIN - DOMAIN // 5, DOMAIN // 50)]
+
+
+def run_list(index, queries):
+    total = 0
+    for a, b in queries:
+        total += len(index.range_query_unsorted(a, b))
+    return total
+
+
+def run_vec(index, queries):
+    total = 0
+    for a, b in queries:
+        total += index.range_query_array(a, b).size
+    return total
+
+
+def test_narrow_list(benchmark, list_hint):
+    assert benchmark(run_list, list_hint, NARROW) >= 0
+
+
+def test_narrow_vectorized(benchmark, vec_hint):
+    assert benchmark(run_vec, vec_hint, NARROW) >= 0
+
+
+def test_wide_list(benchmark, list_hint):
+    assert benchmark(run_list, list_hint, WIDE) > 0
+
+
+def test_wide_vectorized(benchmark, vec_hint):
+    assert benchmark(run_vec, vec_hint, WIDE) > 0
+
+
+def test_equivalence(list_hint, vec_hint):
+    for q in NARROW[:10] + WIDE[:10]:
+        assert sorted(vec_hint.range_query_array(*q).tolist()) == list_hint.range_query(*q)

@@ -1,0 +1,87 @@
+"""Benchmarks for the beyond-paper machinery: Allen relations, the
+time-expanding HINT, top-k ranking, temporal joins and index snapshots."""
+
+import random
+
+import pytest
+
+from repro.core.model import make_query
+from repro.extensions.joins import index_join
+from repro.extensions.ranking import TopKSearcher
+from repro.indexes.persistence import dumps_index, loads_index
+from repro.indexes.registry import build_index
+from repro.intervals.allen import AllenIndex, AllenRelation
+from repro.intervals.hint import ExpandingHint, Hint
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = random.Random(23)
+    return [
+        (i, st, st + rng.randint(0, 3_000))
+        for i, st in enumerate(rng.randint(0, 500_000) for _ in range(8_000))
+    ]
+
+
+@pytest.fixture(scope="module")
+def allen(records):
+    return AllenIndex.build(records, Hint, num_bits=8)
+
+
+@pytest.mark.parametrize(
+    "relation",
+    [AllenRelation.OVERLAPS, AllenRelation.DURING, AllenRelation.MEETS, AllenRelation.BEFORE],
+)
+def test_allen_queries(benchmark, allen, relation):
+    def body():
+        total = 0
+        for a in range(0, 500_000, 25_000):
+            total += len(allen.query(relation, a, a + 2_000))
+        return total
+
+    assert benchmark(body) >= 0
+
+
+def test_expanding_hint_append_stream(benchmark, records):
+    """Append-only ingestion including the domain doublings."""
+
+    def body():
+        hint = ExpandingHint(origin=0, num_bits=10)
+        for object_id, st, end in records[:2_000]:
+            hint.insert(object_id, st, end)
+        return hint.n_expansions
+
+    assert benchmark(body) >= 0
+
+
+def test_topk_ranking(benchmark, eclog):
+    index = build_index("irhint-perf", eclog)
+    searcher = TopKSearcher(index, eclog, mode="any")
+    domain = eclog.domain()
+    tenth = (domain.end - domain.st) // 10
+    elements = sorted(eclog.dictionary.elements(), key=repr)[:2]
+    q = make_query(domain.st, domain.st + tenth, set(elements))
+    result = benchmark(searcher.search, q, 10)
+    assert isinstance(result, list)
+
+
+def test_temporal_join(benchmark, eclog):
+    objects = eclog.objects()
+    from repro.core.collection import Collection
+
+    left = Collection(objects[:150])
+    right = Collection(
+        type(objects[0])(id=o.id + 100_000, st=o.st, end=o.end, d=o.d)
+        for o in objects[150:1_000]
+    )
+    pairs = benchmark(index_join, left, right)
+    assert isinstance(pairs, list)
+
+
+def test_snapshot_roundtrip(benchmark, eclog):
+    index = build_index("irhint-size", eclog)
+
+    def body():
+        return len(loads_index(dumps_index(index)))
+
+    assert benchmark(body) == len(eclog)

@@ -1,0 +1,24 @@
+"""Figure 10 — the three tIF+HINT variants on their tuned settings.
+
+One benchmark per (variant, |q.d| ∈ {1, 3}) on ECLOG — the panel where the
+paper shows binary search winning only at |q.d| = 1.
+Full sweep: ``python -m repro.bench.experiments.fig10``.
+"""
+
+import pytest
+
+from benchmarks.conftest import N_QUERIES, run_workload
+from repro.bench.tuned import tuned
+from repro.indexes.registry import build_index
+from repro.queries.generator import QueryWorkload
+
+VARIANTS = ["tif-hint-binary", "tif-hint-merge", "tif-hint-slicing"]
+
+
+@pytest.mark.parametrize("key", VARIANTS)
+@pytest.mark.parametrize("n_elements", [1, 3])
+def test_variant_throughput(benchmark, eclog, key, n_elements):
+    queries = QueryWorkload(eclog, seed=0).by_num_elements(n_elements, N_QUERIES)
+    index = build_index(key, eclog, **tuned(key))
+    total = benchmark(run_workload, index, queries)
+    assert total > 0

@@ -1,0 +1,40 @@
+"""Figure 11 — the main comparison: five methods × both real datasets.
+
+One benchmark per (method, dataset) on the default workload, plus the
+stabbing and 10 %-extent workloads for the irHINT-vs-slicing crossover.
+Full panels: ``python -m repro.bench.experiments.fig11``.
+"""
+
+import pytest
+
+from benchmarks.conftest import N_QUERIES, run_workload
+from repro.bench.tuned import tuned
+from repro.indexes.registry import COMPARISON_METHODS, build_index
+from repro.queries.generator import QueryWorkload
+
+
+@pytest.mark.parametrize("key", COMPARISON_METHODS)
+def test_default_workload_eclog(benchmark, eclog, eclog_workload, key):
+    index = build_index(key, eclog, **tuned(key))
+    assert benchmark(run_workload, index, eclog_workload) > 0
+
+
+@pytest.mark.parametrize("key", COMPARISON_METHODS)
+def test_default_workload_wikipedia(benchmark, wikipedia, wikipedia_workload, key):
+    index = build_index(key, wikipedia, **tuned(key))
+    assert benchmark(run_workload, index, wikipedia_workload) > 0
+
+
+@pytest.mark.parametrize("key", ["tif-slicing", "irhint-perf"])
+def test_stabbing_queries(benchmark, eclog, key):
+    queries = QueryWorkload(eclog, seed=1).by_extent(0.0, N_QUERIES)
+    index = build_index(key, eclog, **tuned(key))
+    assert benchmark(run_workload, index, queries) > 0
+
+
+@pytest.mark.parametrize("key", ["tif-slicing", "irhint-perf"])
+def test_wide_extent_queries(benchmark, wikipedia, key):
+    """The regime where the paper's time-first advantage peaks."""
+    queries = QueryWorkload(wikipedia, seed=1).by_extent(10.0, N_QUERIES)
+    index = build_index(key, wikipedia, **tuned(key))
+    assert benchmark(run_workload, index, queries) > 0

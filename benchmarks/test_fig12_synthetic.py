@@ -1,0 +1,38 @@
+"""Figure 12 — synthetic-dataset comparison: representative cells.
+
+The default synthetic dataset for all five methods, plus the two dataset
+knobs with the strongest effect (α — interval duration, ζ — element-
+frequency skew) for the headline method.
+Full panels: ``python -m repro.bench.experiments.fig12``.
+"""
+
+import pytest
+
+from benchmarks.conftest import N_QUERIES, run_workload
+from repro.bench.config import synthetic_collection
+from repro.bench.tuned import tuned
+from repro.indexes.registry import COMPARISON_METHODS, build_index
+from repro.queries.generator import QueryWorkload
+
+
+@pytest.mark.parametrize("key", COMPARISON_METHODS)
+def test_default_synthetic(benchmark, synthetic, key):
+    queries = QueryWorkload(synthetic, seed=0).by_num_elements(3, N_QUERIES)
+    index = build_index(key, synthetic, **tuned(key))
+    assert benchmark(run_workload, index, queries) > 0
+
+
+@pytest.mark.parametrize("alpha", [1.01, 1.8])
+def test_alpha_sweep_irhint(benchmark, alpha):
+    collection = synthetic_collection("tiny", alpha=alpha)
+    queries = QueryWorkload(collection, seed=0).by_num_elements(3, N_QUERIES)
+    index = build_index("irhint-perf", collection, **tuned("irhint-perf"))
+    assert benchmark(run_workload, index, queries) >= 0
+
+
+@pytest.mark.parametrize("zeta", [1.0, 2.0])
+def test_zeta_sweep_irhint(benchmark, zeta):
+    collection = synthetic_collection("tiny", zeta=zeta)
+    queries = QueryWorkload(collection, seed=0).by_num_elements(3, N_QUERIES)
+    index = build_index("irhint-perf", collection, **tuned("irhint-perf"))
+    assert benchmark(run_workload, index, queries) >= 0

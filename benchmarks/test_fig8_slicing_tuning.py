@@ -1,0 +1,23 @@
+"""Figure 8 — tuning tIF+Slicing: representative slice counts.
+
+Benchmarks the default query workload against a coarse (10 slices), the
+paper-chosen (50) and an over-fragmented (250) grid; the build cost is
+benchmarked at 50.  Full sweep: ``python -m repro.bench.experiments.fig8``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_workload
+from repro.indexes.registry import build_index
+
+
+@pytest.mark.parametrize("n_slices", [10, 50, 250])
+def test_query_throughput_by_slices(benchmark, eclog, eclog_workload, n_slices):
+    index = build_index("tif-slicing", eclog, n_slices=n_slices)
+    total = benchmark(run_workload, index, eclog_workload)
+    assert total > 0
+
+
+def test_build_at_50_slices(benchmark, eclog):
+    index = benchmark(build_index, "tif-slicing", eclog, n_slices=50)
+    assert len(index) == len(eclog)

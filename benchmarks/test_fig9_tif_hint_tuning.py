@@ -1,0 +1,36 @@
+"""Figure 9 — tuning the tIF+HINT variants: representative ``m`` values.
+
+The merge variant at its tuned m=5, the binary variant at its tuned m=10,
+and both at a deliberately oversized m to expose the fragmentation cliff.
+Full sweep: ``python -m repro.bench.experiments.fig9``.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_workload
+from repro.indexes.registry import build_index
+
+
+@pytest.mark.parametrize(
+    "key,num_bits",
+    [
+        ("tif-hint-merge", 5),
+        ("tif-hint-merge", 12),
+        ("tif-hint-binary", 10),
+        ("tif-hint-binary", 12),
+    ],
+)
+def test_query_throughput_by_m(benchmark, eclog, eclog_workload, key, num_bits):
+    index = build_index(key, eclog, num_bits=num_bits)
+    total = benchmark(run_workload, index, eclog_workload)
+    assert total > 0
+
+
+def test_build_merge_m5(benchmark, eclog):
+    index = benchmark(build_index, "tif-hint-merge", eclog, num_bits=5)
+    assert len(index) == len(eclog)
+
+
+def test_build_binary_m10(benchmark, eclog):
+    index = benchmark(build_index, "tif-hint-binary", eclog, num_bits=10)
+    assert len(index) == len(eclog)

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the intersection kernels and HINT building blocks.
+
+Not a paper table — these justify the kernel-selection constants
+(``GALLOP_THRESHOLD``, the adaptive ``intersect_sorted``) in
+:mod:`repro.ir.intersection` and keep regressions visible.
+"""
+
+import random
+
+import pytest
+
+from repro.intervals.hint.traversal import assign, iter_relevant_divisions
+from repro.ir.intersection import (
+    intersect_adaptive,
+    intersect_galloping,
+    intersect_hash,
+    intersect_merge,
+)
+
+rng = random.Random(5)
+BALANCED_A = sorted(rng.sample(range(200_000), 5_000))
+BALANCED_B = sorted(rng.sample(range(200_000), 5_000))
+SKEWED_SMALL = sorted(rng.sample(range(200_000), 50))
+
+KERNELS = {
+    "merge": intersect_merge,
+    "galloping": intersect_galloping,
+    "hash": intersect_hash,
+    "adaptive": intersect_adaptive,
+}
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_balanced_inputs(benchmark, name):
+    result = benchmark(KERNELS[name], BALANCED_A, BALANCED_B)
+    assert result == intersect_merge(BALANCED_A, BALANCED_B)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_skewed_inputs(benchmark, name):
+    result = benchmark(KERNELS[name], SKEWED_SMALL, BALANCED_B)
+    assert result == intersect_merge(SKEWED_SMALL, BALANCED_B)
+
+
+def test_assignment_kernel(benchmark):
+    def body():
+        total = 0
+        for st in range(0, 1000, 7):
+            total += len(assign(10, st, min(st + 37, 1023)))
+        return total
+
+    assert benchmark(body) > 0
+
+
+def test_traversal_kernel(benchmark):
+    def body():
+        steps = 0
+        for st in range(0, 1000, 13):
+            for _ in iter_relevant_divisions(10, st, min(st + 97, 1023)):
+                steps += 1
+        return steps
+
+    assert benchmark(body) > 0

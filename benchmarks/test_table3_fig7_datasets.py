@@ -1,0 +1,40 @@
+"""Table 3 / Figure 7 — dataset generation and statistics.
+
+Representative cells of the dataset-characterisation experiments; the full
+tables print via ``python -m repro.bench.experiments.table3`` / ``fig7``.
+"""
+
+from repro.datasets.eclog import generate_eclog
+from repro.datasets.stats import (
+    duration_percentiles,
+    element_frequency_distribution,
+    table3_rows,
+)
+from repro.datasets.wikipedia import generate_wikipedia
+
+
+def test_generate_eclog(benchmark):
+    collection = benchmark(lambda: generate_eclog(n_sessions=1500))
+    assert len(collection) == 1500
+
+
+def test_generate_wikipedia(benchmark):
+    collection = benchmark(lambda: generate_wikipedia(n_revisions=1500))
+    assert len(collection) == 1500
+
+
+def test_table3_stats(benchmark, eclog):
+    rows = benchmark(lambda: table3_rows(eclog))
+    assert rows[0][0] == "Cardinality"
+
+
+def test_fig7_distributions(benchmark, wikipedia):
+    def body():
+        return (
+            duration_percentiles(wikipedia),
+            element_frequency_distribution(wikipedia),
+        )
+
+    pct, decades = benchmark(body)
+    assert pct["p50"] <= pct["p90"]
+    assert decades

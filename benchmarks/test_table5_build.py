@@ -1,0 +1,16 @@
+"""Table 5 — indexing costs: one build benchmark per method (ECLOG).
+
+Full table (both datasets, sizes): ``python -m repro.bench.experiments.table5``.
+"""
+
+import pytest
+
+from repro.bench.tuned import tuned
+from repro.indexes.registry import PAPER_METHODS, build_index
+
+
+@pytest.mark.parametrize("key", PAPER_METHODS)
+def test_build(benchmark, eclog, key):
+    index = benchmark(build_index, key, eclog, **tuned(key))
+    assert len(index) == len(eclog)
+    assert index.size_bytes() > 0

@@ -1,0 +1,28 @@
+"""Table 6 — batch-insertion update time, one benchmark per method (ECLOG).
+
+Protocol: build over 90 % of the dataset outside the timer, insert a 5 %
+batch inside it.  Full table: ``python -m repro.bench.experiments.table6``.
+"""
+
+import pytest
+
+from repro.bench.runner import split_for_insertion
+from repro.bench.tuned import tuned
+from repro.indexes.registry import PAPER_METHODS, build_index
+
+
+@pytest.mark.parametrize("key", PAPER_METHODS)
+def test_insert_batch(benchmark, eclog, key):
+    base, holdout = split_for_insertion(eclog, holdout_fraction=0.10)
+    batch = holdout[: max(1, len(eclog) // 20)]  # 5 %
+
+    def setup():
+        return (build_index(key, base, **tuned(key)), batch), {}
+
+    def body(index, objs):
+        for obj in objs:
+            index.insert(obj)
+        return len(index)
+
+    result = benchmark.pedantic(body, setup=setup, rounds=3)
+    assert result == len(base) + len(batch)

@@ -1,0 +1,27 @@
+"""Table 7 — batch-deletion (tombstone) update time, per method (ECLOG).
+
+Protocol: build the full dataset outside the timer, tombstone a random 5 %
+batch inside it.  Full table: ``python -m repro.bench.experiments.table7``.
+"""
+
+import pytest
+
+from repro.bench.runner import deletion_batch
+from repro.bench.tuned import tuned
+from repro.indexes.registry import PAPER_METHODS, build_index
+
+
+@pytest.mark.parametrize("key", PAPER_METHODS)
+def test_delete_batch(benchmark, eclog, key):
+    batch = deletion_batch(eclog, 0.05, seed=0)
+
+    def setup():
+        return (build_index(key, eclog, **tuned(key)), batch), {}
+
+    def body(index, objs):
+        for obj in objs:
+            index.delete(obj)
+        return len(index)
+
+    result = benchmark.pedantic(body, setup=setup, rounds=3)
+    assert result == len(eclog) - len(batch)

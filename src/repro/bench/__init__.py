@@ -1,0 +1,53 @@
+"""Benchmark harness: scales, runners, reporting and per-figure experiments."""
+
+from repro.bench.config import (
+    REAL_DATASETS,
+    SCALES,
+    Scale,
+    get_scale,
+    real_collection,
+    synthetic_collection,
+)
+from repro.bench.reporting import SeriesTable, TextTable, banner, fmt
+from repro.bench.results_io import load_results, save_results
+from repro.bench.shapes import ShapeCheck, run_checks
+from repro.bench.runner import (
+    BuildResult,
+    build_timed,
+    delete_batch_time,
+    deletion_batch,
+    insert_batch_time,
+    measure_methods,
+    query_throughput,
+    split_for_insertion,
+    validate_index,
+)
+from repro.bench.tuned import TUNED_PARAMS, tuned
+
+__all__ = [
+    "BuildResult",
+    "REAL_DATASETS",
+    "SCALES",
+    "Scale",
+    "SeriesTable",
+    "TextTable",
+    "TUNED_PARAMS",
+    "banner",
+    "build_timed",
+    "delete_batch_time",
+    "deletion_batch",
+    "fmt",
+    "load_results",
+    "run_checks",
+    "save_results",
+    "ShapeCheck",
+    "get_scale",
+    "insert_batch_time",
+    "measure_methods",
+    "query_throughput",
+    "real_collection",
+    "split_for_insertion",
+    "synthetic_collection",
+    "tuned",
+    "validate_index",
+]

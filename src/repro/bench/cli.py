@@ -1,0 +1,22 @@
+"""Shared CLI wrapper: every experiment module runs as ``python -m``."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.bench.config import SCALES
+
+
+def run_cli(run: Callable[..., object], description: str) -> None:
+    """Parse ``--scale`` / ``--seed`` and invoke the experiment's ``run``."""
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="benchmark scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    args = parser.parse_args()
+    run(scale=args.scale, seed=args.seed)

@@ -1,0 +1,129 @@
+"""Benchmark scales and shared dataset construction.
+
+The paper's testbed indexes 300 K – 1.7 M objects and fires 10 K queries per
+point from compiled C++.  Pure Python cannot do that in reasonable wall-clock
+time, so every experiment takes a ``scale`` knob; the *shape* of each
+experiment (which parameters sweep, which methods run) is identical at every
+scale, and DESIGN.md §3 records the substitution.
+
+Collections are cached per (kind, scale) within a process so one harness run
+reuses datasets across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError
+from repro.datasets.eclog import generate_eclog
+from repro.datasets.synthetic import generate_synthetic
+from repro.datasets.wikipedia import generate_wikipedia
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """One benchmark scale."""
+
+    name: str
+    n_real: int  # cardinality of the ECLOG / WIKIPEDIA surrogates
+    n_synthetic: int  # default synthetic cardinality
+    dict_synthetic: int  # default synthetic dictionary size
+    n_queries: int  # queries per measured point
+    n_selectivity: int  # queries per selectivity bin
+    cardinality_sweep: List[int]  # Figure 12's cardinality axis
+    desc_size_sweep: List[int]  # Figure 12's |d| axis
+
+
+SCALES: Dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny",
+        n_real=1_200,
+        n_synthetic=1_500,
+        dict_synthetic=600,
+        n_queries=20,
+        n_selectivity=5,
+        cardinality_sweep=[500, 1_000, 1_500, 2_500, 4_000],
+        desc_size_sweep=[3, 5, 10, 15, 25],
+    ),
+    "small": Scale(
+        name="small",
+        n_real=8_000,
+        n_synthetic=8_000,
+        dict_synthetic=3_000,
+        n_queries=100,
+        n_selectivity=15,
+        cardinality_sweep=[2_000, 4_000, 8_000, 16_000, 32_000],
+        desc_size_sweep=[5, 10, 25, 50, 100],
+    ),
+    "medium": Scale(
+        name="medium",
+        n_real=20_000,
+        n_synthetic=20_000,
+        dict_synthetic=8_000,
+        n_queries=200,
+        n_selectivity=25,
+        cardinality_sweep=[5_000, 10_000, 20_000, 40_000, 80_000],
+        desc_size_sweep=[5, 10, 50, 100, 200],
+    ),
+    "large": Scale(
+        name="large",
+        n_real=50_000,
+        n_synthetic=50_000,
+        dict_synthetic=20_000,
+        n_queries=500,
+        n_selectivity=40,
+        cardinality_sweep=[10_000, 25_000, 50_000, 100_000, 200_000],
+        desc_size_sweep=[5, 10, 50, 100, 500],
+    ),
+}
+
+#: Paper-native sweep values that cost nothing to keep (domain size has no
+#: memory footprint; exponents are free).
+DOMAIN_SIZE_SWEEP = [32_000_000, 64_000_000, 128_000_000, 256_000_000, 512_000_000]
+ALPHA_SWEEP = [1.01, 1.1, 1.2, 1.4, 1.8]
+SIGMA_SWEEP = [10_000, 100_000, 1_000_000, 5_000_000, 10_000_000]
+ZETA_SWEEP = [1.0, 1.25, 1.5, 1.75, 2.0]
+
+#: Dictionary-size sweep as fractions of the scale's synthetic cardinality
+#: (the paper sweeps 10K..1M against a 1M-object default).
+DICT_RATIO_SWEEP = [0.1, 0.25, 0.5, 1.0, 2.0]
+
+
+def get_scale(name: str) -> Scale:
+    """Resolve a scale by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; available: {', '.join(sorted(SCALES))}"
+        ) from None
+
+
+@lru_cache(maxsize=32)
+def real_collection(kind: str, scale_name: str) -> Collection:
+    """The ECLOG / WIKIPEDIA surrogate at a scale (process-cached)."""
+    scale = get_scale(scale_name)
+    if kind == "eclog":
+        return generate_eclog(n_sessions=scale.n_real)
+    if kind == "wikipedia":
+        return generate_wikipedia(n_revisions=scale.n_real)
+    raise ConfigurationError(f"unknown real dataset {kind!r} (eclog|wikipedia)")
+
+
+@lru_cache(maxsize=64)
+def synthetic_collection(scale_name: str, **overrides) -> Collection:
+    """The default synthetic dataset at a scale, with optional overrides."""
+    scale = get_scale(scale_name)
+    params = {
+        "cardinality": scale.n_synthetic,
+        "dict_size": scale.dict_synthetic,
+        "sigma": 8_000_000.0,
+        **overrides,
+    }
+    return generate_synthetic(**params)
+
+
+REAL_DATASETS = ["eclog", "wikipedia"]

@@ -1,0 +1,36 @@
+"""One module per table/figure of the paper's evaluation (Section 5).
+
+Each exposes ``run(scale=..., seed=...)`` and a ``python -m`` CLI:
+
+========  ==========================================================
+module    reproduces
+========  ==========================================================
+table3    real-dataset characteristics
+fig7      dataset distributions (duration, element frequency)
+fig8      tuning tIF+Slicing (#slices)
+fig9      tuning the tIF+HINT variants (m)
+fig10     comparing the tIF+HINT variants
+table5    indexing costs of all methods
+fig11     main comparison on real datasets (4 panels × 2 datasets)
+fig12     main comparison on synthetic datasets (11 panels)
+table6    batch-insertion update times
+table7    batch-deletion update times
+========  ==========================================================
+
+``python -m repro.bench.experiments.all`` runs everything in paper order.
+"""
+
+# Submodules are imported lazily (``python -m`` executes them directly and
+# eager imports here would shadow the module runpy is about to run).
+__all__ = [
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "table5",
+    "table6",
+    "table7",
+]

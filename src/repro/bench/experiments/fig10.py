@@ -1,0 +1,77 @@
+"""Figure 10 — comparing the three tIF+HINT variants' throughput.
+
+For both real datasets, throughput against (a) query interval extent,
+(b) |q.d| and (c) query-element frequency band, at the tuned ``m`` values.
+Expected shape (paper §5.3): merge-sort beats binary search except on
+single-element queries (where the binary variant's full HINT optimisations
+shine and no intersections happen); the hybrid is the best overall beyond
+|q.d| = 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.cli import run_cli
+from repro.bench.config import REAL_DATASETS, get_scale, real_collection
+from repro.bench.reporting import SeriesTable, banner, summarize_shape
+from repro.bench.runner import measure_methods
+from repro.bench.tuned import tuned
+from repro.queries.generator import FREQUENCY_BANDS, NUM_ELEMENTS, QueryWorkload, band_label
+
+VARIANTS: List[str] = ["tif-hint-binary", "tif-hint-merge", "tif-hint-slicing"]
+LABELS = ["using binary search", "using merge-sort", "with Slicing"]
+
+#: Extent panel of Figure 10 (percent of the domain).
+EXTENTS: List[float] = [0.01, 0.05, 0.1, 0.5, 1.0]
+
+
+def run(scale: str = "small", seed: int = 0) -> Dict[str, dict]:
+    """Three throughput panels per real dataset."""
+    banner(f"Figure 10: tIF+HINT variants (scale={scale})")
+    cfg = get_scale(scale)
+    build_params = {key: tuned(key) for key in VARIANTS}
+    results: Dict[str, dict] = {}
+    for kind in REAL_DATASETS:
+        collection = real_collection(kind, scale)
+        workload = QueryWorkload(collection, seed=seed)
+        workloads = {}
+        for extent in EXTENTS:
+            workloads[f"extent={extent}%"] = workload.by_extent(extent, cfg.n_queries)
+        for k in NUM_ELEMENTS:
+            workloads[f"|q.d|={k}"] = workload.by_num_elements(k, cfg.n_queries)
+        for band in FREQUENCY_BANDS:
+            workloads[f"freq={band_label(band)}"] = workload.by_frequency_band(
+                band, cfg.n_queries
+            )
+        measured = measure_methods(VARIANTS, collection, workloads, build_params)
+
+        for panel, keys in (
+            ("query interval extent [%]", [f"extent={e}%" for e in EXTENTS]),
+            ("|q.d|", [f"|q.d|={k}" for k in NUM_ELEMENTS]),
+            ("element frequency", [f"freq={band_label(b)}" for b in FREQUENCY_BANDS]),
+        ):
+            table = SeriesTable(
+                f"Figure 10 ({kind.upper()}): throughput [q/s] vs {panel}",
+                panel,
+                LABELS,
+            )
+            for key in keys:
+                table.add_point(
+                    key.split("=", 1)[1], [measured[v][key] for v in VARIANTS]
+                )
+            table.print()
+        results[kind] = measured
+    summarize_shape(
+        "Figure 10",
+        [
+            "merge-sort variant leads for |q.d| >= 2; binary search leads "
+            "only on single-element queries",
+            "the hybrid (with Slicing) is the best or near-best overall",
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "Figure 10")

@@ -1,0 +1,139 @@
+"""Figure 12 — the main comparison on synthetic datasets.
+
+Eleven panels: seven dataset-parameter sweeps (cardinality, domain size,
+interval-duration zipf α, dictionary size, description size |d|,
+element-frequency zipf ζ, interval-position deviation σ) and the four query
+axes at the default synthetic dataset.  One parameter varies per panel, the
+rest hold their defaults (Table 4).
+
+Expected shape (paper §5.4): identical trend to Figure 11 — the performance
+irHINT variant leads, the size variant follows; larger α (shorter intervals)
+and larger σ (more spread) help every method, larger cardinality/domain/
+|d| hurt.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.cli import run_cli
+from repro.bench.config import (
+    ALPHA_SWEEP,
+    DICT_RATIO_SWEEP,
+    DOMAIN_SIZE_SWEEP,
+    SIGMA_SWEEP,
+    ZETA_SWEEP,
+    get_scale,
+    synthetic_collection,
+)
+from repro.bench.reporting import SeriesTable, banner, summarize_shape
+from repro.bench.runner import measure_methods
+from repro.bench.tuned import tuned
+from repro.indexes.registry import COMPARISON_METHODS
+from repro.queries.generator import (
+    EXTENT_PCTS,
+    FREQUENCY_BANDS,
+    NUM_ELEMENTS,
+    SELECTIVITY_BINS,
+    QueryWorkload,
+    band_label,
+)
+
+
+def _default_workload(collection, cfg, seed: int):
+    return QueryWorkload(collection, seed=seed).by_num_elements(3, cfg.n_queries)
+
+
+def _measure_default(methods, collection, cfg, seed, build_params):
+    queries = _default_workload(collection, cfg, seed)
+    measured = measure_methods(
+        methods, collection, {"default": queries}, build_params
+    )
+    return {key: measured[key]["default"] for key in methods}
+
+
+def run(
+    scale: str = "small", seed: int = 0, methods: Optional[List[str]] = None
+) -> Dict[str, dict]:
+    """All eleven Figure 12 panels."""
+    methods = methods or COMPARISON_METHODS
+    banner(f"Figure 12: comparison on synthetic datasets (scale={scale})")
+    cfg = get_scale(scale)
+    build_params = {key: tuned(key) for key in methods}
+    results: Dict[str, dict] = {}
+
+    sweeps = [
+        ("dataset cardinality", "cardinality", cfg.cardinality_sweep),
+        ("time domain size", "domain_size", DOMAIN_SIZE_SWEEP),
+        ("alpha (interval duration)", "alpha", ALPHA_SWEEP),
+        (
+            "dictionary size",
+            "dict_size",
+            [max(2, int(cfg.n_synthetic * ratio)) for ratio in DICT_RATIO_SWEEP],
+        ),
+        ("description size |d|", "desc_size", cfg.desc_size_sweep),
+        ("zeta (element frequency)", "zeta", ZETA_SWEEP),
+        ("sigma (interval position)", "sigma", SIGMA_SWEEP),
+    ]
+    for title, param, values in sweeps:
+        table = SeriesTable(
+            f"Figure 12: throughput [q/s] vs {title}", title, list(methods)
+        )
+        panel: Dict[object, Dict[str, float]] = {}
+        for value in values:
+            collection = synthetic_collection(scale, **{param: value})
+            measured = _measure_default(methods, collection, cfg, seed, build_params)
+            panel[value] = measured
+            table.add_point(value, [measured[m] for m in methods])
+        table.print()
+        results[param] = panel
+
+    # Query-axis panels on the default synthetic dataset.
+    collection = synthetic_collection(scale)
+    workload = QueryWorkload(collection, seed=seed)
+    workloads: Dict[str, list] = {}
+    for extent in EXTENT_PCTS:
+        workloads[f"extent={extent:g}%"] = workload.by_extent(extent, cfg.n_queries)
+    for k in NUM_ELEMENTS:
+        workloads[f"|q.d|={k}"] = workload.by_num_elements(k, cfg.n_queries)
+    for band in FREQUENCY_BANDS:
+        workloads[f"freq={band_label(band)}"] = workload.by_frequency_band(
+            band, cfg.n_queries
+        )
+    for label, queries in workload.by_selectivity(
+        SELECTIVITY_BINS, n_per_bin=cfg.n_selectivity
+    ).items():
+        if queries:
+            workloads[f"sel={label}"] = queries
+    measured = measure_methods(methods, collection, workloads, build_params)
+    for panel, keys in (
+        ("query interval extent [%]", [f"extent={e:g}%" for e in EXTENT_PCTS]),
+        ("|q.d|", [f"|q.d|={k}" for k in NUM_ELEMENTS]),
+        ("element frequency [%]", [f"freq={band_label(b)}" for b in FREQUENCY_BANDS]),
+        ("# results [%]", [f"sel={band_label(b)}" for b in SELECTIVITY_BINS]),
+    ):
+        table = SeriesTable(
+            f"Figure 12: throughput [q/s] vs {panel}", panel, list(methods)
+        )
+        for key in keys:
+            table.add_point(
+                key.split("=", 1)[1],
+                [measured[m].get(key) for m in methods],
+            )
+        table.print()
+    results["query_axes"] = measured
+    summarize_shape(
+        "Figure 12",
+        [
+            "same ranking as Figure 11: irHINT-performance first, "
+            "irHINT-size second",
+            "larger alpha (shorter intervals) and larger sigma (spread) "
+            "raise every method's throughput",
+            "larger cardinality, domain and |d| lower throughput",
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "Figure 12")

@@ -1,0 +1,65 @@
+"""Figure 8 — tuning tIF+Slicing: the number of domain slices.
+
+Sweeps the slice count and reports indexing time, index size and query
+throughput on the default workload (0.1 % extent, |q.d| = 3) for both real
+datasets.  Expected shape (paper §5.2): throughput first rises with more
+slices (better temporal filtering), then declines (fragmented
+intersections); size and build time grow monotonically.  The paper picks 50
+— the smallest value near the throughput plateau.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.cli import run_cli
+from repro.bench.config import REAL_DATASETS, get_scale, real_collection
+from repro.bench.reporting import SeriesTable, banner, summarize_shape
+from repro.bench.runner import build_timed, query_throughput, validate_index
+from repro.queries.generator import QueryWorkload
+
+#: The sweep (the paper's x axis spans 1..250).
+SLICE_COUNTS: List[int] = [1, 10, 25, 50, 100, 150, 250]
+
+
+def run(scale: str = "small", seed: int = 0) -> Dict[str, dict]:
+    """Sweep slice counts for tIF+Slicing on both real datasets."""
+    banner(f"Figure 8: tuning tIF+Slicing (scale={scale})")
+    cfg = get_scale(scale)
+    results: Dict[str, dict] = {}
+    for kind in REAL_DATASETS:
+        collection = real_collection(kind, scale)
+        workload = QueryWorkload(collection, seed=seed)
+        queries = workload.by_num_elements(3, cfg.n_queries)
+        rows = {"build_s": [], "size_mb": [], "throughput": []}
+        for n_slices in SLICE_COUNTS:
+            built = build_timed("tif-slicing", collection, n_slices=n_slices)
+            validate_index(built.index, collection, queries, sample=3)
+            rows["build_s"].append(built.seconds)
+            rows["size_mb"].append(built.size_bytes / 2**20)
+            rows["throughput"].append(query_throughput(built.index, queries))
+        table = SeriesTable(
+            f"Figure 8 ({kind.upper()}): tIF+Slicing vs #slices",
+            "#slices",
+            ["index time [s]", "index size [MB]", "throughput [q/s]"],
+        )
+        for i, n_slices in enumerate(SLICE_COUNTS):
+            table.add_point(
+                n_slices,
+                [rows["build_s"][i], rows["size_mb"][i], rows["throughput"][i]],
+            )
+        table.print()
+        results[kind] = {"slices": SLICE_COUNTS, **rows}
+    summarize_shape(
+        "Figure 8",
+        [
+            "index size and build time grow with the slice count (replication)",
+            "throughput rises from 1 slice, then plateaus/declines as "
+            "intersections fragment — 50 is at/near the plateau",
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "Figure 8")

@@ -1,0 +1,69 @@
+"""Table 5 — indexing costs: build time and index size for every method.
+
+All seven paper methods over both real datasets at their tuned parameters.
+Expected shape (paper §5.3/§5.4): tIF+Sharding is the smallest index;
+irHINT-size is next (smaller than every query-efficient IR-first method);
+tIF+HINT+Slicing is the largest IR-first index (dual copies); merge-sort
+tIF+HINT builds fastest among HINT-based methods; the irHINT variants take
+the longest to build.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.cli import run_cli
+from repro.bench.config import REAL_DATASETS, real_collection
+from repro.bench.reporting import TextTable, banner, summarize_shape
+from repro.bench.runner import build_timed
+from repro.bench.tuned import tuned
+from repro.indexes.registry import PAPER_METHODS
+
+
+def run(scale: str = "small", seed: int = 0) -> Dict[str, dict]:
+    """Build every method on both datasets; print time and size."""
+    banner(f"Table 5: indexing costs (scale={scale}, no compression used)")
+    results: Dict[str, dict] = {}
+    table = TextTable(
+        "Table 5",
+        [
+            "index",
+            "time [s] ECLOG",
+            "time [s] WIKIPEDIA",
+            "size [MB] ECLOG",
+            "size [MB] WIKIPEDIA",
+        ],
+    )
+    rows: Dict[str, Dict[str, float]] = {key: {} for key in PAPER_METHODS}
+    for kind in REAL_DATASETS:
+        collection = real_collection(kind, scale)
+        for key in PAPER_METHODS:
+            built = build_timed(key, collection, **tuned(key))
+            rows[key][f"time_{kind}"] = built.seconds
+            rows[key][f"size_{kind}"] = built.size_bytes / 2**20
+    for key in PAPER_METHODS:
+        table.add_row(
+            [
+                key,
+                rows[key]["time_eclog"],
+                rows[key]["time_wikipedia"],
+                rows[key]["size_eclog"],
+                rows[key]["size_wikipedia"],
+            ]
+        )
+    table.print()
+    results.update(rows)
+    summarize_shape(
+        "Table 5",
+        [
+            "tIF+Sharding has the smallest index (no replication), "
+            "irHINT-size the smallest among HINT-based methods",
+            "tIF+HINT+Slicing and irHINT-perf are the largest structures",
+            "merge-sort tIF+HINT is the cheapest HINT-based build",
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "Table 5")

@@ -1,0 +1,74 @@
+"""Table 6 — update time for batch insertions.
+
+Per the paper's protocol: index 90 % of each dataset offline, then measure
+the wall-clock time of inserting a batch of 1 %, 5 % or 10 % of the dataset
+(drawn from the withheld objects, which carry the largest ids).  Every batch
+size starts from a fresh 90 % build.
+
+Expected shape (§5.5): the simple IR-first methods (tIF+Slicing,
+tIF+Sharding) insert cheapest; merge-sort tIF+HINT is the cheapest
+HINT-based method (id-order appends, no temporal sorting); dual-structure
+designs (hybrid, irHINT-size) and the binary variant (temporal sorting) pay
+the most; irHINT-performance stays competitive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.cli import run_cli
+from repro.bench.config import REAL_DATASETS, real_collection
+from repro.bench.reporting import TextTable, banner, summarize_shape
+from repro.bench.runner import build_timed, insert_batch_time, split_for_insertion
+from repro.bench.tuned import tuned
+from repro.indexes.registry import PAPER_METHODS
+
+#: Batch sizes as fractions of the dataset cardinality.
+BATCH_FRACTIONS: List[float] = [0.01, 0.05, 0.10]
+
+
+def run(scale: str = "small", seed: int = 0) -> Dict[str, dict]:
+    """Insertion update times for every method × dataset × batch size."""
+    banner(f"Table 6: update time [s] for insertions (scale={scale})")
+    results: Dict[str, dict] = {key: {} for key in PAPER_METHODS}
+    headers = ["index"]
+    for kind in REAL_DATASETS:
+        for fraction in BATCH_FRACTIONS:
+            headers.append(f"{kind} {fraction:.0%}")
+    table = TextTable("Table 6", headers)
+    for kind in REAL_DATASETS:
+        collection = real_collection(kind, scale)
+        base, holdout = split_for_insertion(collection, holdout_fraction=0.10)
+        n = len(collection)
+        for key in PAPER_METHODS:
+            for fraction in BATCH_FRACTIONS:
+                batch = holdout[: max(1, int(n * fraction))]
+                # Best of two fresh-build repetitions: update batches are
+                # milliseconds long and one-shot samples are noise-prone.
+                seconds = min(
+                    insert_batch_time(build_timed(key, base, **tuned(key)).index, batch)
+                    for _ in range(2)
+                )
+                results[key][f"{kind}_{fraction}"] = seconds
+    for key in PAPER_METHODS:
+        row: List[object] = [key]
+        for kind in REAL_DATASETS:
+            for fraction in BATCH_FRACTIONS:
+                row.append(results[key][f"{kind}_{fraction}"])
+        table.add_row(row)
+    table.print()
+    summarize_shape(
+        "Table 6",
+        [
+            "tIF+Slicing / tIF+Sharding are the cheapest to insert into",
+            "merge-sort tIF+HINT is the cheapest HINT-based method "
+            "(id-order appends)",
+            "dual-structure designs (hybrid, irHINT-size) and the "
+            "temporally-sorted binary variant pay the most",
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "Table 6")

@@ -1,0 +1,72 @@
+"""Table 7 — update time for batch deletions (tombstones).
+
+Per the paper's protocol: index each full dataset offline, then measure the
+time to logically delete a random 1 %, 5 % or 10 % of the indexed objects
+(tombstones, as in [19, 30, 47, 54]).  Every batch size starts from a fresh
+full build.
+
+Expected shape (§5.5): deletion partially resembles querying — entries must
+be located — so tIF+Sharding (lowest query throughput, start-sorted shards
+to scan) is by far the slowest; merge-sort tIF+HINT is the fastest (lowest
+replication, id-sorted bisects); dual-structure designs (hybrid,
+irHINT-size) pay for maintaining two structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.cli import run_cli
+from repro.bench.config import REAL_DATASETS, real_collection
+from repro.bench.reporting import TextTable, banner, summarize_shape
+from repro.bench.runner import build_timed, delete_batch_time, deletion_batch
+from repro.bench.tuned import tuned
+from repro.indexes.registry import PAPER_METHODS
+
+#: Batch sizes as fractions of the dataset cardinality.
+BATCH_FRACTIONS: List[float] = [0.01, 0.05, 0.10]
+
+
+def run(scale: str = "small", seed: int = 0) -> Dict[str, dict]:
+    """Deletion update times for every method × dataset × batch size."""
+    banner(f"Table 7: update time [s] for deletions (scale={scale})")
+    results: Dict[str, dict] = {key: {} for key in PAPER_METHODS}
+    headers = ["index"]
+    for kind in REAL_DATASETS:
+        for fraction in BATCH_FRACTIONS:
+            headers.append(f"{kind} {fraction:.0%}")
+    table = TextTable("Table 7", headers)
+    for kind in REAL_DATASETS:
+        collection = real_collection(kind, scale)
+        for key in PAPER_METHODS:
+            for fraction in BATCH_FRACTIONS:
+                batch = deletion_batch(collection, fraction, seed=seed)
+                # Best of two fresh-build repetitions (see table6).
+                seconds = min(
+                    delete_batch_time(
+                        build_timed(key, collection, **tuned(key)).index, batch
+                    )
+                    for _ in range(2)
+                )
+                results[key][f"{kind}_{fraction}"] = seconds
+    for key in PAPER_METHODS:
+        row: List[object] = [key]
+        for kind in REAL_DATASETS:
+            for fraction in BATCH_FRACTIONS:
+                row.append(results[key][f"{kind}_{fraction}"])
+        table.add_row(row)
+    table.print()
+    summarize_shape(
+        "Table 7",
+        [
+            "tIF+Sharding has the highest deletion cost by a wide margin",
+            "merge-sort tIF+HINT deletes fastest (low replication, "
+            "id-sorted bisect locates entries)",
+            "dual-structure designs (hybrid, irHINT-size) are expensive",
+        ],
+    )
+    return results
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "Table 7")

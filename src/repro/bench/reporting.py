@@ -1,0 +1,97 @@
+"""Plain-text reporting that mirrors the paper's tables and figure series.
+
+Figures become *series tables*: one row per x-axis value, one column per
+method — the same numbers the paper plots, in a form that diffs cleanly and
+needs no plotting stack.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, List, Optional, Sequence
+
+
+def fmt(value: object) -> str:
+    """Compact, human formatting for mixed numeric table cells."""
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if value == float("inf"):
+            return "inf"
+        if value == 0:
+            return "0"
+        if abs(value) >= 100_000:
+            return f"{value:.3g}"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+class TextTable:
+    """Aligned monospace table with a title."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[object]) -> None:
+        """Append one row (values are formatted via :func:`fmt`)."""
+        self.rows.append([fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                if i < len(widths):
+                    widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+        bar = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, bar, line(self.headers), bar]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(bar)
+        return "\n".join(parts)
+
+    def print(self, stream: Optional[IO[str]] = None) -> None:
+        print(self.render(), file=stream or sys.stdout)
+        print(file=stream or sys.stdout)
+
+
+class SeriesTable(TextTable):
+    """A figure rendered as numbers: x column + one column per method."""
+
+    def __init__(self, title: str, x_label: str, methods: Sequence[str]) -> None:
+        super().__init__(title, [x_label, *methods])
+
+    def add_point(self, x: object, values: Sequence[object]) -> None:
+        """One x-axis point with each method's measurement."""
+        self.add_row([x, *values])
+
+
+def banner(text: str, stream: Optional[IO[str]] = None) -> None:
+    """Section separator used between experiment panels."""
+    out = stream or sys.stdout
+    print("=" * 72, file=out)
+    print(text, file=out)
+    print("=" * 72, file=out)
+
+
+def summarize_shape(
+    title: str, observations: Sequence[str], stream: Optional[IO[str]] = None
+) -> None:
+    """Print the qualitative observations an experiment should support."""
+    out = stream or sys.stdout
+    print(f"[shape] {title}", file=out)
+    for observation in observations:
+        print(f"  - {observation}", file=out)
+    print(file=out)

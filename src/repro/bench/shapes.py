@@ -1,0 +1,394 @@
+"""Programmatic shape validation of the reproduction.
+
+The reproduction's success criterion is not matching the paper's absolute
+numbers (a C++ testbed vs CPython) but matching the *shape* of every result:
+who wins, roughly by how much, where crossovers fall.  This module encodes
+those claims as predicates over the result dictionaries the experiment
+modules return, so a single command renders a verdict table:
+
+    python -m repro.bench.shapes --scale small
+
+Checks marked ``strict=False`` encode claims known to be constant-factor
+sensitive (documented in EXPERIMENTS.md); their failures are reported as
+deviations, not errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.bench.reporting import TextTable
+
+
+@dataclass(frozen=True, slots=True)
+class ShapeCheck:
+    """One verified (or refuted) qualitative claim."""
+
+    experiment: str
+    claim: str
+    passed: bool
+    detail: str
+    strict: bool = True
+
+
+def _is_nondecreasing(values: List[float], tolerance: float = 0.0) -> bool:
+    return all(b >= a * (1 - tolerance) for a, b in zip(values, values[1:]))
+
+
+# ----------------------------------------------------------------- figure 8
+def check_fig8(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    for kind, data in results.items():
+        sizes = data["size_mb"]
+        checks.append(
+            ShapeCheck(
+                "fig8",
+                f"{kind}: index size grows with the slice count",
+                _is_nondecreasing(sizes, tolerance=0.02),
+                f"sizes={['%.2f' % s for s in sizes]}",
+            )
+        )
+        throughput = data["throughput"]
+        plateau = max(throughput[1:])
+        checks.append(
+            ShapeCheck(
+                "fig8",
+                f"{kind}: slicing beats the single-slice degenerate case",
+                plateau > throughput[0],
+                f"1 slice: {throughput[0]:.0f} q/s, best: {plateau:.0f} q/s",
+            )
+        )
+    return checks
+
+
+# ----------------------------------------------------------------- figure 9
+def check_fig9(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    for kind, variants in results.items():
+        merge = variants["tif-hint-merge"]
+        binary = variants["tif-hint-binary"]
+        checks.append(
+            ShapeCheck(
+                "fig9",
+                f"{kind}: binary and merge sizes coincide per m",
+                merge["size_mb"] == binary["size_mb"],
+                "same structure, different sorting",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "fig9",
+                f"{kind}: indexing time grows with m (merge variant)",
+                _is_nondecreasing(merge["build_s"], tolerance=0.35),
+                f"build_s={['%.2f' % s for s in merge['build_s']]}",
+            )
+        )
+        ms = merge["m"]
+        best_m = ms[max(range(len(ms)), key=lambda i: merge["throughput"][i])]
+        checks.append(
+            ShapeCheck(
+                "fig9",
+                f"{kind}: merge variant peaks at small m (paper picks 5)",
+                best_m <= 8,
+                f"best m = {best_m}",
+                strict=False,
+            )
+        )
+    return checks
+
+
+# ---------------------------------------------------------------- figure 10
+def check_fig10(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    for kind, measured in results.items():
+        merge = measured["tif-hint-merge"]
+        binary = measured["tif-hint-binary"]
+        ratio_multi = merge["|q.d|=3"] / binary["|q.d|=3"]
+        ratio_single = merge["|q.d|=1"] / binary["|q.d|=1"]
+        checks.append(
+            ShapeCheck(
+                "fig10",
+                f"{kind}: merge-sort beats binary search on multi-element queries",
+                ratio_multi > 1.0,
+                f"merge/binary at |q.d|=3: {ratio_multi:.2f}",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "fig10",
+                f"{kind}: binary search is relatively strongest at |q.d|=1",
+                ratio_single < ratio_multi,
+                f"merge/binary: {ratio_single:.2f} at 1 vs {ratio_multi:.2f} at 3",
+                strict=False,
+            )
+        )
+    return checks
+
+
+# ----------------------------------------------------------------- table 5
+def check_table5(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    for kind in ("eclog", "wikipedia"):
+        sizes = {key: row[f"size_{kind}"] for key, row in results.items()}
+        smallest = min(sizes, key=sizes.get)
+        checks.append(
+            ShapeCheck(
+                "table5",
+                f"{kind}: a lean design (sharding / irHINT-size) is smallest",
+                smallest in ("tif-sharding", "irhint-size"),
+                f"smallest = {smallest} ({sizes[smallest]:.2f} MB)",
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "table5",
+                f"{kind}: irHINT variants are smaller than tIF+Slicing",
+                max(sizes["irhint-perf"], sizes["irhint-size"]) < sizes["tif-slicing"] * 1.15,
+                f"irhint-perf={sizes['irhint-perf']:.2f}, "
+                f"irhint-size={sizes['irhint-size']:.2f}, "
+                f"tif-slicing={sizes['tif-slicing']:.2f} MB",
+                strict=False,
+            )
+        )
+        times = {key: row[f"time_{kind}"] for key, row in results.items()}
+        checks.append(
+            ShapeCheck(
+                "table5",
+                f"{kind}: merge-sort is the cheapest tIF+HINT build",
+                times["tif-hint-merge"] < times["tif-hint-binary"],
+                f"merge={times['tif-hint-merge']:.2f}s binary={times['tif-hint-binary']:.2f}s",
+            )
+        )
+    return checks
+
+
+# ---------------------------------------------------------------- figure 11
+def _rank_of(measured: Dict[str, Dict[str, float]], method: str, label: str) -> int:
+    scores = {
+        key: row.get(label) for key, row in measured.items() if row.get(label)
+    }
+    ordered = sorted(scores, key=lambda k: -scores[k])
+    return ordered.index(method) + 1 if method in ordered else len(ordered)
+
+
+def check_fig11(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    wide_labels = ["extent=5%", "extent=10%", "extent=50%"]
+    for kind, measured in results.items():
+        available = [l for l in wide_labels if l in next(iter(measured.values()))]
+        if available:
+            ranks = [_rank_of(measured, "irhint-perf", label) for label in available]
+            checks.append(
+                ShapeCheck(
+                    "fig11",
+                    f"{kind}: irHINT-perf leads on non-selective (wide) queries",
+                    min(ranks) == 1,
+                    f"ranks on {available}: {ranks}",
+                    strict=(kind == "wikipedia"),
+                )
+            )
+        # The paper: the irHINT advantage rises as selectivity drops.
+        slicing = measured["tif-slicing"]
+        irhint = measured["irhint-perf"]
+        if "extent=0.01%" in irhint and "extent=10%" in irhint:
+            narrow_ratio = irhint["extent=0.01%"] / slicing["extent=0.01%"]
+            wide_ratio = irhint["extent=10%"] / slicing["extent=10%"]
+            checks.append(
+                ShapeCheck(
+                    "fig11",
+                    f"{kind}: irHINT's edge over slicing grows with query extent",
+                    wide_ratio > narrow_ratio,
+                    f"irhint/slicing: {narrow_ratio:.2f} at 0.01% vs {wide_ratio:.2f} at 10%",
+                )
+            )
+        checks.append(
+            ShapeCheck(
+                "fig11",
+                f"{kind}: everything slows as selectivity drops (extent 100% vs stab)",
+                all(
+                    measured[key]["extent=100%"] < measured[key]["extent=stab"]
+                    for key in measured
+                    if "extent=100%" in measured[key]
+                ),
+                "throughput(stab) > throughput(100%) for every method",
+            )
+        )
+    return checks
+
+
+# ---------------------------------------------------------------- figure 12
+def check_fig12(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    alpha_panel = results.get("alpha", {})
+    if alpha_panel:
+        alphas = sorted(alpha_panel)
+        lo, hi = alpha_panel[alphas[0]], alpha_panel[alphas[-1]]
+        improved = sum(1 for key in hi if hi[key] > lo[key])
+        checks.append(
+            ShapeCheck(
+                "fig12",
+                "larger alpha (shorter intervals) raises most methods' throughput",
+                improved >= len(hi) - 1,
+                f"{improved}/{len(hi)} methods faster at alpha={alphas[-1]}",
+            )
+        )
+    cardinality_panel = results.get("cardinality", {})
+    if cardinality_panel:
+        ns = sorted(cardinality_panel)
+        degraded = sum(
+            1
+            for key in cardinality_panel[ns[0]]
+            if cardinality_panel[ns[-1]][key] < cardinality_panel[ns[0]][key]
+        )
+        checks.append(
+            ShapeCheck(
+                "fig12",
+                "larger cardinality lowers every method's throughput",
+                degraded >= len(cardinality_panel[ns[0]]) - 1,
+                f"{degraded}/{len(cardinality_panel[ns[0]])} methods slower at n={ns[-1]}",
+            )
+        )
+    return checks
+
+
+# ----------------------------------------------------------------- table 6/7
+def check_table6(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    for kind in ("eclog", "wikipedia"):
+        times_10 = {key: row[f"{kind}_0.1"] for key, row in results.items()}
+        fastest = min(times_10, key=times_10.get)
+        checks.append(
+            ShapeCheck(
+                "table6",
+                f"{kind}: a simple IR-first method (or merge tIF+HINT) inserts fastest",
+                fastest in ("tif-slicing", "tif-sharding", "tif-hint-merge"),
+                f"fastest = {fastest} ({times_10[fastest]:.3f}s at 10%)",
+                # Documented deviation (EXPERIMENTS.md, Table 6): our irHINT
+                # divisions append id-sorted postings in O(1), which often
+                # beats the IR-first methods outright at small m.
+                strict=False,
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "table6",
+                f"{kind}: merge tIF+HINT inserts faster than binary (no temporal sort)",
+                results["tif-hint-merge"][f"{kind}_0.1"]
+                < results["tif-hint-binary"][f"{kind}_0.1"],
+                "id-order appends vs temporally-sorted inserts",
+            )
+        )
+    return checks
+
+
+def check_table7(results: Dict[str, dict]) -> List[ShapeCheck]:
+    checks = []
+    for kind in ("eclog", "wikipedia"):
+        times_10 = {key: row[f"{kind}_0.1"] for key, row in results.items()}
+        slowest = max(times_10, key=times_10.get)
+        checks.append(
+            ShapeCheck(
+                "table7",
+                f"{kind}: tIF+Sharding has the highest deletion cost",
+                slowest == "tif-sharding",
+                f"slowest = {slowest} ({times_10[slowest]:.3f}s at 10%)",
+                strict=False,
+            )
+        )
+        checks.append(
+            ShapeCheck(
+                "table7",
+                f"{kind}: merge tIF+HINT deletes faster than the dual-structure hybrid",
+                results["tif-hint-merge"][f"{kind}_0.1"]
+                < results["tif-hint-slicing"][f"{kind}_0.1"],
+                "single structure vs two structures to locate entries in",
+            )
+        )
+    return checks
+
+
+CHECKERS: Dict[str, Callable[[dict], List[ShapeCheck]]] = {
+    "fig8": check_fig8,
+    "fig9": check_fig9,
+    "fig10": check_fig10,
+    "table5": check_table5,
+    "fig11": check_fig11,
+    "fig12": check_fig12,
+    "table6": check_table6,
+    "table7": check_table7,
+}
+
+
+def run_checks(all_results: Dict[str, dict]) -> List[ShapeCheck]:
+    """Apply every applicable checker to a full experiment-result dict."""
+    checks: List[ShapeCheck] = []
+    for name, checker in CHECKERS.items():
+        if name in all_results:
+            checks.extend(checker(all_results[name]))
+    return checks
+
+
+def render_checks(checks: List[ShapeCheck]) -> str:
+    table = TextTable("Shape verdicts", ["experiment", "claim", "verdict", "detail"])
+    for check in checks:
+        verdict = "PASS" if check.passed else ("DEVIATION" if not check.strict else "FAIL")
+        table.add_row([check.experiment, check.claim, verdict, check.detail])
+    return table.render()
+
+
+def run(scale: str = "small", seed: int = 0, out: str | None = None) -> List[ShapeCheck]:
+    """Run the full evaluation, then validate every shape claim.
+
+    ``out`` optionally archives the raw results as JSON (re-checkable later
+    with ``--results``).
+    """
+    from repro.bench.experiments import all as all_experiments
+
+    results = all_experiments.run(scale=scale, seed=seed)
+    if out:
+        from repro.bench.results_io import save_results
+
+        save_results(results, out)  # type: ignore[arg-type]
+        print(f"[results archived to {out}]\n")
+    return _report(run_checks(results))  # type: ignore[arg-type]
+
+
+def check_file(path: str) -> List[ShapeCheck]:
+    """Validate a previously archived results file (no re-measurement)."""
+    from repro.bench.results_io import load_results
+
+    return _report(run_checks(load_results(path)))
+
+
+def _report(checks: List[ShapeCheck]) -> List[ShapeCheck]:
+    print(render_checks(checks))
+    strict_failures = [c for c in checks if not c.passed and c.strict]
+    print(
+        f"\n{sum(c.passed for c in checks)}/{len(checks)} claims hold; "
+        f"{len(strict_failures)} strict failures"
+    )
+    return checks
+
+
+def _main() -> None:
+    import argparse
+
+    from repro.bench.config import SCALES
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", help="archive raw results to this JSON file")
+    parser.add_argument(
+        "--results", help="validate an archived results file instead of re-running"
+    )
+    args = parser.parse_args()
+    if args.results:
+        check_file(args.results)
+    else:
+        run(scale=args.scale, seed=args.seed, out=args.out)
+
+
+if __name__ == "__main__":
+    _main()

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  synthesise a dataset (synthetic / eclog / wikipedia) to a file
+``stats``     print a saved collection's Table 3 characteristics
+``build``     build an index over a saved collection; print time and size
+``query``     answer one time-travel IR query against a chosen index
+``explain``   same, but print the per-phase evaluation trace
+``bench``     run one of the paper's experiments (or ``all``)
+
+Examples
+--------
+::
+
+    python -m repro generate --dataset eclog --n 5000 --out /tmp/ec.bin
+    python -m repro stats /tmp/ec.bin
+    python -m repro build /tmp/ec.bin --index irhint-perf
+    python -m repro query /tmp/ec.bin --index irhint-perf \
+        --start 100000 --end 500000 --elements /uri/3,/uri/9
+    python -m repro bench fig8 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench.config import SCALES
+from repro.bench.tuned import tuned
+from repro.core.model import make_query
+from repro.datasets.eclog import generate_eclog
+from repro.datasets.io import load, save
+from repro.datasets.stats import table3_rows
+from repro.datasets.synthetic import generate_synthetic
+from repro.datasets.wikipedia import generate_wikipedia
+from repro.indexes.explain import explain as explain_query
+from repro.indexes.registry import available_indexes, build_index
+
+_EXPERIMENTS = [
+    "table3", "fig7", "fig8", "fig9", "fig10",
+    "table5", "fig11", "fig12", "table6", "table7", "all",
+]
+
+
+def _parse_number(text: str) -> float:
+    """Accept ints and floats from the command line."""
+    value = float(text)
+    return int(value) if value.is_integer() else value
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.dataset == "synthetic":
+        collection = generate_synthetic(
+            cardinality=args.n,
+            dict_size=max(2, args.n // 3),
+            seed=args.seed,
+        )
+    elif args.dataset == "eclog":
+        collection = generate_eclog(n_sessions=args.n, seed=args.seed)
+    else:
+        collection = generate_wikipedia(n_revisions=args.n, seed=args.seed)
+    save(collection, args.out)
+    print(f"wrote {len(collection)} objects to {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    collection = load(args.data)
+    width = max(len(label) for label, _v in table3_rows(collection))
+    for label, value in table3_rows(collection):
+        print(f"{label:<{width}}  {value}")
+    return 0
+
+
+def _build(args: argparse.Namespace):
+    snapshot = getattr(args, "snapshot", None)
+    if snapshot:
+        from repro.indexes.persistence import load_index
+
+        start = time.perf_counter()
+        index = load_index(snapshot)
+        return None, index, time.perf_counter() - start
+    collection = load(args.data)
+    params = tuned(args.index) if args.tuned else {}
+    start = time.perf_counter()
+    index = build_index(args.index, collection, **params)
+    seconds = time.perf_counter() - start
+    return collection, index, seconds
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    _collection, index, seconds = _build(args)
+    print(f"built {args.index} in {seconds:.3f}s")
+    for key, value in index.stats().items():
+        print(f"  {key}: {value}")
+    if args.save:
+        from repro.indexes.persistence import save_index
+
+        save_index(index, args.save)
+        print(f"snapshot written to {args.save}")
+    return 0
+
+
+def _make_query_from_args(args: argparse.Namespace):
+    elements = [e for e in (args.elements or "").split(",") if e]
+    return make_query(_parse_number(args.start), _parse_number(args.end), set(elements))
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    _collection, index, _seconds = _build(args)
+    q = _make_query_from_args(args)
+    start = time.perf_counter()
+    result = index.query(q)
+    ms = (time.perf_counter() - start) * 1000
+    print(f"{len(result)} results in {ms:.2f} ms")
+    limit = args.limit if args.limit > 0 else len(result)
+    print(result[:limit])
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    _collection, index, _seconds = _build(args)
+    print(explain_query(index, _make_query_from_args(args)).render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import importlib
+
+    name = args.experiment
+    module = importlib.import_module(f"repro.bench.experiments.{name}")
+    module.run(scale=args.scale, seed=args.seed)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast indexing for temporal information retrieval",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesise a dataset to a file")
+    p.add_argument("--dataset", choices=["synthetic", "eclog", "wikipedia"], required=True)
+    p.add_argument("--n", type=int, default=5000, help="number of objects")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", required=True, help=".jsonl or binary path")
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("stats", help="Table 3 characteristics of a collection")
+    p.add_argument("data", help="collection file (.jsonl or binary)")
+    p.set_defaults(func=_cmd_stats)
+
+    def add_index_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("data", help="collection file")
+        p.add_argument("--index", choices=available_indexes(), default="irhint-perf")
+        p.add_argument(
+            "--tuned",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="apply the paper's tuned parameters (default: yes)",
+        )
+        p.add_argument(
+            "--snapshot", help="load this index snapshot instead of building"
+        )
+
+    p = sub.add_parser("build", help="build an index; print time and stats")
+    add_index_args(p)
+    p.add_argument("--save", help="write an index snapshot to this path")
+    p.set_defaults(func=_cmd_build)
+
+    for name, func, help_ in (
+        ("query", _cmd_query, "answer one time-travel IR query"),
+        ("explain", _cmd_explain, "trace one query's evaluation"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        add_index_args(p)
+        p.add_argument("--start", required=True, help="query interval start")
+        p.add_argument("--end", required=True, help="query interval end")
+        p.add_argument("--elements", default="", help="comma-separated q.d")
+        if name == "query":
+            p.add_argument("--limit", type=int, default=20, help="ids to print (0 = all)")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("bench", help="run a paper experiment")
+    p.add_argument("experiment", choices=_EXPERIMENTS)
+    p.add_argument("--scale", choices=sorted(SCALES), default="small")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (also used directly by tests)."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

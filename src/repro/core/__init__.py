@@ -1,0 +1,42 @@
+"""Core data model: intervals, objects, queries, dictionary, collections."""
+
+from repro.core.collection import Collection, CollectionStats
+from repro.core.dictionary import Dictionary
+from repro.core.errors import (
+    ConfigurationError,
+    DomainError,
+    DuplicateObjectError,
+    EmptyCollectionError,
+    InvalidIntervalError,
+    InvalidObjectError,
+    InvalidQueryError,
+    ReproError,
+    UnknownObjectError,
+)
+from repro.core.interval import Interval, Timestamp, overlaps, span_of, validate_interval
+from repro.core.model import Element, TemporalObject, TimeTravelQuery, make_object, make_query
+
+__all__ = [
+    "Collection",
+    "CollectionStats",
+    "ConfigurationError",
+    "Dictionary",
+    "DomainError",
+    "DuplicateObjectError",
+    "Element",
+    "EmptyCollectionError",
+    "Interval",
+    "InvalidIntervalError",
+    "InvalidObjectError",
+    "InvalidQueryError",
+    "ReproError",
+    "TemporalObject",
+    "Timestamp",
+    "TimeTravelQuery",
+    "UnknownObjectError",
+    "make_object",
+    "make_query",
+    "overlaps",
+    "span_of",
+    "validate_interval",
+]

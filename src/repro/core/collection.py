@@ -1,0 +1,207 @@
+"""Object collections: the indexed corpus ``O`` plus its statistics.
+
+A :class:`Collection` owns the set of temporal objects, the derived global
+:class:`~repro.core.dictionary.Dictionary`, and the time-domain bounds every
+index needs at build time.  It also computes the dataset characteristics the
+paper reports in Table 3 and plots in Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.dictionary import Dictionary
+from repro.core.errors import DuplicateObjectError, EmptyCollectionError, UnknownObjectError
+from repro.core.interval import Interval, Timestamp
+from repro.core.model import Element, TemporalObject, TimeTravelQuery
+
+
+@dataclass(frozen=True, slots=True)
+class CollectionStats:
+    """Dataset characteristics in the shape of the paper's Table 3."""
+
+    cardinality: int
+    domain_start: Timestamp
+    domain_end: Timestamp
+    domain_size: Timestamp
+    min_duration: Timestamp
+    max_duration: Timestamp
+    avg_duration: float
+    avg_duration_pct: float
+    dictionary_size: int
+    min_description_size: int
+    max_description_size: int
+    avg_description_size: float
+    min_element_frequency: int
+    max_element_frequency: int
+    avg_element_frequency: float
+    avg_element_frequency_pct: float
+
+    def rows(self) -> List[Tuple[str, object]]:
+        """(label, value) rows matching Table 3's row order."""
+        return [
+            ("Cardinality", self.cardinality),
+            ("Time domain", self.domain_size),
+            ("Min. interval duration", self.min_duration),
+            ("Max. interval duration", self.max_duration),
+            ("Avg. interval duration", round(self.avg_duration, 1)),
+            ("Avg. interval duration [%]", round(self.avg_duration_pct, 1)),
+            ("Dictionary size [# elements]", self.dictionary_size),
+            ("Min. description size [# elems]", self.min_description_size),
+            ("Max. description size [# elems]", self.max_description_size),
+            ("Avg. description size [# elems]", round(self.avg_description_size, 1)),
+            ("Min. element frequency", self.min_element_frequency),
+            ("Max. element frequency", self.max_element_frequency),
+            ("Avg. element frequency", round(self.avg_element_frequency, 1)),
+            ("Avg. element frequency [%]", round(self.avg_element_frequency_pct, 2)),
+        ]
+
+
+class Collection:
+    """A corpus of temporal objects with unique integer ids.
+
+    The collection is the single source of truth all indexes build from; it
+    supports registration of new objects (paper Section 5.5 insertions) and
+    logical removal (tombstone deletions), keeping the dictionary counts in
+    sync.
+    """
+
+    def __init__(self, objects: Iterable[TemporalObject] = ()) -> None:
+        self._objects: Dict[int, TemporalObject] = {}
+        self._dictionary = Dictionary()
+        for obj in objects:
+            self.add(obj)
+
+    # ----------------------------------------------------------------- dunder
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[TemporalObject]:
+        return iter(self._objects.values())
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._objects
+
+    def __getitem__(self, object_id: int) -> TemporalObject:
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise UnknownObjectError(object_id) from None
+
+    # ---------------------------------------------------------------- updates
+    def add(self, obj: TemporalObject) -> None:
+        """Register an object; ids must be unique."""
+        if obj.id in self._objects:
+            raise DuplicateObjectError(f"object id {obj.id} already in collection")
+        self._objects[obj.id] = obj
+        self._dictionary.add_description(obj.d)
+
+    def remove(self, object_id: int) -> TemporalObject:
+        """Remove and return an object (used by deletion experiments)."""
+        obj = self._objects.pop(object_id, None)
+        if obj is None:
+            raise UnknownObjectError(object_id)
+        self._dictionary.remove_description(obj.d)
+        return obj
+
+    # ------------------------------------------------------------------ reads
+    @property
+    def dictionary(self) -> Dictionary:
+        """The global element dictionary with document frequencies."""
+        return self._dictionary
+
+    def objects(self) -> List[TemporalObject]:
+        """All objects, ordered by id (deterministic)."""
+        return [self._objects[oid] for oid in sorted(self._objects)]
+
+    def ids(self) -> List[int]:
+        """All object ids, sorted."""
+        return sorted(self._objects)
+
+    def get(self, object_id: int) -> Optional[TemporalObject]:
+        """Object by id or ``None``."""
+        return self._objects.get(object_id)
+
+    def domain(self) -> Interval:
+        """Tightest interval covering every object lifespan."""
+        if not self._objects:
+            raise EmptyCollectionError("domain() on an empty collection")
+        lo = min(o.st for o in self._objects.values())
+        hi = max(o.end for o in self._objects.values())
+        return Interval(lo, hi)
+
+    # ------------------------------------------------------------- evaluation
+    def evaluate(self, query: TimeTravelQuery) -> List[int]:
+        """Exact answer by linear scan — the oracle every index must match."""
+        return sorted(o.id for o in self._objects.values() if o.matches(query))
+
+    def selectivity(self, query: TimeTravelQuery) -> float:
+        """Result size as a fraction of the cardinality (paper's axis (4))."""
+        if not self._objects:
+            raise EmptyCollectionError("selectivity() on an empty collection")
+        return len(self.evaluate(query)) / len(self._objects)
+
+    # ------------------------------------------------------------------ stats
+    def stats(self) -> CollectionStats:
+        """Dataset characteristics (Table 3)."""
+        if not self._objects:
+            raise EmptyCollectionError("stats() on an empty collection")
+        objs = list(self._objects.values())
+        domain = self.domain()
+        domain_size = domain.end - domain.st
+        durations = [o.duration for o in objs]
+        desc_sizes = [len(o.d) for o in objs]
+        dictionary = self._dictionary
+        avg_duration = sum(durations) / len(durations)
+        avg_freq = dictionary.mean_frequency()
+        return CollectionStats(
+            cardinality=len(objs),
+            domain_start=domain.st,
+            domain_end=domain.end,
+            domain_size=domain_size,
+            min_duration=min(durations),
+            max_duration=max(durations),
+            avg_duration=avg_duration,
+            avg_duration_pct=(100.0 * avg_duration / domain_size) if domain_size else 100.0,
+            dictionary_size=len(dictionary),
+            min_description_size=min(desc_sizes),
+            max_description_size=max(desc_sizes),
+            avg_description_size=sum(desc_sizes) / len(desc_sizes),
+            min_element_frequency=dictionary.min_frequency(),
+            max_element_frequency=dictionary.max_frequency(),
+            avg_element_frequency=avg_freq,
+            avg_element_frequency_pct=100.0 * avg_freq / len(objs),
+        )
+
+    def duration_histogram(self, n_bins: int = 20) -> List[Tuple[float, int]]:
+        """(bin upper edge, count) pairs for Figure 7's duration plot."""
+        if not self._objects:
+            raise EmptyCollectionError("duration_histogram() on an empty collection")
+        durations = sorted(o.duration for o in self._objects.values())
+        lo, hi = durations[0], durations[-1]
+        width = (hi - lo) / n_bins if hi > lo else 1
+        histogram = [0] * n_bins
+        for duration in durations:
+            index = min(int((duration - lo) / width), n_bins - 1)
+            histogram[index] += 1
+        return [(lo + (i + 1) * width, histogram[i]) for i in range(n_bins)]
+
+    def elements_by_frequency_band(
+        self, low_pct: float, high_pct: float
+    ) -> List[Element]:
+        """Elements whose document frequency lies in ``(low_pct, high_pct]``.
+
+        Percentages are relative to the collection cardinality — this is the
+        query-workload "element frequency" axis of Section 5.1.  ``low_pct``
+        may be 0 to include the rarest elements.
+        """
+        n = len(self._objects)
+        if n == 0:
+            raise EmptyCollectionError("frequency bands on an empty collection")
+        out = []
+        for element, freq in self._dictionary.items():
+            pct = 100.0 * freq / n
+            if low_pct < pct <= high_pct or (low_pct == 0 and pct <= high_pct):
+                out.append(element)
+        return sorted(out, key=repr)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming from this package with a single ``except`` clause
+while still being able to discriminate configuration problems from data
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """An interval was constructed with ``start > end`` or non-finite bounds."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A time-travel IR query was malformed (bad interval or description)."""
+
+
+class InvalidObjectError(ReproError, ValueError):
+    """A temporal object was malformed (bad id, interval or description)."""
+
+
+class DuplicateObjectError(ReproError, ValueError):
+    """An object with an already-registered id was added to a collection."""
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """An object id was looked up (e.g. for deletion) but is not indexed."""
+
+
+class DomainError(ReproError, ValueError):
+    """A timestamp falls outside the domain an index was configured for."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An index or generator received inconsistent construction parameters."""
+
+
+class EmptyCollectionError(ReproError, ValueError):
+    """An operation that requires data was invoked on an empty collection."""

@@ -1,0 +1,114 @@
+"""Closed time intervals and the overlap predicate (paper Section 2.1).
+
+An interval ``i = [t_st, t_end]`` with ``t_st <= t_end`` includes every time
+point ``t`` with ``t_st <= t <= t_end``.  Two intervals *overlap* when they
+share at least one time point:
+
+    Overlap(i1, i2) = i2.t_st <= i1.t_st <= i2.t_end
+                      or i1.t_st <= i2.t_st <= i1.t_end
+
+Timestamps may be ints or floats; the library's indexes internally discretise
+them (see :mod:`repro.intervals.hint.domain`), but the user-facing model keeps
+original values so that temporal comparisons are always exact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, NamedTuple, Union
+
+from repro.core.errors import InvalidIntervalError
+
+Timestamp = Union[int, float]
+
+
+class Interval(NamedTuple):
+    """A closed time interval ``[st, end]``.
+
+    ``Interval`` is a :class:`~typing.NamedTuple`: it is immutable, hashable,
+    cheap, and unpacks as ``st, end = interval``.
+    """
+
+    st: Timestamp
+    end: Timestamp
+
+    @classmethod
+    def make(cls, st: Timestamp, end: Timestamp) -> "Interval":
+        """Create an interval, validating ``st <= end`` and finiteness."""
+        validate_interval(st, end)
+        return cls(st, end)
+
+    @property
+    def duration(self) -> Timestamp:
+        """Length of the interval (``end - st``; 0 for instantaneous)."""
+        return self.end - self.st
+
+    def overlaps(self, other: "Interval") -> bool:
+        """``True`` iff the two closed intervals share at least one point."""
+        return self.st <= other.end and other.st <= self.end
+
+    def contains_point(self, t: Timestamp) -> bool:
+        """``True`` iff time point ``t`` lies inside the closed interval."""
+        return self.st <= t <= self.end
+
+    def contains(self, other: "Interval") -> bool:
+        """``True`` iff ``other`` lies entirely inside this interval."""
+        return self.st <= other.st and other.end <= self.end
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """The overlapping sub-interval, or ``None`` when disjoint."""
+        lo = max(self.st, other.st)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def union_span(self, other: "Interval") -> "Interval":
+        """The tightest interval covering both (even when disjoint)."""
+        return Interval(min(self.st, other.st), max(self.end, other.end))
+
+    @property
+    def is_point(self) -> bool:
+        """``True`` for an instantaneous (stabbing) interval."""
+        return self.st == self.end
+
+    def iter_points(self) -> Iterator[int]:
+        """Iterate integer time points covered (integer intervals only)."""
+        if not isinstance(self.st, int) or not isinstance(self.end, int):
+            raise InvalidIntervalError(
+                "iter_points requires integer endpoints, got "
+                f"[{self.st!r}, {self.end!r}]"
+            )
+        return iter(range(self.st, self.end + 1))
+
+
+def validate_interval(st: Timestamp, end: Timestamp) -> None:
+    """Raise :class:`InvalidIntervalError` unless ``[st, end]`` is well formed."""
+    if isinstance(st, bool) or isinstance(end, bool):
+        raise InvalidIntervalError(f"interval endpoints must be numeric, got [{st!r}, {end!r}]")
+    if not isinstance(st, (int, float)) or not isinstance(end, (int, float)):
+        raise InvalidIntervalError(f"interval endpoints must be numeric, got [{st!r}, {end!r}]")
+    if isinstance(st, float) and not math.isfinite(st):
+        raise InvalidIntervalError(f"interval start must be finite, got {st!r}")
+    if isinstance(end, float) and not math.isfinite(end):
+        raise InvalidIntervalError(f"interval end must be finite, got {end!r}")
+    if st > end:
+        raise InvalidIntervalError(f"interval start {st!r} exceeds end {end!r}")
+
+
+def overlaps(st1: Timestamp, end1: Timestamp, st2: Timestamp, end2: Timestamp) -> bool:
+    """Free-function overlap test on raw endpoints (hot-path friendly).
+
+    Equivalent to ``Interval(st1, end1).overlaps(Interval(st2, end2))`` without
+    allocating.  Used in inner loops of every index implementation.
+    """
+    return st1 <= end2 and st2 <= end1
+
+
+def span_of(intervals: "list[Interval]") -> Interval:
+    """Tightest interval covering every interval in a non-empty list."""
+    if not intervals:
+        raise InvalidIntervalError("span_of requires at least one interval")
+    lo = min(i.st for i in intervals)
+    hi = max(i.end for i in intervals)
+    return Interval(lo, hi)

@@ -1,0 +1,33 @@
+"""Dataset generators and loaders: synthetic (Table 4), ECLOG and WIKIPEDIA surrogates."""
+
+from repro.datasets.eclog import ECLogParams, generate_eclog
+from repro.datasets.io import load, load_binary, load_jsonl, save, save_binary, save_jsonl
+from repro.datasets.stats import (
+    duration_distribution,
+    duration_percentiles,
+    element_frequency_distribution,
+    frequency_rank_series,
+    table3_rows,
+)
+from repro.datasets.synthetic import SyntheticParams, generate_synthetic
+from repro.datasets.wikipedia import WikipediaParams, generate_wikipedia
+
+__all__ = [
+    "ECLogParams",
+    "SyntheticParams",
+    "WikipediaParams",
+    "duration_distribution",
+    "duration_percentiles",
+    "element_frequency_distribution",
+    "frequency_rank_series",
+    "generate_eclog",
+    "generate_synthetic",
+    "generate_wikipedia",
+    "load",
+    "load_binary",
+    "load_jsonl",
+    "save",
+    "save_binary",
+    "save_jsonl",
+    "table3_rows",
+]

@@ -1,0 +1,134 @@
+"""ECLOG surrogate — statistically matched e-commerce session dataset.
+
+The paper's ECLOG [18] is derived from HTTP server logs of an online store
+(Dec 2019 – May 2020): requests are grouped into sessions; a session's
+interval spans its first to last request and its description holds the
+requested URIs.  The original download is unavailable offline, so this module
+generates a surrogate matched to the published characteristics (paper
+Table 3 / Figure 7):
+
+==============================  ===========  =======================
+characteristic                  paper        surrogate target
+==============================  ===========  =======================
+cardinality                     300,311      ``n_sessions`` (scaled)
+time domain                     15,807,599 s same
+min/avg interval duration       1 s / 8.4 %  1 s / ≈ 8-9 %
+dictionary size                 178,478      ≈ 0.6 × cardinality
+avg description size            72           ``desc_mean`` (scaled)
+element frequency               zipf-like,   zipf with a hot head
+                                max ≈ 47 %   (landing pages)
+==============================  ===========  =======================
+
+Durations mix short bursty visits with a heavy tail of long sessions
+(log-normal), reproducing Figure 7's long-tailed duration distribution.
+Session start times are uniform with a weekly periodicity bump, and URIs are
+drawn zipfian — a handful of landing/product pages dominate, the catalogue
+tail is huge, matching the original's min frequency of 1.
+
+The description size defaults to 18 rather than 72: pure-Python postings
+costs scale linearly in |d| and the factor-4 reduction keeps build times
+sane without changing which method wins where (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError
+from repro.core.model import TemporalObject
+
+#: The original dataset's time-domain length in seconds (paper Table 3).
+ECLOG_DOMAIN_SECONDS = 15_807_599
+
+#: Week length in seconds, for the arrival-periodicity bump.
+_WEEK = 7 * 24 * 3600
+
+
+@dataclass(frozen=True, slots=True)
+class ECLogParams:
+    """Surrogate knobs (defaults mirror a 1/15-scale ECLOG)."""
+
+    n_sessions: int = 20_000
+    domain_seconds: int = ECLOG_DOMAIN_SECONDS
+    desc_mean: int = 18
+    dict_ratio: float = 0.6  # dictionary size as a fraction of cardinality
+    uri_zipf: float = 1.05
+    duration_target_pct: float = 8.4
+    seed: int = 20191201
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 1:
+            raise ConfigurationError(f"n_sessions must be >= 1, got {self.n_sessions}")
+        if self.desc_mean < 1:
+            raise ConfigurationError(f"desc_mean must be >= 1, got {self.desc_mean}")
+        if not 0 < self.dict_ratio <= 2:
+            raise ConfigurationError(f"dict_ratio must be in (0, 2], got {self.dict_ratio}")
+
+
+def _session_durations(params: ECLogParams, rng: np.random.Generator) -> np.ndarray:
+    """Log-normal durations calibrated to the target mean percentage.
+
+    A 6 % mixture of one-second-to-one-minute bounce visits reproduces the
+    original's minimum duration of 1 s; the 1.55 factor compensates for the
+    mass the domain-length cap removes from the log-normal's upper tail so
+    the realised mean lands on the target.
+    """
+    target_mean = 1.55 * params.duration_target_pct / 100.0 * params.domain_seconds
+    sigma = 2.2  # long tail: many short visits, some week-long sessions
+    mu = np.log(target_mean) - sigma * sigma / 2.0
+    durations = rng.lognormal(mu, sigma, size=params.n_sessions)
+    bounce = rng.random(params.n_sessions) < 0.06
+    durations[bounce] = rng.integers(1, 61, size=int(bounce.sum()))
+    return np.clip(durations, 1, params.domain_seconds - 1).astype(np.int64)
+
+
+def _session_starts(
+    params: ECLogParams, durations: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform arrivals with a mild weekly periodicity."""
+    base = rng.uniform(0, params.domain_seconds, size=params.n_sessions)
+    weekly = 0.15 * _WEEK * np.sin(2 * np.pi * base / _WEEK)
+    starts = np.rint(base + weekly).astype(np.int64)
+    return np.clip(starts, 0, np.maximum(params.domain_seconds - 1 - durations, 0))
+
+
+def _uri_dictionary_weights(n_uris: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, n_uris + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_eclog(params: ECLogParams | None = None, **overrides) -> Collection:
+    """Generate the ECLOG surrogate collection."""
+    from dataclasses import replace
+
+    base = params or ECLogParams()
+    if overrides:
+        base = replace(base, **overrides)
+    rng = np.random.default_rng(base.seed)
+    durations = _session_durations(base, rng)
+    starts = _session_starts(base, durations, rng)
+
+    n_uris = max(2, int(base.n_sessions * base.dict_ratio))
+    weights = _uri_dictionary_weights(n_uris, base.uri_zipf)
+    # Session length (requested URIs): geometric around the mean, >= 1.
+    desc_sizes = np.maximum(rng.geometric(1.0 / base.desc_mean, size=base.n_sessions), 1)
+
+    objects: List[TemporalObject] = []
+    for i in range(base.n_sessions):
+        k = int(min(desc_sizes[i], n_uris))
+        draws = rng.choice(n_uris, size=max(k, 1), p=weights)
+        uris = frozenset(f"/uri/{u}" for u in draws.tolist())
+        objects.append(
+            TemporalObject(
+                id=i,
+                st=int(starts[i]),
+                end=int(starts[i] + durations[i]),
+                d=uris,
+            )
+        )
+    return Collection(objects)

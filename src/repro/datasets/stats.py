@@ -1,0 +1,71 @@
+"""Dataset statistics: Table 3 rows and Figure 7 distribution series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.collection import Collection
+
+
+def table3_rows(collection: Collection) -> List[Tuple[str, object]]:
+    """(label, value) rows in the paper's Table 3 order."""
+    return collection.stats().rows()
+
+
+def duration_distribution(
+    collection: Collection, n_bins: int = 20
+) -> List[Tuple[float, int]]:
+    """Figure 7 left panel: histogram of interval durations.
+
+    Returns (bin upper edge, count) pairs.
+    """
+    return collection.duration_histogram(n_bins)
+
+
+def duration_percentiles(collection: Collection) -> Dict[str, float]:
+    """Selected duration percentiles (compact Figure 7 summary)."""
+    durations = sorted(o.duration for o in collection)
+    n = len(durations)
+
+    def pct(p: float) -> float:
+        return float(durations[min(n - 1, int(p / 100.0 * n))])
+
+    return {
+        "p10": pct(10),
+        "p25": pct(25),
+        "p50": pct(50),
+        "p75": pct(75),
+        "p90": pct(90),
+        "p99": pct(99),
+        "max": float(durations[-1]),
+    }
+
+
+def element_frequency_distribution(
+    collection: Collection,
+) -> List[Tuple[str, int]]:
+    """Figure 7 right panel: elements per document-frequency decade.
+
+    Returns (decade label, #elements) pairs, e.g. ``("[10,100)", 1234)``.
+    """
+    dictionary = collection.dictionary
+    max_freq = dictionary.max_frequency()
+    edges = [1]
+    while edges[-1] <= max_freq:
+        edges.append(edges[-1] * 10)
+    counts = dictionary.frequency_histogram(edges)
+    labels = [f"[{edges[i]},{edges[i + 1]})" for i in range(len(edges) - 1)]
+    return list(zip(labels, counts))
+
+
+def frequency_rank_series(
+    collection: Collection, n_points: int = 20
+) -> List[Tuple[int, int]]:
+    """Element frequency by popularity rank (zipf check; Figure 7)."""
+    frequencies = sorted(
+        (freq for _e, freq in collection.dictionary.items()), reverse=True
+    )
+    if not frequencies:
+        return []
+    step = max(1, len(frequencies) // n_points)
+    return [(rank + 1, frequencies[rank]) for rank in range(0, len(frequencies), step)]

@@ -1,0 +1,145 @@
+"""Synthetic dataset generator (paper Table 4, extending the approach of [19]).
+
+Intervals follow the HINT paper's construction, extended with object
+descriptions:
+
+* **duration** — zipfian with exponent ``alpha``: small ``alpha`` makes most
+  intervals relatively long, large ``alpha`` collapses almost all durations
+  to 1;
+* **position** — the interval midpoint is normal around the middle of the
+  domain with deviation ``sigma``: larger ``sigma`` spreads intervals out;
+* **description** — ``desc_size`` elements drawn (without replacement) from
+  a ``dict_size``-element dictionary whose element popularity is zipfian
+  with exponent ``zeta``.
+
+Default parameter values mirror Table 4's defaults; the benchmark harness
+scales cardinality/dictionary down proportionally for pure-Python run times
+(`scale` in :mod:`repro.bench.config`), which preserves every distributional
+shape the experiments vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError
+from repro.core.model import TemporalObject
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticParams:
+    """Knobs of the Table 4 generator (paper defaults in the field defaults)."""
+
+    cardinality: int = 1_000_000
+    domain_size: int = 128_000_000
+    alpha: float = 1.2  # interval-duration zipf exponent
+    sigma: float = 1_000_000.0  # interval-position normal deviation
+    dict_size: int = 100_000
+    desc_size: int = 10  # |d|
+    zeta: float = 1.25  # element-frequency zipf exponent
+    seed: int = 7
+
+    def scaled(self, factor: float) -> "SyntheticParams":
+        """Proportionally shrink size-like knobs (shape-preserving).
+
+        Cardinality, dictionary size and sigma scale by ``factor``; the
+        domain and distribution exponents stay fixed so extents and skew
+        keep their meaning.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return replace(
+            self,
+            cardinality=max(1, int(self.cardinality * factor)),
+            dict_size=max(2, int(self.dict_size * factor)),
+            sigma=max(1.0, self.sigma),
+        )
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise ConfigurationError(f"cardinality must be >= 1, got {self.cardinality}")
+        if self.domain_size < 2:
+            raise ConfigurationError(f"domain_size must be >= 2, got {self.domain_size}")
+        if self.alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be > 1.0 (zipf), got {self.alpha}")
+        if self.dict_size < 1:
+            raise ConfigurationError(f"dict_size must be >= 1, got {self.dict_size}")
+        if self.desc_size < 1:
+            raise ConfigurationError(f"desc_size must be >= 1, got {self.desc_size}")
+        if self.zeta < 0:
+            raise ConfigurationError(f"zeta must be >= 0, got {self.zeta}")
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalised zipf probabilities ``p_i ∝ 1 / i^exponent`` over n ranks."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def generate_durations(params: SyntheticParams, rng: np.random.Generator) -> np.ndarray:
+    """Zipfian interval durations, capped at the domain size."""
+    durations = rng.zipf(params.alpha, size=params.cardinality).astype(np.int64)
+    return np.minimum(durations, params.domain_size - 1)
+
+
+def generate_positions(
+    params: SyntheticParams, durations: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Interval start points from normally-distributed midpoints."""
+    mids = rng.normal(params.domain_size / 2.0, params.sigma, size=params.cardinality)
+    starts = np.rint(mids - durations / 2.0).astype(np.int64)
+    return np.clip(starts, 0, params.domain_size - 1 - durations)
+
+
+def generate_descriptions(
+    params: SyntheticParams, rng: np.random.Generator
+) -> List[frozenset]:
+    """Zipf-popular element sets of size ``desc_size`` (distinct elements)."""
+    weights = _zipf_weights(params.dict_size, params.zeta)
+    k = min(params.desc_size, params.dict_size)
+    # Oversample with replacement, then dedupe per object and top up the few
+    # objects that lost elements to collisions — far cheaper than per-object
+    # no-replacement draws and statistically indistinguishable at zipf tails.
+    oversample = rng.choice(
+        params.dict_size, size=(params.cardinality, max(2 * k, k + 4)), p=weights
+    )
+    descriptions: List[frozenset] = []
+    for row in oversample:
+        unique = list(dict.fromkeys(row.tolist()))[:k]
+        if len(unique) < k:
+            pool = set(unique)
+            while len(pool) < k:
+                pool.add(int(rng.choice(params.dict_size, p=weights)))
+            unique = list(pool)
+        descriptions.append(frozenset(f"e{element}" for element in unique))
+    return descriptions
+
+
+def generate_synthetic(params: Optional[SyntheticParams] = None, **overrides) -> Collection:
+    """Generate a synthetic collection per Table 4.
+
+    Keyword overrides are applied on top of ``params`` (or the defaults), so
+    sweeps write ``generate_synthetic(alpha=1.8, cardinality=10_000)``.
+    """
+    base = params or SyntheticParams()
+    if overrides:
+        base = replace(base, **overrides)
+    rng = np.random.default_rng(base.seed)
+    durations = generate_durations(base, rng)
+    starts = generate_positions(base, durations, rng)
+    descriptions = generate_descriptions(base, rng)
+    objects = [
+        TemporalObject(
+            id=i,
+            st=int(starts[i]),
+            end=int(starts[i] + durations[i]),
+            d=descriptions[i],
+        )
+        for i in range(base.cardinality)
+    ]
+    return Collection(objects)

@@ -1,0 +1,44 @@
+"""Extensions beyond the paper's core scope (its §7 future-work directions):
+relevance ranking, postings compression, temporal IR joins."""
+
+from repro.extensions.compression import (
+    CompressedPostingsList,
+    compression_ratio,
+    decode_postings,
+    encode_postings,
+    varint_decode,
+    varint_encode,
+)
+from repro.extensions.joins import (
+    common_elements,
+    index_join,
+    join_selectivity,
+    nested_loop_join,
+)
+from repro.extensions.ranking import (
+    ScoredObject,
+    TopKSearcher,
+    idf,
+    rank_candidates,
+    temporal_score,
+    textual_score,
+)
+
+__all__ = [
+    "CompressedPostingsList",
+    "ScoredObject",
+    "TopKSearcher",
+    "common_elements",
+    "compression_ratio",
+    "decode_postings",
+    "encode_postings",
+    "idf",
+    "index_join",
+    "join_selectivity",
+    "nested_loop_join",
+    "rank_candidates",
+    "temporal_score",
+    "textual_score",
+    "varint_decode",
+    "varint_encode",
+]

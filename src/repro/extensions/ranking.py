@@ -1,0 +1,145 @@
+"""Top-k relevance ranking over time-travel candidates (paper §7 future work).
+
+The paper studies *containment* queries and defers relevance-based temporal
+IR; this extension prototypes it on top of any
+:class:`~repro.indexes.base.TemporalIRIndex`.  Candidates are retrieved with
+a relaxed containment query (any-match rather than all-match is handled by
+issuing per-element queries) and scored by a transparent, documented formula:
+
+    score(o, q) = temporal(o, q) × textual(o, q)
+
+* ``temporal`` — the fraction of the query interval the object's lifespan
+  covers (Jaccard-style overlap on time, in (0, 1]);
+* ``textual``  — an IDF-weighted coverage of the query elements: rare
+  matched elements count more, mirroring classic TF-IDF intuition under the
+  paper's set semantics (term frequency is constant 1).
+
+This is intentionally a simple, reproducible scoring scheme — a harness for
+the future-work direction, not a claim about ranking quality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError
+from repro.core.model import Element, TemporalObject, TimeTravelQuery
+from repro.indexes.base import TemporalIRIndex
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredObject:
+    """One ranked result."""
+
+    object_id: int
+    score: float
+    temporal_score: float
+    textual_score: float
+
+
+def temporal_score(obj: TemporalObject, q: TimeTravelQuery) -> float:
+    """Overlap length relative to the query extent, in (0, 1].
+
+    Stabbing queries (extent 0) score 1.0 for any overlapping object.
+    """
+    lo = max(obj.st, q.st)
+    hi = min(obj.end, q.end)
+    if hi < lo:
+        return 0.0
+    extent = q.end - q.st
+    if extent <= 0:
+        return 1.0
+    return (hi - lo) / extent if hi > lo else 1.0 / (extent + 1)
+
+
+def idf(collection_size: int, document_frequency: int) -> float:
+    """Smoothed inverse document frequency."""
+    return math.log(1.0 + collection_size / (1.0 + document_frequency))
+
+
+def textual_score(
+    obj: TemporalObject,
+    q: TimeTravelQuery,
+    idf_by_element: Dict[Element, float],
+) -> float:
+    """IDF-weighted coverage of the query elements by the description."""
+    total = sum(idf_by_element.values())
+    if total <= 0:
+        return 1.0  # pure-temporal query: text is vacuous
+    matched = sum(
+        weight for element, weight in idf_by_element.items() if element in obj.d
+    )
+    return matched / total
+
+
+class TopKSearcher:
+    """Relevance-ranked time-travel search over an existing index.
+
+    ``mode='all'`` ranks the containment-query answer (every result holds
+    all elements; ranking orders by temporal overlap × IDF mass).
+    ``mode='any'`` unions per-element containment answers first, so partial
+    matches surface — the behaviour users expect from a search box.
+    """
+
+    def __init__(
+        self, index: TemporalIRIndex, collection: Collection, mode: str = "any"
+    ) -> None:
+        if mode not in ("any", "all"):
+            raise ConfigurationError(f"mode must be 'any' or 'all', got {mode!r}")
+        self._index = index
+        self._collection = collection
+        self._mode = mode
+
+    def _candidates(self, q: TimeTravelQuery) -> List[int]:
+        if self._mode == "all" or not q.d or len(q.d) == 1:
+            return self._index.query(q)
+        seen = set()
+        for element in q.d:
+            sub = TimeTravelQuery(q.st, q.end, frozenset({element}))
+            seen.update(self._index.query(sub))
+        return sorted(seen)
+
+    def search(self, q: TimeTravelQuery, k: int = 10) -> List[ScoredObject]:
+        """The ``k`` highest-scoring objects (deterministic tie-break on id)."""
+        if k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {k}")
+        n = len(self._collection)
+        idf_by_element = {
+            element: idf(n, self._collection.dictionary.frequency(element))
+            for element in q.d
+        }
+        scored: List[ScoredObject] = []
+        for object_id in self._candidates(q):
+            obj = self._collection[object_id]
+            t_score = temporal_score(obj, q)
+            x_score = textual_score(obj, q, idf_by_element)
+            score = t_score * x_score
+            if score > 0:
+                scored.append(ScoredObject(object_id, score, t_score, x_score))
+        scored.sort(key=lambda s: (-s.score, s.object_id))
+        return scored[:k]
+
+
+def rank_candidates(
+    collection: Collection,
+    candidate_ids: Sequence[int],
+    q: TimeTravelQuery,
+    k: int = 10,
+) -> List[ScoredObject]:
+    """Rank an externally-produced candidate list (composable helper)."""
+    n = len(collection)
+    idf_by_element = {
+        element: idf(n, collection.dictionary.frequency(element)) for element in q.d
+    }
+    scored = []
+    for object_id in candidate_ids:
+        obj = collection[object_id]
+        t_score = temporal_score(obj, q)
+        x_score = textual_score(obj, q, idf_by_element)
+        if t_score * x_score > 0:
+            scored.append(ScoredObject(object_id, t_score * x_score, t_score, x_score))
+    scored.sort(key=lambda s: (-s.score, s.object_id))
+    return scored[:k]

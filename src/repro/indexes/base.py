@@ -1,0 +1,163 @@
+"""The common interface of all composite temporal-IR indexes.
+
+Every index answers the time-travel IR query of Definition 2.1 — objects
+whose lifespan overlaps the query interval *and* whose description contains
+every query element — and supports the update workloads of Section 5.5
+(batch insertions of new objects, tombstone deletions).
+
+The base class centralises the bookkeeping all methods share:
+
+* the element :class:`~repro.core.dictionary.Dictionary` with document
+  frequencies, used to order query elements ascending (Algorithm 1 line 2)
+  and kept in sync across updates;
+* an object catalog (id → object) used for pure-temporal query fallbacks on
+  IR-first structures, for delete-by-id convenience, and for diagnostics.
+  The catalog holds *references* to the collection's objects and is
+  deliberately excluded from ``size_bytes()`` — it is the corpus, not the
+  index.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Dict, List, Optional, Union
+
+from repro.core.collection import Collection
+from repro.core.dictionary import Dictionary
+from repro.core.errors import DuplicateObjectError, UnknownObjectError
+from repro.core.model import Element, TemporalObject, TimeTravelQuery
+
+
+class TemporalIRIndex(abc.ABC):
+    """Abstract base class for time-travel IR indexes."""
+
+    #: Human-readable method name, matching the paper's tables.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self) -> None:
+        self._dictionary = Dictionary()
+        self._catalog: Dict[int, TemporalObject] = {}
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def build(cls, collection: Collection, **params: object) -> "TemporalIRIndex":
+        """Build an index over every object of ``collection``.
+
+        The default path creates an empty index configured for the
+        collection's domain (via :meth:`_configure_for`) and inserts object
+        by object; subclasses override either hook when a bulk path differs.
+        """
+        index = cls(**params)  # type: ignore[call-arg]
+        index._configure_for(collection)
+        for obj in collection:
+            index.insert(obj)
+        return index
+
+    def _configure_for(self, collection: Collection) -> None:
+        """Hook: derive domain-dependent parameters before bulk insertion."""
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, obj: TemporalObject) -> None:
+        """Add one object (paper Section 5.5 insertions)."""
+        if obj.id in self._catalog:
+            raise DuplicateObjectError(f"object id {obj.id} already indexed")
+        self._insert_impl(obj)
+        self._catalog[obj.id] = obj
+        self._dictionary.add_description(obj.d)
+
+    def delete(self, obj: Union[TemporalObject, int]) -> None:
+        """Tombstone one object, given the object or its id."""
+        if isinstance(obj, int):
+            found = self._catalog.get(obj)
+            if found is None:
+                raise UnknownObjectError(obj)
+            obj = found
+        elif obj.id not in self._catalog:
+            raise UnknownObjectError(obj.id)
+        self._delete_impl(obj)
+        del self._catalog[obj.id]
+        self._dictionary.remove_description(obj.d)
+
+    @abc.abstractmethod
+    def _insert_impl(self, obj: TemporalObject) -> None:
+        """Index-specific insertion."""
+
+    @abc.abstractmethod
+    def _delete_impl(self, obj: TemporalObject) -> None:
+        """Index-specific tombstone deletion."""
+
+    # ------------------------------------------------------------------ query
+    def query(self, q: TimeTravelQuery) -> List[int]:
+        """Answer a time-travel IR query; returns sorted live object ids."""
+        if q.is_pure_temporal:
+            return self._pure_temporal_query(q)
+        return self._query_impl(q)
+
+    @abc.abstractmethod
+    def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        """Index-specific evaluation for queries with ``q.d`` non-empty."""
+
+    def _pure_temporal_query(self, q: TimeTravelQuery) -> List[int]:
+        """Fallback for ``q.d = ∅``: a catalog scan.
+
+        IR-first structures have no temporal index over *all* objects, so the
+        honest answer is a scan; time-first structures override this with
+        their HINT traversal.
+        """
+        return sorted(
+            obj.id
+            for obj in self._catalog.values()
+            if obj.st <= q.end and q.st <= obj.end
+        )
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def dictionary(self) -> Dictionary:
+        """The index's element dictionary (kept in sync across updates)."""
+        return self._dictionary
+
+    def __len__(self) -> int:
+        """Number of live indexed objects."""
+        return len(self._catalog)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._catalog
+
+    def objects(self) -> List[TemporalObject]:
+        """The live indexed objects, ordered by id (catalog view)."""
+        return [self._catalog[object_id] for object_id in sorted(self._catalog)]
+
+    def get(self, object_id: int) -> Optional[TemporalObject]:
+        """A live object by id, or ``None``."""
+        return self._catalog.get(object_id)
+
+    def order_query_elements(self, q: TimeTravelQuery) -> List[Element]:
+        """Query elements by ascending global frequency (Alg. 1 line 2)."""
+        return self._dictionary.order_by_frequency(q.d)
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Modelled index size (catalog excluded — it is the corpus)."""
+
+    def stats(self) -> Dict[str, object]:
+        """Diagnostics: name, cardinality, size; subclasses extend."""
+        return {
+            "name": self.name,
+            "objects": len(self),
+            "size_bytes": self.size_bytes(),
+            "dictionary_size": len(self._dictionary),
+        }
+
+    def validate_against(
+        self, collection: Collection, queries: List[TimeTravelQuery]
+    ) -> Optional[str]:
+        """Check this index against the linear-scan oracle; None when clean."""
+        for q in queries:
+            expected = collection.evaluate(q)
+            got = self.query(q)
+            if got != expected:
+                return (
+                    f"{self.name}: mismatch on {q}: got {len(got)} ids, "
+                    f"expected {len(expected)}"
+                )
+        return None

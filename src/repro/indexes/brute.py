@@ -1,0 +1,37 @@
+"""Brute-force time-travel IR evaluation — the oracle every index must match."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.model import TemporalObject, TimeTravelQuery
+from repro.indexes.base import TemporalIRIndex
+from repro.utils.memory import CONTAINER_BYTES
+
+
+class BruteForce(TemporalIRIndex):
+    """Linear scan over the catalog; correct by construction, never fast.
+
+    Used as the ground truth in tests and as the no-index baseline in
+    ablation benchmarks.  Its modelled size is zero: it maintains no
+    structure beyond the shared catalog.
+    """
+
+    name = "brute-force"
+
+    def _insert_impl(self, obj: TemporalObject) -> None:  # catalog suffices
+        pass
+
+    def _delete_impl(self, obj: TemporalObject) -> None:  # catalog suffices
+        pass
+
+    def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        q_st, q_end, q_d = q.st, q.end, q.d
+        return sorted(
+            obj.id
+            for obj in self._catalog.values()
+            if obj.st <= q_end and q_st <= obj.end and obj.d >= q_d
+        )
+
+    def size_bytes(self) -> int:
+        return CONTAINER_BYTES

@@ -1,0 +1,150 @@
+"""Containment-search baselines as full temporal-IR indexes (paper §6.1).
+
+The paper's related work surveys three families for containment queries:
+inverted files (which it builds on), signature files [28, 29] and tries
+[59, 61].  These wrappers make the latter two first-class
+:class:`~repro.indexes.base.TemporalIRIndex` methods so the containment
+ablation (`benchmarks/test_ablation_containment.py`) can reproduce the
+inverted-file superiority the paper imports from [35, 66].
+
+Both are *IR-first with no temporal indexing at all*: the temporal overlap
+predicate is checked per candidate.  That is the point — they are the
+related-work strawmen, not contenders.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import ConfigurationError, UnknownObjectError
+from repro.core.model import TemporalObject, TimeTravelQuery
+from repro.indexes.base import TemporalIRIndex
+from repro.ir.settrie import SetTrie
+from repro.ir.signatures import make_signature
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
+
+
+class SignatureFileIndex(TemporalIRIndex):
+    """Sequential signature file with temporal entries.
+
+    Parameters
+    ----------
+    signature_bits:
+        Width of each signature (default 64 — one machine word, as classic
+        signature files use).  Wider signatures lower the false-positive
+        rate at linear space cost.
+    bits_per_element:
+        Bits set per element (default 3; the classic tuning balances the
+        expected signature weight around one half).
+    """
+
+    name = "signature-file"
+
+    def __init__(self, signature_bits: int = 64, bits_per_element: int = 3) -> None:
+        super().__init__()
+        if bits_per_element < 1:
+            raise ConfigurationError(
+                f"bits_per_element must be >= 1, got {bits_per_element}"
+            )
+        self._bits = signature_bits
+        self._k = bits_per_element
+        self._ids: List[int] = []
+        self._sts: List = []
+        self._ends: List = []
+        self._sigs: List[int] = []
+        self._alive: List[bool] = []
+        self._false_positives = 0  # diagnostics: verification rejections
+
+    # ---------------------------------------------------------------- updates
+    def _insert_impl(self, obj: TemporalObject) -> None:
+        self._ids.append(obj.id)
+        self._sts.append(obj.st)
+        self._ends.append(obj.end)
+        self._sigs.append(make_signature(obj.d, self._bits, self._k))
+        self._alive.append(True)
+
+    def _delete_impl(self, obj: TemporalObject) -> None:
+        for i in range(len(self._ids)):
+            if self._ids[i] == obj.id and self._alive[i]:
+                self._alive[i] = False
+                return
+        raise UnknownObjectError(obj.id)
+
+    # ------------------------------------------------------------------ query
+    def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        q_sig = make_signature(q.d, self._bits, self._k)
+        q_st, q_end = q.st, q.end
+        catalog = self._catalog
+        out: List[int] = []
+        ids, sts, ends, sigs, alive = (
+            self._ids,
+            self._sts,
+            self._ends,
+            self._sigs,
+            self._alive,
+        )
+        for i in range(len(ids)):
+            if not alive[i]:
+                continue
+            if sigs[i] & q_sig != q_sig:  # signature filter
+                continue
+            if not (sts[i] <= q_end and q_st <= ends[i]):
+                continue
+            if catalog[ids[i]].d >= q.d:  # verify (false-positive check)
+                out.append(ids[i])
+            else:
+                self._false_positives += 1
+        out.sort()
+        return out
+
+    # -------------------------------------------------------------- inspection
+    def false_positive_count(self) -> int:
+        """Verification rejections accumulated across queries (diagnostics)."""
+        return self._false_positives
+
+    def size_bytes(self) -> int:
+        # One full temporal entry plus the signature word per slot.
+        return CONTAINER_BYTES + len(self._ids) * (ENTRY_FULL_BYTES + self._bits // 8)
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["signature_bits"] = self._bits
+        out["bits_per_element"] = self._k
+        return out
+
+
+class SetTrieIndex(TemporalIRIndex):
+    """Time-travel IR via set-trie superset search + temporal post-filter."""
+
+    name = "set-trie"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._trie = SetTrie()
+
+    def _insert_impl(self, obj: TemporalObject) -> None:
+        self._trie.insert(obj.d, (obj.id, obj.st, obj.end))
+
+    def _delete_impl(self, obj: TemporalObject) -> None:
+        self._trie.delete(obj.d, obj.id)
+
+    def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        q_st, q_end = q.st, q.end
+        return sorted(
+            object_id
+            for object_id, st, end in self._trie.supersets(q.d)
+            if st <= q_end and q_st <= end
+        )
+
+    @property
+    def trie(self) -> SetTrie:
+        """The underlying structure (tests, diagnostics)."""
+        return self._trie
+
+    def size_bytes(self) -> int:
+        return self._trie.size_bytes()
+
+    def stats(self) -> dict:
+        out = super().stats()
+        out["trie_nodes"] = self._trie.n_nodes()
+        return out

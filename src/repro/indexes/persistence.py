@@ -1,0 +1,109 @@
+"""Saving and loading built indexes.
+
+Building an index over a large collection is the expensive step (Table 5);
+archives that restart frequently want to pay it once.  This module
+persists any :class:`~repro.indexes.base.TemporalIRIndex` to disk and
+restores it byte-for-byte.
+
+Format: a small JSON header (magic, format version, library version, index
+class) followed by a pickle of the index object.  The header lets
+:func:`load_index` fail with a clear error on foreign files or
+version-incompatible snapshots *before* unpickling anything.
+
+Security note (the standard pickle caveat): only load snapshots you wrote.
+The header check guards against accidents, not adversaries.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+from pathlib import Path
+from typing import Union
+
+import repro
+from repro.core.errors import ReproError
+from repro.indexes.base import TemporalIRIndex
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"RPROIDX1"
+_FORMAT_VERSION = 1
+
+
+def save_index(index: TemporalIRIndex, path: PathLike) -> None:
+    """Snapshot a built index (structure, catalog and dictionary included)."""
+    if not isinstance(index, TemporalIRIndex):
+        raise ReproError(f"save_index expects a TemporalIRIndex, got {type(index).__name__}")
+    header = {
+        "format": _FORMAT_VERSION,
+        "library": repro.__version__,
+        "index_class": type(index).__name__,
+        "index_name": index.name,
+        "objects": len(index),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(len(header_bytes).to_bytes(4, "little"))
+        handle.write(header_bytes)
+        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def read_header(path: PathLike) -> dict:
+    """The snapshot's header (cheap: no unpickling)."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ReproError(f"{path}: not a repro index snapshot (bad magic)")
+        length = int.from_bytes(handle.read(4), "little")
+        try:
+            return json.loads(handle.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ReproError(f"{path}: corrupt snapshot header: {exc}") from exc
+
+
+def load_index(path: PathLike) -> TemporalIRIndex:
+    """Restore a snapshot written by :func:`save_index`."""
+    header = read_header(path)
+    if header.get("format") != _FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: snapshot format {header.get('format')} unsupported "
+            f"(this library writes {_FORMAT_VERSION})"
+        )
+    with open(path, "rb") as handle:
+        handle.seek(len(_MAGIC))
+        length = int.from_bytes(handle.read(4), "little")
+        handle.seek(len(_MAGIC) + 4 + length)
+        index = pickle.load(handle)
+    if not isinstance(index, TemporalIRIndex):
+        raise ReproError(f"{path}: snapshot did not contain an index")
+    return index
+
+
+def dumps_index(index: TemporalIRIndex) -> bytes:
+    """In-memory snapshot (for caches and tests)."""
+    buffer = io.BytesIO()
+    header = {
+        "format": _FORMAT_VERSION,
+        "library": repro.__version__,
+        "index_class": type(index).__name__,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    buffer.write(_MAGIC)
+    buffer.write(len(header_bytes).to_bytes(4, "little"))
+    buffer.write(header_bytes)
+    pickle.dump(index, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    return buffer.getvalue()
+
+
+def loads_index(blob: bytes) -> TemporalIRIndex:
+    """Inverse of :func:`dumps_index`."""
+    if not blob.startswith(_MAGIC):
+        raise ReproError("not a repro index snapshot (bad magic)")
+    length = int.from_bytes(blob[len(_MAGIC) : len(_MAGIC) + 4], "little")
+    index = pickle.loads(blob[len(_MAGIC) + 4 + length :])
+    if not isinstance(index, TemporalIRIndex):
+        raise ReproError("snapshot did not contain an index")
+    return index

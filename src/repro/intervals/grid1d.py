@@ -1,0 +1,184 @@
+"""A 1D grid over the time domain — the substrate of Slicing (paper §2.2, §6.2).
+
+The domain is divided into ``k`` equal, pairwise-disjoint partitions; every
+interval is replicated into each partition it overlaps.  Range queries visit
+the partitions overlapping the query interval and discard the duplicates the
+replication creates with the **reference value** method [25]: an (object,
+query) pair is reported only by the partition containing
+``max(o.t_st, q.t_st)``.
+
+This structure is what tIF+Slicing applies to each postings list, so the
+implementation here is deliberately reusable: :class:`Grid1D` carries raw
+``(id, st, end)`` records and :class:`GridLayout` exposes the shared
+boundary arithmetic.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.errors import ConfigurationError, UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalIndex
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class GridLayout:
+    """Uniform division of ``[lo, hi]`` into ``n_slices`` slices.
+
+    Slice ``i`` covers ``[boundary(i), boundary(i+1))`` with the final slice
+    closed on the right; timestamps outside the domain clamp to the edge
+    slices (monotone, so replication and reference checks stay consistent).
+    """
+
+    lo: Timestamp
+    hi: Timestamp
+    n_slices: int
+
+    def __post_init__(self) -> None:
+        if self.n_slices < 1:
+            raise ConfigurationError(f"n_slices must be >= 1, got {self.n_slices}")
+        if self.lo > self.hi:
+            raise ConfigurationError(f"grid lo {self.lo!r} exceeds hi {self.hi!r}")
+
+    @property
+    def width(self) -> float:
+        """Slice width (0-length domains behave as width 1)."""
+        span = self.hi - self.lo
+        return (span / self.n_slices) if span else 1.0
+
+    def slice_of(self, t: Timestamp) -> int:
+        """Slice index of a timestamp (clamped)."""
+        if t <= self.lo:
+            return 0
+        if t >= self.hi:
+            return self.n_slices - 1
+        index = int((t - self.lo) / self.width)
+        return min(index, self.n_slices - 1)
+
+    def slice_range(self, st: Timestamp, end: Timestamp) -> Tuple[int, int]:
+        """Slices overlapped by ``[st, end]`` (inclusive index range)."""
+        return self.slice_of(st), self.slice_of(end)
+
+    def slice_bounds(self, index: int) -> Tuple[float, float]:
+        """``[lo, hi)`` bounds of a slice; the last slice's hi is +inf-like."""
+        lo = self.lo + index * self.width
+        if index == self.n_slices - 1:
+            return lo, float("inf")
+        return lo, self.lo + (index + 1) * self.width
+
+    def is_reference_slice(self, index: int, o_st: Timestamp, q_st: Timestamp) -> bool:
+        """Reference-value test: does slice ``index`` own ``max(o_st, q_st)``?"""
+        ref = o_st if o_st > q_st else q_st
+        return self.slice_of(ref) == index
+
+
+class Grid1D(IntervalIndex):
+    """Replicating 1D-grid interval index with reference-value dedup."""
+
+    def __init__(self, lo: Timestamp, hi: Timestamp, n_slices: int = 50) -> None:
+        self._layout = GridLayout(lo, hi, n_slices)
+        # Column storage per slice.
+        self._ids: List[List[int]] = [[] for _ in range(n_slices)]
+        self._sts: List[List[Timestamp]] = [[] for _ in range(n_slices)]
+        self._ends: List[List[Timestamp]] = [[] for _ in range(n_slices)]
+        self._alive: List[List[bool]] = [[] for _ in range(n_slices)]
+        self._n_live = 0
+
+    @classmethod
+    def build(cls, records, n_slices: int = 50, **params) -> "Grid1D":
+        """Build over records, deriving the domain from the data."""
+        materialised = list(records)
+        if not materialised:
+            return cls(0, 1, n_slices)
+        lo = min(r[1] for r in materialised)
+        hi = max(r[2] for r in materialised)
+        index = cls(lo, hi, n_slices)
+        for object_id, st, end in materialised:
+            index.insert(object_id, st, end)
+        return index
+
+    @property
+    def layout(self) -> GridLayout:
+        return self._layout
+
+    def __len__(self) -> int:
+        return self._n_live
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        first, last = self._layout.slice_range(st, end)
+        for index in range(first, last + 1):
+            self._ids[index].append(object_id)
+            self._sts[index].append(st)
+            self._ends[index].append(end)
+            self._alive[index].append(True)
+        self._n_live += 1
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        first, last = self._layout.slice_range(st, end)
+        found = False
+        for index in range(first, last + 1):
+            ids, alive = self._ids[index], self._alive[index]
+            for i in range(len(ids)):
+                if ids[i] == object_id and alive[i]:
+                    alive[i] = False
+                    found = True
+                    break
+        if not found:
+            raise UnknownObjectError(object_id)
+        self._n_live -= 1
+
+    # ------------------------------------------------------------------ query
+    def range_query(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        out = self.range_query_unsorted(q_st, q_end)
+        out.sort()
+        return out
+
+    def range_query_unsorted(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        """Scan overlapping slices; report only at the reference slice."""
+        layout = self._layout
+        first, last = layout.slice_range(q_st, q_end)
+        out: List[int] = []
+        for index in range(first, last + 1):
+            ids = self._ids[index]
+            sts = self._sts[index]
+            ends = self._ends[index]
+            alive = self._alive[index]
+            slice_lo, slice_hi = layout.slice_bounds(index)
+            for i in range(len(ids)):
+                if not alive[i]:
+                    continue
+                st, end = sts[i], ends[i]
+                if q_st <= end and st <= q_end:
+                    ref = st if st > q_st else q_st
+                    if slice_lo <= ref < slice_hi or (index == first and ref < slice_lo):
+                        out.append(ids[i])
+        return out
+
+    # ------------------------------------------------------------------ sizes
+    def n_replicated_entries(self) -> int:
+        """Stored entries including replication (live only)."""
+        return sum(
+            sum(1 for flag in flags if flag) for flags in self._alive
+        )
+
+    def size_bytes(self) -> int:
+        total = CONTAINER_BYTES
+        for index in range(self._layout.n_slices):
+            if self._ids[index]:
+                total += CONTAINER_BYTES + len(self._ids[index]) * ENTRY_FULL_BYTES
+        return total
+
+
+def slice_boundaries(layout: GridLayout) -> List[float]:
+    """All slice lower bounds (diagnostics; Figure 8 reporting)."""
+    return [layout.lo + i * layout.width for i in range(layout.n_slices)]
+
+
+def locate_slice(boundaries: List[float], t: Timestamp) -> int:
+    """Slice index of ``t`` given precomputed boundaries (bisect helper)."""
+    return max(0, min(bisect_right(boundaries, t) - 1, len(boundaries) - 1))

@@ -1,0 +1,156 @@
+"""Cost model for choosing HINT's number of bits ``m`` (paper [19], §5.2/§5.4).
+
+The original model estimates, for a candidate ``m``, the expected number of
+index entries a range query reads plus the fixed traversal overhead of
+``m + 1`` levels, subject to a space (replication) constraint.  We reproduce
+it in sampled form:
+
+* **replication(m)** — the average number of partition assignments per
+  interval, measured by running :func:`~repro.intervals.hint.traversal.assign`
+  over a sample of the input;
+* **query cost(m)** — per level, the expected number of relevant partitions
+  (``extent / width + 2``) times the expected entries per partition at that
+  level (level totals from the sampled assignments, uniformity assumed),
+  plus a per-level traversal constant.
+
+The paper observes (§5.2) that this model under-weights the cost of
+fragmenting *list intersections* and therefore mis-tunes the IR-first
+tIF+HINT variants, while it works well for irHINT (§5.4) whose design is
+HINT-first — our experiments keep that distinction: tIF+HINT variants are
+tuned by sweep (Figure 9), irHINT uses this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalRecord
+from repro.intervals.hint.domain import DomainMapper
+from repro.intervals.hint.traversal import assign
+
+#: Modelled fixed cost (in entry-read equivalents) of visiting one level.
+LEVEL_OVERHEAD = 8.0
+
+#: Modelled fixed cost of touching one relevant division (hash probe, call
+#: dispatch, list plumbing).  In the authors' C++ this is a few nanoseconds
+#: and the original model ignores it; in CPython it is several microseconds
+#: — tens of entry-read equivalents — and ignoring it systematically
+#: over-sizes ``m``.  DESIGN.md records this re-calibration.
+DIVISION_OVERHEAD = 40.0
+
+#: Sample cap: assignments are simulated over at most this many records.
+MAX_SAMPLE = 2000
+
+
+@dataclass(frozen=True, slots=True)
+class CostEstimate:
+    """Model output for one candidate ``m``."""
+
+    num_bits: int
+    replication: float
+    expected_reads: float
+    expected_divisions: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        """Expected reads plus traversal and division-visit overheads."""
+        return (
+            self.expected_reads
+            + LEVEL_OVERHEAD * (self.num_bits + 1)
+            + DIVISION_OVERHEAD * self.expected_divisions
+        )
+
+
+def _sample(records: Sequence[IntervalRecord]) -> Sequence[IntervalRecord]:
+    if len(records) <= MAX_SAMPLE:
+        return records
+    step = len(records) // MAX_SAMPLE
+    return records[::step][:MAX_SAMPLE]
+
+
+def estimate_cost(
+    records: Sequence[IntervalRecord],
+    num_bits: int,
+    query_extent_fraction: float,
+    domain: Optional[Tuple[Timestamp, Timestamp]] = None,
+) -> CostEstimate:
+    """Estimate replication and expected query reads for one ``m``."""
+    if not records:
+        return CostEstimate(num_bits, 0.0, 0.0)
+    if domain is None:
+        lo = min(r[1] for r in records)
+        hi = max(r[2] for r in records)
+    else:
+        lo, hi = domain
+    mapper = DomainMapper.for_domain(lo, hi, num_bits)
+    sample = _sample(records)
+    level_totals: Dict[int, int] = {}
+    n_assignments = 0
+    for _object_id, st, end in sample:
+        st_cell, end_cell = mapper.cell_range(st, end)
+        for level, _j, _is_original in assign(num_bits, st_cell, end_cell):
+            level_totals[level] = level_totals.get(level, 0) + 1
+            n_assignments += 1
+    scale = len(records) / len(sample)
+    extent_cells = query_extent_fraction * mapper.n_cells
+    expected_reads = 0.0
+    expected_divisions = 0.0
+    for level in range(num_bits + 1):
+        width = 1 << (num_bits - level)
+        n_partitions = 1 << level
+        relevant = min(extent_cells / width + 2.0, float(n_partitions))
+        expected_divisions += relevant
+        entries_at_level = level_totals.get(level, 0) * scale
+        if entries_at_level:
+            expected_reads += entries_at_level * (relevant / n_partitions)
+    return CostEstimate(
+        num_bits=num_bits,
+        replication=n_assignments / len(sample),
+        expected_reads=expected_reads,
+        expected_divisions=expected_divisions,
+    )
+
+
+def sweep_costs(
+    records: Sequence[IntervalRecord],
+    query_extent_fraction: float = 0.001,
+    max_bits: int = 16,
+    domain: Optional[Tuple[Timestamp, Timestamp]] = None,
+) -> List[CostEstimate]:
+    """Model output for every ``m`` in ``[1, max_bits]``."""
+    if max_bits < 1:
+        raise ConfigurationError(f"max_bits must be >= 1, got {max_bits}")
+    return [
+        estimate_cost(records, m, query_extent_fraction, domain)
+        for m in range(1, max_bits + 1)
+    ]
+
+
+def choose_num_bits(
+    records: Iterable[IntervalRecord],
+    query_extent_fraction: float = 0.001,
+    max_bits: int = 16,
+    max_replication: Optional[float] = None,
+    domain: Optional[Tuple[Timestamp, Timestamp]] = None,
+) -> int:
+    """The ``m`` minimising modelled query cost (optionally space-capped).
+
+    ``max_replication`` bounds the average assignments per interval — the
+    space constraint of the original model.  Returns 1 for empty input.
+    """
+    materialised = list(records)
+    if not materialised:
+        return 1
+    estimates = sweep_costs(materialised, query_extent_fraction, max_bits, domain)
+    admissible = [
+        estimate
+        for estimate in estimates
+        if max_replication is None or estimate.replication <= max_replication
+    ]
+    if not admissible:  # constraint unsatisfiable: fall back to smallest m
+        return 1
+    best = min(admissible, key=lambda estimate: (estimate.total_cost, estimate.num_bits))
+    return best.num_bits

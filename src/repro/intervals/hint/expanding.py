@@ -1,0 +1,143 @@
+"""Time-expanding HINT (the growing-domain extension the paper defers to
+LIT [21] in §3.1 and §4.1).
+
+A plain :class:`~repro.intervals.hint.index.Hint` clamps out-of-domain
+timestamps into its edge cells — correct, but append-heavy workloads
+(archives only grow forward) pile everything into the last partition and
+degrade towards a linear scan.  LIT's observation makes expansion cheap:
+
+    doubling the domain adds one level *above* the root, and the existing
+    hierarchy becomes the left subtree — partition ``P_{l,j}`` simply
+    becomes ``P_{l+1,j}`` with identical cell extent.
+
+With an **exact integer cell mapping** (one cell per time unit, i.e.
+``cell(t) = t - lo``) existing cells never move, so expansion is a pure
+re-keying of the partition dictionary: O(#partitions), no entry is touched.
+:class:`ExpandingHint` performs this automatically whenever an insert ends
+beyond the current domain.
+
+The price is a constraint the paper's archive scenarios satisfy naturally:
+timestamps must be integers and the initial ``num_bits`` must cover the
+initial span (choose the domain granularity accordingly — seconds, minutes,
+…).  For scaled mappings cells *would* move and a rebuild is unavoidable;
+``ExpandingHint`` refuses such configurations up front rather than silently
+degrading.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalRecord
+from repro.intervals.hint.domain import DomainMapper
+from repro.intervals.hint.index import Hint
+from repro.intervals.hint.partition import Partition, SortPolicy
+from repro.utils.bitops import validate_num_bits
+
+#: Hard ceiling on expansion (2^50 one-unit cells ≈ 35 million years of
+#: seconds); reaching it indicates mis-configured timestamps, not data.
+MAX_BITS = 50
+
+
+def exact_mapper(lo: int, num_bits: int) -> DomainMapper:
+    """A one-cell-per-time-unit mapper starting at ``lo``."""
+    if not isinstance(lo, int):
+        raise ConfigurationError(f"exact mapping requires an integer origin, got {lo!r}")
+    validate_num_bits(num_bits)
+    return DomainMapper.for_domain(lo, lo + (1 << num_bits) - 1, num_bits)
+
+
+class ExpandingHint(Hint):
+    """HINT that grows its time domain by adding levels above the root."""
+
+    def __init__(
+        self,
+        origin: int,
+        num_bits: int = 16,
+        sort_policy: SortPolicy = SortPolicy.TEMPORAL,
+        use_subdivisions: bool = True,
+        storage_optimisation: bool = True,
+    ) -> None:
+        super().__init__(
+            exact_mapper(origin, num_bits),
+            sort_policy=sort_policy,
+            use_subdivisions=use_subdivisions,
+            storage_optimisation=storage_optimisation,
+        )
+        self._origin = origin
+        self._n_expansions = 0
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def build(
+        cls,
+        records: Iterable[IntervalRecord],
+        num_bits: Optional[int] = None,
+        sort_policy: SortPolicy = SortPolicy.TEMPORAL,
+        use_subdivisions: bool = True,
+        storage_optimisation: bool = True,
+        **_ignored: object,
+    ) -> "ExpandingHint":
+        """Build over records; the initial domain covers their span exactly."""
+        materialised = list(records)
+        if not materialised:
+            return cls(0, num_bits or 16, sort_policy, use_subdivisions, storage_optimisation)
+        lo = min(r[1] for r in materialised)
+        hi = max(r[2] for r in materialised)
+        if not isinstance(lo, int) or not isinstance(hi, int):
+            raise ConfigurationError("ExpandingHint requires integer timestamps")
+        needed = max((hi - lo + 1).bit_length(), 1)
+        bits = max(num_bits or 0, needed)
+        index = cls(lo, bits, sort_policy, use_subdivisions, storage_optimisation)
+        for record in materialised:
+            index.insert(*record)
+        return index
+
+    # -------------------------------------------------------------- expansion
+    @property
+    def n_expansions(self) -> int:
+        """How many times the domain has doubled."""
+        return self._n_expansions
+
+    @property
+    def origin(self) -> int:
+        """The fixed left edge of the domain."""
+        return self._origin
+
+    def _expand_once(self) -> None:
+        """Double the domain: every partition descends one level."""
+        if self._m + 1 > MAX_BITS:
+            raise ConfigurationError(
+                f"domain expansion beyond 2^{MAX_BITS} cells; "
+                "re-index with a coarser time granularity"
+            )
+        rekeyed: Dict[Tuple[int, int], Partition] = {
+            (level + 1, j): partition for (level, j), partition in self._partitions.items()
+        }
+        self._partitions = rekeyed
+        self._m += 1
+        self._mapper = exact_mapper(self._origin, self._m)
+        self._n_expansions += 1
+
+    def _ensure_covers(self, end: Timestamp) -> None:
+        while end > self._mapper.hi:
+            self._expand_once()
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        if not isinstance(st, int) or not isinstance(end, int):
+            raise ConfigurationError("ExpandingHint requires integer timestamps")
+        if st < self._origin:
+            raise ConfigurationError(
+                f"timestamp {st} precedes the domain origin {self._origin}; "
+                "the domain only expands forward (archives grow, they do not "
+                "predate their creation)"
+            )
+        self._ensure_covers(end)
+        super().insert(object_id, st, end)
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        # Deletion never expands: the record was inserted inside the domain.
+        super().delete(object_id, st, end)

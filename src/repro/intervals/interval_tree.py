@@ -1,0 +1,182 @@
+"""Edelsbrunner's interval tree (paper §6.2 [26]) — centred binary tree.
+
+Each node owns a centre point; intervals containing the centre live at the
+node (kept twice: sorted by start ascending and by end descending, so both
+query directions terminate early), intervals strictly left/right of the
+centre descend into the children.  The tree is the classic worst-case-optimal
+structure for stabbing and range queries and doubles as an independent test
+oracle for HINT in this repository.
+
+Bulk build recurses over the *domain* midpoints so the tree stays balanced
+regardless of data skew; dynamic inserts descend to the first node whose
+centre the interval contains.  Deletions are tombstones, matching the rest of
+the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalIndex, IntervalRecord
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
+
+
+class _Node:
+    __slots__ = ("center", "lo", "hi", "by_start", "by_end", "left", "right")
+
+    def __init__(self, lo: Timestamp, hi: Timestamp) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.center = (lo + hi) / 2
+        self.by_start: List[Tuple[Timestamp, int]] = []  # (st, id) ascending
+        self.by_end: List[Tuple[Timestamp, int]] = []  # (end, id) descending by end
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+
+
+class IntervalTree(IntervalIndex):
+    """Centred interval tree with tombstone deletions."""
+
+    def __init__(self, lo: Timestamp = 0, hi: Timestamp = 1) -> None:
+        self._root = _Node(lo, hi)
+        self._dead: Set[int] = set()
+        self._n_live = 0
+
+    @classmethod
+    def build(cls, records: Iterable[IntervalRecord], **params: object) -> "IntervalTree":
+        materialised = list(records)
+        if not materialised:
+            return cls()
+        lo = min(r[1] for r in materialised)
+        hi = max(r[2] for r in materialised)
+        tree = cls(lo, hi)
+        for object_id, st, end in materialised:
+            tree.insert(object_id, st, end)
+        return tree
+
+    def __len__(self) -> int:
+        return self._n_live
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        node = self._root
+        while True:
+            if end < node.center:
+                if node.left is None:
+                    # Expand leftwards so intervals below the built domain
+                    # stay reachable (keeps the descent terminating).
+                    node.left = _Node(min(node.lo, st), node.center)
+                node = node.left
+            elif st > node.center:
+                if node.right is None:
+                    # Symmetric rightward expansion for late insertions.
+                    node.right = _Node(node.center, max(node.hi, end))
+                node = node.right
+            else:  # the interval contains the centre: it lives here
+                _insort_pair(node.by_start, (st, object_id))
+                _insort_pair_desc(node.by_end, (end, object_id))
+                self._n_live += 1
+                if object_id in self._dead:
+                    self._dead.discard(object_id)
+                return
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        node: Optional[_Node] = self._root
+        while node is not None:
+            if end < node.center:
+                node = node.left
+            elif st > node.center:
+                node = node.right
+            else:
+                if any(oid == object_id for _, oid in node.by_start):
+                    if object_id in self._dead:
+                        raise UnknownObjectError(object_id)
+                    self._dead.add(object_id)
+                    self._n_live -= 1
+                    return
+                raise UnknownObjectError(object_id)
+        raise UnknownObjectError(object_id)
+
+    # ------------------------------------------------------------------ query
+    def range_query(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        out: List[int] = []
+        self._collect(self._root, q_st, q_end, out)
+        out.sort()
+        return out
+
+    def _collect(self, node: Optional[_Node], q_st: Timestamp, q_end: Timestamp, out: List[int]) -> None:
+        if node is None:
+            return
+        dead = self._dead
+        if q_end < node.center:
+            # Only intervals starting at or before q_end can overlap.
+            for st, object_id in node.by_start:
+                if st > q_end:
+                    break
+                if object_id not in dead:
+                    out.append(object_id)
+            self._collect(node.left, q_st, q_end, out)
+        elif q_st > node.center:
+            # Only intervals ending at or after q_st can overlap.
+            for end, object_id in node.by_end:
+                if end < q_st:
+                    break
+                if object_id not in dead:
+                    out.append(object_id)
+            self._collect(node.right, q_st, q_end, out)
+        else:
+            # The query straddles the centre: everything here overlaps.
+            for _st, object_id in node.by_start:
+                if object_id not in dead:
+                    out.append(object_id)
+            self._collect(node.left, q_st, q_end, out)
+            self._collect(node.right, q_st, q_end, out)
+
+    # ------------------------------------------------------------------ sizes
+    def size_bytes(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += CONTAINER_BYTES + 2 * len(node.by_start) * ENTRY_FULL_BYTES
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+        return total
+
+    def depth(self) -> int:
+        """Maximum node depth (diagnostics)."""
+
+        def _depth(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._root)
+
+
+def _insort_pair(values: List[Tuple[Timestamp, int]], pair: Tuple[Timestamp, int]) -> None:
+    """Insert keeping ascending order by the first component."""
+    lo, hi = 0, len(values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if values[mid][0] <= pair[0]:
+            lo = mid + 1
+        else:
+            hi = mid
+    values.insert(lo, pair)
+
+
+def _insort_pair_desc(values: List[Tuple[Timestamp, int]], pair: Tuple[Timestamp, int]) -> None:
+    """Insert keeping descending order by the first component."""
+    lo, hi = 0, len(values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if values[mid][0] >= pair[0]:
+            lo = mid + 1
+        else:
+            hi = mid
+    values.insert(lo, pair)

@@ -1,0 +1,38 @@
+"""Linear-scan interval store — the no-index baseline and test oracle."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalIndex
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
+
+
+class LinearScan(IntervalIndex):
+    """Stores records in a flat map; every query scans everything."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, Tuple[Timestamp, Timestamp]] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        self._records[object_id] = (st, end)
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        if object_id not in self._records:
+            raise UnknownObjectError(object_id)
+        del self._records[object_id]
+
+    def range_query(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        return sorted(
+            object_id
+            for object_id, (st, end) in self._records.items()
+            if q_st <= end and st <= q_end
+        )
+
+    def size_bytes(self) -> int:
+        return CONTAINER_BYTES + len(self._records) * ENTRY_FULL_BYTES

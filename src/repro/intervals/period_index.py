@@ -1,0 +1,156 @@
+"""A simplified Period index (Behrend et al. [5]; paper §6.2).
+
+The Period index splits the domain into coarse partitions (like a 1D grid)
+and organises each partition's intervals into **duration buckets** so that
+range *and duration* queries can prune whole buckets.  We implement the
+core idea — per-partition duration-stratified buckets with reference-value
+de-duplication — without the learned/self-adaptive layout of the original
+paper; the structure participates in this repository as a related-work
+baseline and as an oracle in tests, and supports the range-duration query
+the original specialises in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalIndex
+from repro.intervals.grid1d import GridLayout
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
+
+
+class PeriodIndex(IntervalIndex):
+    """Coarse grid × duration-bucket interval index."""
+
+    def __init__(
+        self, lo: Timestamp, hi: Timestamp, n_partitions: int = 32, n_duration_buckets: int = 8
+    ) -> None:
+        self._layout = GridLayout(lo, hi, n_partitions)
+        self._n_buckets = max(1, n_duration_buckets)
+        # buckets[(partition, bucket)] = column arrays
+        self._buckets: Dict[Tuple[int, int], List[List]] = {}
+        self._n_live = 0
+        span = hi - lo
+        self._min_duration = (span / 2**(self._n_buckets - 1)) if span else 1.0
+
+    @classmethod
+    def build(cls, records, n_partitions: int = 32, n_duration_buckets: int = 8, **params) -> "PeriodIndex":
+        materialised = list(records)
+        if not materialised:
+            return cls(0, 1, n_partitions, n_duration_buckets)
+        lo = min(r[1] for r in materialised)
+        hi = max(r[2] for r in materialised)
+        index = cls(lo, hi, n_partitions, n_duration_buckets)
+        for object_id, st, end in materialised:
+            index.insert(object_id, st, end)
+        return index
+
+    def __len__(self) -> int:
+        return self._n_live
+
+    def _bucket_of(self, duration: Timestamp) -> int:
+        """Logarithmic duration class, clamped to the configured buckets."""
+        if duration <= self._min_duration:
+            return 0
+        ratio = duration / self._min_duration
+        return min(int(math.log2(ratio)) + 1, self._n_buckets - 1)
+
+    def _bucket_max_duration(self, bucket: int) -> float:
+        """Upper bound on durations stored in ``bucket`` (pruning bound)."""
+        if bucket >= self._n_buckets - 1:
+            return float("inf")
+        return self._min_duration * (2.0**bucket)
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        first, last = self._layout.slice_range(st, end)
+        bucket = self._bucket_of(end - st)
+        for partition in range(first, last + 1):
+            columns = self._buckets.get((partition, bucket))
+            if columns is None:
+                columns = self._buckets[(partition, bucket)] = [[], [], [], []]
+            ids, sts, ends, alive = columns
+            ids.append(object_id)
+            sts.append(st)
+            ends.append(end)
+            alive.append(True)
+        self._n_live += 1
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        first, last = self._layout.slice_range(st, end)
+        bucket = self._bucket_of(end - st)
+        found = False
+        for partition in range(first, last + 1):
+            columns = self._buckets.get((partition, bucket))
+            if columns is None:
+                continue
+            ids, _sts, _ends, alive = columns
+            for i in range(len(ids)):
+                if ids[i] == object_id and alive[i]:
+                    alive[i] = False
+                    found = True
+                    break
+        if not found:
+            raise UnknownObjectError(object_id)
+        self._n_live -= 1
+
+    # ------------------------------------------------------------------ query
+    def range_query(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        return self.range_duration_query(q_st, q_end, None, None)
+
+    def range_duration_query(
+        self,
+        q_st: Timestamp,
+        q_end: Timestamp,
+        min_duration: Optional[Timestamp],
+        max_duration: Optional[Timestamp],
+    ) -> List[int]:
+        """Overlap query with an optional duration predicate.
+
+        Duration bounds prune whole buckets before any entry is touched —
+        the capability the Period index was designed around.
+        """
+        layout = self._layout
+        first, last = layout.slice_range(q_st, q_end)
+        out: List[int] = []
+        for partition in range(first, last + 1):
+            slice_lo, slice_hi = layout.slice_bounds(partition)
+            for bucket in range(self._n_buckets):
+                if min_duration is not None and self._bucket_max_duration(bucket) < min_duration:
+                    continue
+                if (
+                    max_duration is not None
+                    and bucket > 0
+                    and self._bucket_max_duration(bucket - 1) > max_duration
+                ):
+                    continue
+                columns = self._buckets.get((partition, bucket))
+                if columns is None:
+                    continue
+                ids, sts, ends, alive = columns
+                for i in range(len(ids)):
+                    if not alive[i]:
+                        continue
+                    st, end = sts[i], ends[i]
+                    if not (q_st <= end and st <= q_end):
+                        continue
+                    duration = end - st
+                    if min_duration is not None and duration < min_duration:
+                        continue
+                    if max_duration is not None and duration > max_duration:
+                        continue
+                    ref = st if st > q_st else q_st
+                    if slice_lo <= ref < slice_hi or (partition == first and ref < slice_lo):
+                        out.append(ids[i])
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------ sizes
+    def size_bytes(self) -> int:
+        total = CONTAINER_BYTES
+        for columns in self._buckets.values():
+            total += CONTAINER_BYTES + len(columns[0]) * ENTRY_FULL_BYTES
+        return total

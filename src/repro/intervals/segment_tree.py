@@ -1,0 +1,157 @@
+"""Segment tree over elementary intervals (paper §6.2 [22]).
+
+The segment tree is designed for **stabbing** queries: each interval is
+stored in the O(log n) canonical nodes covering it, and a stab walks one
+root-to-leaf path.  Range (overlap) queries are answered with the standard
+reduction: every interval overlapping ``[a, b]`` either contains ``a``
+(a stab at ``a``) or *starts* inside ``(a, b]`` (a lookup in a sorted
+start-point list kept alongside the tree).
+
+The node skeleton is static — built over the endpoint coordinates seen at
+build time.  Later insertions whose endpoints fall outside the known
+coordinate set land in an overflow list that queries scan linearly; this is
+the textbook behaviour (segment trees are semi-dynamic) and is documented in
+DESIGN.md.  Deletions are tombstones.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalIndex, IntervalRecord
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES, ENTRY_ID_BYTES
+
+
+class SegmentTree(IntervalIndex):
+    """Static-skeleton segment tree with a start-point sidecar for ranges."""
+
+    def __init__(self) -> None:
+        self._coords: List[Timestamp] = []
+        self._node_ids: Dict[int, List[int]] = {}  # node -> interval ids
+        self._n_leaves = 0
+        self._starts: List[Tuple[Timestamp, int]] = []  # (st, id) sorted
+        self._records: Dict[int, Tuple[Timestamp, Timestamp]] = {}
+        self._overflow: List[int] = []
+        self._dead: Set[int] = set()
+
+    @classmethod
+    def build(cls, records: Iterable[IntervalRecord], **params: object) -> "SegmentTree":
+        materialised = list(records)
+        tree = cls()
+        coords = sorted({t for _i, st, end in materialised for t in (st, end)})
+        tree._coords = coords
+        tree._n_leaves = max(1, len(coords))
+        for object_id, st, end in materialised:
+            tree.insert(object_id, st, end)
+        return tree
+
+    def __len__(self) -> int:
+        return len(self._records) - len(self._dead)
+
+    # -------------------------------------------------------- skeleton access
+    def _leaf_range(self, st: Timestamp, end: Timestamp) -> Tuple[int, int]:
+        """Leaf index range covered by ``[st, end]`` (half-open)."""
+        lo = bisect_left(self._coords, st)
+        hi = bisect_right(self._coords, end)
+        return lo, hi
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        self._records[object_id] = (st, end)
+        self._dead.discard(object_id)
+        _insort_start(self._starts, (st, object_id))
+        if in_coords(self._coords, st) and in_coords(self._coords, end):
+            lo, hi = self._leaf_range(st, end)
+            self._insert_canonical(1, 0, self._n_leaves, lo, hi, object_id)
+        else:
+            self._overflow.append(object_id)
+
+    def _insert_canonical(
+        self, node: int, node_lo: int, node_hi: int, lo: int, hi: int, object_id: int
+    ) -> None:
+        """Store ``object_id`` in the canonical node cover of leaves [lo, hi)."""
+        if lo >= hi or node_lo >= node_hi:
+            return
+        if lo <= node_lo and node_hi <= hi:
+            self._node_ids.setdefault(node, []).append(object_id)
+            return
+        mid = (node_lo + node_hi) // 2
+        if lo < mid:
+            self._insert_canonical(2 * node, node_lo, mid, lo, min(hi, mid), object_id)
+        if hi > mid:
+            self._insert_canonical(2 * node + 1, mid, node_hi, max(lo, mid), hi, object_id)
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        if object_id not in self._records or object_id in self._dead:
+            raise UnknownObjectError(object_id)
+        self._dead.add(object_id)
+
+    # ------------------------------------------------------------------ query
+    def stab_query(self, t: Timestamp) -> List[int]:
+        """Intervals containing ``t``: one root-to-leaf walk + overflow."""
+        out: Set[int] = set()
+        dead = self._dead
+        records = self._records
+        if self._coords:
+            leaf = bisect_right(self._coords, t) - 1
+            if 0 <= leaf < self._n_leaves:
+                node, node_lo, node_hi = 1, 0, self._n_leaves
+                while node_lo < node_hi:
+                    for object_id in self._node_ids.get(node, ()):
+                        if object_id not in dead:
+                            st, end = records[object_id]
+                            if st <= t <= end:
+                                out.add(object_id)
+                    if node_hi - node_lo == 1:
+                        break
+                    mid = (node_lo + node_hi) // 2
+                    if leaf < mid:
+                        node, node_hi = 2 * node, mid
+                    else:
+                        node, node_lo = 2 * node + 1, mid
+        for object_id in self._overflow:
+            if object_id not in dead:
+                st, end = records[object_id]
+                if st <= t <= end:
+                    out.add(object_id)
+        return sorted(out)
+
+    def range_query(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        """Stab at ``q_st`` plus all intervals starting in ``(q_st, q_end]``."""
+        out = set(self.stab_query(q_st))
+        dead = self._dead
+        lo = bisect_right(self._starts, (q_st, float("inf")))
+        hi = bisect_right(self._starts, (q_end, float("inf")))
+        for st, object_id in self._starts[lo:hi]:
+            if object_id not in dead:
+                out.add(object_id)
+        return sorted(out)
+
+    # ------------------------------------------------------------------ sizes
+    def size_bytes(self) -> int:
+        total = CONTAINER_BYTES + len(self._coords) * ENTRY_ID_BYTES
+        for ids in self._node_ids.values():
+            total += CONTAINER_BYTES + len(ids) * ENTRY_ID_BYTES
+        total += len(self._starts) * ENTRY_ID_BYTES * 2
+        total += len(self._records) * ENTRY_FULL_BYTES
+        return total
+
+
+def in_coords(coords: List[Timestamp], t: Timestamp) -> bool:
+    """``True`` when ``t`` is one of the skeleton coordinates."""
+    index = bisect_left(coords, t)
+    return index < len(coords) and coords[index] == t
+
+
+def _insort_start(values: List[Tuple[Timestamp, int]], pair: Tuple[Timestamp, int]) -> None:
+    lo, hi = 0, len(values)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if values[mid] <= pair:
+            lo = mid + 1
+        else:
+            hi = mid
+    values.insert(lo, pair)

@@ -1,0 +1,155 @@
+"""The Timeline index (Kaufmann et al. [43]; paper §6.2).
+
+A general-purpose access method for versioned/temporal data: an **event
+list** holds a ``(time, id, is_start)`` triple for every interval endpoint,
+and periodic **checkpoints** materialise the full set of intervals alive at a
+chosen time.  A range query ``[a, b]`` is answered by
+
+1. loading the latest checkpoint at or before ``a``,
+2. replaying events between the checkpoint and ``a`` to reconstruct the set
+   of intervals alive at ``a`` (closed-interval semantics: an interval ending
+   exactly at ``a`` is still alive), and
+3. adding every interval that *starts* inside ``(a, b]``.
+
+Updates insert events in order; deletions tombstone ids.  Checkpoints are
+rebuilt lazily when the number of events drifted since the last build exceeds
+a threshold.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.intervals.base import IntervalIndex, IntervalRecord
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES, ENTRY_ID_BYTES
+
+#: Event tuple layout: (time, flag, object id).  Start events carry flag 0
+#: and end events flag 1, so that at equal times starts sort first — this
+#: makes the replay of a zero-duration interval add-then-remove (rather than
+#: remove-then-add, which would leak it into every later state).
+_Event = Tuple[Timestamp, int, int]
+
+
+class TimelineIndex(IntervalIndex):
+    """Event list + checkpoints; range queries by replay."""
+
+    def __init__(self, checkpoint_every: int = 256) -> None:
+        self._checkpoint_every = max(1, checkpoint_every)
+        self._events: List[_Event] = []
+        self._records: Dict[int, Tuple[Timestamp, Timestamp]] = {}
+        self._dead: Set[int] = set()
+        # checkpoints[i] = (event index, frozenset of alive ids *after*
+        # applying events [0, event index)).
+        self._checkpoints: List[Tuple[int, frozenset]] = []
+        self._events_since_build = 0
+        # Mid-list insertions shift event indexes, invalidating checkpoint
+        # offsets; while dirty, replay starts from the beginning.
+        self._dirty = False
+
+    @classmethod
+    def build(cls, records: Iterable[IntervalRecord], checkpoint_every: int = 256) -> "TimelineIndex":
+        index = cls(checkpoint_every=checkpoint_every)
+        materialised = list(records)
+        for object_id, st, end in materialised:
+            index._records[object_id] = (st, end)
+            index._events.append((st, 0, object_id))
+            index._events.append((end, 1, object_id))
+        index._events.sort()
+        index._rebuild_checkpoints()
+        return index
+
+    def __len__(self) -> int:
+        return len(self._records) - len(self._dead)
+
+    # ------------------------------------------------------------ checkpoints
+    def _rebuild_checkpoints(self) -> None:
+        self._checkpoints = []
+        active: Set[int] = set()
+        for index, (_time, flag, object_id) in enumerate(self._events):
+            if index % self._checkpoint_every == 0:
+                self._checkpoints.append((index, frozenset(active)))
+            if flag == 0:
+                active.add(object_id)
+            else:
+                active.discard(object_id)
+        self._events_since_build = 0
+        self._dirty = False
+
+    def n_checkpoints(self) -> int:
+        return len(self._checkpoints)
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        self._records[object_id] = (st, end)
+        self._dead.discard(object_id)
+        insort(self._events, (st, 0, object_id))
+        insort(self._events, (end, 1, object_id))
+        self._events_since_build += 2
+        self._dirty = True
+        if self._events_since_build > self._checkpoint_every:
+            self._rebuild_checkpoints()
+
+    def delete(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        if object_id not in self._records or object_id in self._dead:
+            raise UnknownObjectError(object_id)
+        self._dead.add(object_id)
+
+    # ------------------------------------------------------------------ query
+    def _alive_at(self, t: Timestamp) -> Set[int]:
+        """Ids alive at time ``t`` (closed semantics), via checkpoint replay."""
+        # Find the first event strictly after t — all events at time <= t
+        # must be replayed; an end event at exactly t keeps the interval
+        # alive (closed), which the final filter below restores.
+        stop = bisect_right(self._events, (t, 2, 2**62))
+        checkpoint_index, active = 0, frozenset()
+        if not self._dirty:
+            # Latest checkpoint at or before `stop`.
+            lo, hi = 0, len(self._checkpoints)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._checkpoints[mid][0] <= stop:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo:
+                checkpoint_index, active = self._checkpoints[lo - 1]
+        alive = set(active)
+        for index in range(checkpoint_index, stop):
+            _time, flag, object_id = self._events[index]
+            if flag == 0:
+                alive.add(object_id)
+            else:
+                alive.discard(object_id)
+        # Closed-interval fix-up: intervals ending exactly at t were dropped
+        # by their end event but still contain t.
+        lo_eq = bisect_left(self._events, (t, 0, -1))
+        for index in range(lo_eq, stop):
+            _time, flag, object_id = self._events[index]
+            if flag == 1:
+                alive.add(object_id)
+        return alive
+
+    def range_query(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        dead = self._dead
+        records = self._records
+        out = {oid for oid in self._alive_at(q_st) if oid not in dead}
+        # Intervals starting inside (q_st, q_end].
+        lo = bisect_right(self._events, (q_st, 2, 2**62))
+        hi = bisect_right(self._events, (q_end, 2, 2**62))
+        for index in range(lo, hi):
+            _time, flag, object_id = self._events[index]
+            if flag == 0 and object_id not in dead:
+                out.add(object_id)
+        # Drop ids whose record no longer matches (paranoia against stale
+        # events after re-insertion of the same id with new endpoints).
+        return sorted(oid for oid in out if oid in records)
+
+    # ------------------------------------------------------------------ sizes
+    def size_bytes(self) -> int:
+        total = CONTAINER_BYTES + len(self._events) * ENTRY_FULL_BYTES
+        for _index, active in self._checkpoints:
+            total += CONTAINER_BYTES + len(active) * ENTRY_ID_BYTES
+        return total

@@ -1,0 +1,37 @@
+"""Inverted-file substrate: postings lists, intersections, de-duplication, tIF."""
+
+from repro.ir.dedup import dedupe_preserving_order, is_reference_partition, reference_value
+from repro.ir.intersection import (
+    contains_sorted,
+    intersect_adaptive,
+    intersect_binary,
+    intersect_galloping,
+    intersect_hash,
+    intersect_many,
+    intersect_merge,
+)
+from repro.ir.inverted import TemporalCheck, TemporalInvertedFile
+from repro.ir.postings import IdPostingsList, PostingsEntry, PostingsList
+from repro.ir.settrie import SetTrie
+from repro.ir.signatures import element_pattern, make_signature
+
+__all__ = [
+    "IdPostingsList",
+    "PostingsEntry",
+    "PostingsList",
+    "SetTrie",
+    "TemporalCheck",
+    "TemporalInvertedFile",
+    "contains_sorted",
+    "dedupe_preserving_order",
+    "intersect_adaptive",
+    "intersect_binary",
+    "intersect_galloping",
+    "intersect_hash",
+    "intersect_many",
+    "element_pattern",
+    "intersect_merge",
+    "make_signature",
+    "is_reference_partition",
+    "reference_value",
+]

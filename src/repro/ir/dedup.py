@@ -1,0 +1,57 @@
+"""Duplicate elimination for replicating partitionings.
+
+Both the 1D-grid slicing of [7] and HINT replicate an interval into every
+partition it overlaps, so a range query that touches several partitions can
+see the same object more than once.  The paper discards duplicates with the
+**reference value** method of Dittrich & Seeger [25]: each (object, query)
+pair designates exactly one partition — the one containing the *reference
+value* ``max(o.t_st, q.t_st)`` — as the unique reporting site.  Every other
+partition sees the object but stays silent, so no hashing or re-sorting is
+ever needed.
+
+HINT itself avoids duplicates structurally (replicas are only inspected in
+the first relevant partition per level), so this module is used by the
+slicing-based structures only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.core.interval import Timestamp
+
+
+def reference_value(o_st: Timestamp, q_st: Timestamp) -> Timestamp:
+    """The reference time point of an (object, query) pair: ``max(o.t_st, q.t_st)``."""
+    return o_st if o_st > q_st else q_st
+
+
+def is_reference_partition(
+    o_st: Timestamp,
+    q_st: Timestamp,
+    partition_lo: Timestamp,
+    partition_hi: Timestamp,
+) -> bool:
+    """``True`` iff this partition must report the pair.
+
+    ``[partition_lo, partition_hi]`` is the partition's (slice's) extent with
+    an *exclusive* upper edge for all but the last partition — callers pass
+    ``partition_hi`` as the first time point of the next slice, and the last
+    slice passes ``+inf``-like sentinel (its own inclusive end + 1).  The
+    reference value falls in exactly one slice, so each qualifying pair is
+    reported exactly once.
+    """
+    ref = o_st if o_st > q_st else q_st
+    return partition_lo <= ref < partition_hi
+
+
+def dedupe_preserving_order(ids: Sequence[int]) -> List[int]:
+    """Order-preserving dedup by hashing — the fallback the paper compares
+    the reference-value method against ("discarded by hashing")."""
+    seen: Set[int] = set()
+    out: List[int] = []
+    for object_id in ids:
+        if object_id not in seen:
+            seen.add(object_id)
+            out.append(object_id)
+    return out

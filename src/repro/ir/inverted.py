@@ -1,0 +1,189 @@
+"""The base temporal inverted file **tIF** (paper Section 2.2, Algorithm 1).
+
+A tIF maps every dictionary element to a time-aware postings list.  Queries
+follow Algorithm 1: order the query elements by ascending frequency, scan the
+least frequent element's list applying the temporal overlap predicate, then
+shrink the candidate set by merge-intersecting the remaining (id-sorted)
+lists.
+
+The same structure doubles as the per-division inverted index of the
+performance irHINT variant (Section 4.1), where the temporal predicate to be
+applied is dictated by HINT's ``compfirst``/``complast`` flags — hence the
+:class:`TemporalCheck` modes mirroring the four cases of Algorithm 5.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.interval import Timestamp
+from repro.core.model import Element
+from repro.ir.postings import PostingsEntry, PostingsList
+from repro.utils.memory import CONTAINER_BYTES
+
+
+class TemporalCheck(enum.Enum):
+    """Which endpoint comparisons a division scan must perform (Alg. 5).
+
+    ``BOTH``       — ``q.t_st <= o.t_end  and  o.t_st <= q.t_end``
+    ``START_ONLY`` — ``q.t_st <= o.t_end`` (replicas of the first partition)
+    ``END_ONLY``   — ``o.t_st <= q.t_end`` (originals of the last partition)
+    ``NONE``       — report everything (in-between partitions)
+    """
+
+    BOTH = "both"
+    START_ONLY = "start_only"
+    END_ONLY = "end_only"
+    NONE = "none"
+
+
+class TemporalInvertedFile:
+    """Element → :class:`PostingsList` map with Algorithm 1 querying."""
+
+    __slots__ = ("_lists",)
+
+    def __init__(self) -> None:
+        self._lists: Dict[Element, PostingsList] = {}
+
+    # ---------------------------------------------------------------- updates
+    def add_object(
+        self, object_id: int, st: Timestamp, end: Timestamp, description: Iterable[Element]
+    ) -> None:
+        """Add one ``⟨id, st, end⟩`` entry to the list of every element in ``d``."""
+        lists = self._lists
+        for element in description:
+            postings = lists.get(element)
+            if postings is None:
+                postings = lists[element] = PostingsList()
+            postings.add(object_id, st, end)
+
+    def delete_object(self, object_id: int, description: Iterable[Element]) -> None:
+        """Tombstone the object's entry in every element list of ``d``."""
+        for element in description:
+            postings = self._lists.get(element)
+            if postings is not None and object_id in postings:
+                postings.delete(object_id)
+
+    # ------------------------------------------------------------------ reads
+    def postings(self, element: Element) -> Optional[PostingsList]:
+        """The postings list of ``element`` or ``None``."""
+        return self._lists.get(element)
+
+    def elements(self) -> List[Element]:
+        """All indexed elements (unspecified order)."""
+        return list(self._lists)
+
+    def list_length(self, element: Element) -> int:
+        """Live length of an element's list (0 when absent) — the local
+        frequency used to order query elements inside a division."""
+        postings = self._lists.get(element)
+        return len(postings) if postings is not None else 0
+
+    def n_entries(self) -> int:
+        """Total live entries across all lists (replication-sensitive size)."""
+        return sum(len(postings) for postings in self._lists.values())
+
+    def n_physical_entries(self) -> int:
+        """Total slots including tombstones."""
+        return sum(postings.physical_len() for postings in self._lists.values())
+
+    def __len__(self) -> int:
+        return len(self._lists)
+
+    def __bool__(self) -> bool:
+        return bool(self._lists)
+
+    def iter_all_entries(self) -> Iterable[PostingsEntry]:
+        """Every distinct live object entry (dedup across lists).
+
+        Slow path, only used for pure-temporal fallbacks; the tIF layout has
+        no object catalog of its own.
+        """
+        seen = set()
+        for postings in self._lists.values():
+            for entry in postings.entries():
+                if entry[0] not in seen:
+                    seen.add(entry[0])
+                    yield entry
+
+    # ------------------------------------------------------------------ query
+    def order_elements_locally(self, elements: Iterable[Element]) -> List[Element]:
+        """Order query elements by ascending local list length.
+
+        Inside a division the global dictionary frequencies are a poor proxy,
+        so the per-division tIFs of irHINT order by their own list lengths
+        (same intent as Algorithm 1 line 2: scan the most selective list
+        first).  Deterministic tie-break on ``repr``.
+        """
+        return sorted(elements, key=lambda e: (self.list_length(e), repr(e)))
+
+    def query(
+        self,
+        q_st: Timestamp,
+        q_end: Timestamp,
+        ordered_elements: Sequence[Element],
+        check: TemporalCheck = TemporalCheck.BOTH,
+    ) -> List[int]:
+        """Algorithm 1 with a configurable temporal predicate (Alg. 5 cases).
+
+        ``ordered_elements`` must already be sorted by ascending frequency
+        (global or local — the caller decides which applies).  Returns live
+        object ids sorted ascending.  An empty ``ordered_elements`` answers
+        the pure-temporal query over all entries of this tIF.
+        """
+        if not ordered_elements:
+            return sorted(
+                entry[0]
+                for entry in self.iter_all_entries()
+                if _passes(entry[1], entry[2], q_st, q_end, check)
+            )
+        first = self._lists.get(ordered_elements[0])
+        if first is None:
+            return []
+        candidates = _filtered_ids(first, q_st, q_end, check)
+        for element in ordered_elements[1:]:
+            if not candidates:
+                return []
+            postings = self._lists.get(element)
+            if postings is None:
+                return []
+            candidates = postings.intersect_sorted(candidates)
+        return candidates
+
+    # ------------------------------------------------------------------ sizes
+    def size_bytes(self) -> int:
+        """Modelled size: all lists plus the directory overhead."""
+        total = CONTAINER_BYTES  # the element directory itself
+        for postings in self._lists.values():
+            total += postings.size_bytes()
+        return total
+
+
+def _passes(
+    st: Timestamp, end: Timestamp, q_st: Timestamp, q_end: Timestamp, check: TemporalCheck
+) -> bool:
+    """Apply the configured subset of the overlap predicate."""
+    if check is TemporalCheck.BOTH:
+        return q_st <= end and st <= q_end
+    if check is TemporalCheck.START_ONLY:
+        return q_st <= end
+    if check is TemporalCheck.END_ONLY:
+        return st <= q_end
+    return True
+
+
+def _filtered_ids(
+    postings: PostingsList, q_st: Timestamp, q_end: Timestamp, check: TemporalCheck
+) -> List[int]:
+    """Ids of live entries passing the configured temporal predicate."""
+    if check is TemporalCheck.BOTH:
+        return postings.overlapping_ids(q_st, q_end)
+    if check is TemporalCheck.NONE:
+        return postings.ids()
+    if check is TemporalCheck.START_ONLY:
+        return postings.ids_end_ge(q_st)
+    return postings.ids_st_le(q_end)
+
+
+EntryTriple = Tuple[int, Timestamp, Timestamp]

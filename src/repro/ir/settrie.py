@@ -1,0 +1,155 @@
+"""Set-trie for containment search (paper §6.1, ref [59]).
+
+A set-trie stores sets as root-to-node paths over a *fixed total order* of
+the elements; the containment query "find all stored sets that are
+**supersets** of ``q.d``" walks the trie skipping subtrees that can no
+longer supply the next required element.  Tries are the third classic
+option for containment search the paper's related work discusses (besides
+inverted and signature files).
+
+:class:`SetTrie` is the pure structure; the composite ``SetTrieIndex``
+lives in :mod:`repro.indexes.containment` (layering: :mod:`repro.ir` never
+imports :mod:`repro.indexes`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.core.model import Element
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
+
+
+class _Node:
+    __slots__ = ("children", "payloads")
+
+    def __init__(self) -> None:
+        self.children: Dict[int, _Node] = {}
+        # (id, st, end, alive-flag index is implicit: tombstoned payloads
+        # are removed eagerly — payload lists are tiny per node)
+        self.payloads: List[Tuple[int, Timestamp, Timestamp]] = []
+
+
+class SetTrie:
+    """Trie over element *ranks*; supports insert, delete, superset search.
+
+    Elements are interned to dense integer ranks on first sight; a stored
+    set becomes the sorted sequence of its ranks.  Superset search follows
+    the standard set-trie recursion: to still need rank ``r``, a child with
+    rank ``< r`` may be descended through (it adds elements we don't
+    require), a child with rank ``== r`` consumes the requirement, children
+    with rank ``> r`` are pruned.
+    """
+
+    def __init__(self) -> None:
+        self._root = _Node()
+        self._rank: Dict[Element, int] = {}
+        self._n = 0
+
+    def _ranks(self, elements: Iterable[Element], intern: bool) -> Optional[List[int]]:
+        materialised = list(elements)
+        if intern:
+            # Intern unseen elements in repr order — deterministic across
+            # processes and set-iteration orders, so the trie's shape (and
+            # its prefix sharing) is reproducible.
+            for element in sorted(
+                (e for e in materialised if e not in self._rank), key=repr
+            ):
+                self._rank[element] = len(self._rank)
+        out = []
+        for element in materialised:
+            rank = self._rank.get(element)
+            if rank is None:
+                return None  # unseen element: no stored superset exists
+            out.append(rank)
+        out.sort()
+        return out
+
+    def __len__(self) -> int:
+        return self._n
+
+    # ---------------------------------------------------------------- updates
+    def insert(self, description: Iterable[Element], payload: Tuple[int, Timestamp, Timestamp]) -> None:
+        node = self._root
+        for rank in self._ranks(description, intern=True) or []:
+            child = node.children.get(rank)
+            if child is None:
+                child = node.children[rank] = _Node()
+            node = child
+        node.payloads.append(payload)
+        self._n += 1
+
+    def delete(self, description: Iterable[Element], object_id: int) -> None:
+        ranks = self._ranks(description, intern=False)
+        if ranks is None:
+            raise UnknownObjectError(object_id)
+        node = self._root
+        for rank in ranks:
+            child = node.children.get(rank)
+            if child is None:
+                raise UnknownObjectError(object_id)
+            node = child
+        for i, payload in enumerate(node.payloads):
+            if payload[0] == object_id:
+                node.payloads.pop(i)
+                self._n -= 1
+                return
+        raise UnknownObjectError(object_id)
+
+    # ------------------------------------------------------------------ query
+    def supersets(self, query: Iterable[Element]) -> List[Tuple[int, Timestamp, Timestamp]]:
+        """Payloads of every stored set that is a superset of ``query``."""
+        ranks = self._ranks(query, intern=False)
+        if ranks is None:
+            return []
+        out: List[Tuple[int, Timestamp, Timestamp]] = []
+        self._collect(self._root, ranks, 0, out)
+        return out
+
+    def _collect(
+        self,
+        node: _Node,
+        required: List[int],
+        next_required: int,
+        out: List[Tuple[int, Timestamp, Timestamp]],
+    ) -> None:
+        if next_required == len(required):
+            self._collect_all(node, out)
+            return
+        target = required[next_required]
+        for rank, child in node.children.items():
+            if rank < target:
+                # Extra element we don't require — keep looking below.
+                self._collect(child, required, next_required, out)
+            elif rank == target:
+                self._collect(child, required, next_required + 1, out)
+            # rank > target: the sorted-path invariant means `target` can
+            # never appear below — prune.
+
+    def _collect_all(self, node: _Node, out: List) -> None:
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            out.extend(current.payloads)
+            stack.extend(current.children.values())
+
+    # ------------------------------------------------------------------ sizes
+    def n_nodes(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def size_bytes(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += CONTAINER_BYTES + len(node.payloads) * ENTRY_FULL_BYTES
+            stack.extend(node.children.values())
+        return total

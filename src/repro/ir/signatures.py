@@ -1,0 +1,55 @@
+"""Signature files for containment search (paper §6.1, refs [28, 29]).
+
+The idea behind signature files: hash every element to a fixed-size bit
+pattern and superimpose (OR) the patterns of an object's description into
+its *signature*.  A query's signature is built the same way; any object
+whose signature is not a bit-superset of the query's provably cannot
+contain all query elements, so signatures are a cheap pre-filter.  The
+filter admits false positives (bit collisions), so candidates are verified
+against the true descriptions.
+
+The paper — like the studies it cites ([35] for set-valued attributes,
+[66] for text) — finds inverted files superior for containment queries and
+builds exclusively on them; this module exists to let the repository
+*demonstrate* that claim (`benchmarks/test_ablation_containment.py`) rather
+than import it.
+
+This module holds the pure coding machinery; the composite
+``SignatureFileIndex`` lives in :mod:`repro.indexes.containment` (the
+layering keeps :mod:`repro.ir` free of :mod:`repro.indexes` dependencies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.core.model import Element
+
+
+def element_pattern(element: Element, signature_bits: int, bits_per_element: int) -> int:
+    """The superimposed-coding bit pattern of one element.
+
+    ``bits_per_element`` distinct bit positions derived from a stable hash
+    (md5 of the element's string form — reproducible across processes,
+    unlike ``hash()``).
+    """
+    if signature_bits < 1:
+        raise ConfigurationError(f"signature_bits must be >= 1, got {signature_bits}")
+    digest = hashlib.md5(repr(element).encode("utf-8")).digest()
+    pattern = 0
+    seed = int.from_bytes(digest, "big")
+    for k in range(bits_per_element):
+        pattern |= 1 << ((seed >> (k * 16)) % signature_bits)
+    return pattern
+
+
+def make_signature(
+    description: Iterable[Element], signature_bits: int, bits_per_element: int
+) -> int:
+    """OR-superimpose the element patterns of a description."""
+    signature = 0
+    for element in description:
+        signature |= element_pattern(element, signature_bits, bits_per_element)
+    return signature

@@ -1,0 +1,29 @@
+"""Query workload generation for the paper's four experiment axes."""
+
+from repro.queries.io import load_queries, load_workloads, save_queries, save_workloads
+
+from repro.queries.generator import (
+    DEFAULT_EXTENT_PCT,
+    DEFAULT_NUM_ELEMENTS,
+    EXTENT_PCTS,
+    FREQUENCY_BANDS,
+    NUM_ELEMENTS,
+    SELECTIVITY_BINS,
+    QueryWorkload,
+    band_label,
+)
+
+__all__ = [
+    "DEFAULT_EXTENT_PCT",
+    "DEFAULT_NUM_ELEMENTS",
+    "EXTENT_PCTS",
+    "FREQUENCY_BANDS",
+    "NUM_ELEMENTS",
+    "QueryWorkload",
+    "load_queries",
+    "load_workloads",
+    "save_queries",
+    "save_workloads",
+    "SELECTIVITY_BINS",
+    "band_label",
+]

@@ -1,0 +1,267 @@
+"""Query workload generation (paper Section 5.1).
+
+The experiments vary four parameters:
+
+1. **query interval extent** as a percentage of the time domain, from 0.01 %
+   to the 100 % extreme (plus stabbing queries at extent 0),
+2. **number of query elements** |q.d| in {1..5},
+3. **element frequency** of the query terms, drawn from the bands
+   ``[*-0.1] (0.1-1] (1-10] (10-*]`` percent of the collection,
+4. **query selectivity** (result size in % of cardinality), binned into
+   ``0, (0-10⁻³], (10⁻³-10⁻²], (10⁻²-10⁻¹], (10⁻¹-1], (1-10]``.
+
+Every generated query (except the 0-selectivity bin) is guaranteed a
+non-empty result — the paper runs "10K random time-travel IR queries with a
+non-empty result set".  We guarantee it constructively with an **anchor
+object**: query elements are sampled from a random object's description and
+the query interval is placed to overlap that object's lifespan, so the
+anchor itself always qualifies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError, EmptyCollectionError
+from repro.core.model import Element, TemporalObject, TimeTravelQuery
+
+#: The paper's extent axis (percent of the domain).  ``0`` denotes stabbing
+#: queries (the "stab" tick of Figure 11).
+EXTENT_PCTS: Sequence[float] = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0)
+
+#: Default extent when another axis is being varied.
+DEFAULT_EXTENT_PCT = 0.1
+
+#: The |q.d| axis.
+NUM_ELEMENTS: Sequence[int] = (1, 2, 3, 4, 5)
+
+#: Default |q.d| when another axis is being varied.
+DEFAULT_NUM_ELEMENTS = 3
+
+#: The element-frequency bands, in percent of the cardinality
+#: (low exclusive, high inclusive).
+FREQUENCY_BANDS: Sequence[Tuple[float, float]] = (
+    (0.0, 0.1),
+    (0.1, 1.0),
+    (1.0, 10.0),
+    (10.0, 100.0),
+)
+
+#: The selectivity bins, in percent of the cardinality.
+SELECTIVITY_BINS: Sequence[Tuple[float, float]] = (
+    (0.0, 0.0),  # empty results
+    (0.0, 1e-3),
+    (1e-3, 1e-2),
+    (1e-2, 1e-1),
+    (1e-1, 1.0),
+    (1.0, 10.0),
+)
+
+
+def band_label(band: Tuple[float, float]) -> str:
+    """Human-readable label of a frequency band / selectivity bin."""
+    lo, hi = band
+    if lo == hi:
+        return "0"
+    if lo == 0.0:
+        return f"[*-{hi:g}]"
+    if hi >= 100.0:
+        return f"({lo:g}-*]"
+    return f"({lo:g}-{hi:g}]"
+
+
+class QueryWorkload:
+    """Reproducible query generator over one collection."""
+
+    def __init__(self, collection: Collection, seed: int = 0, max_tries: int = 200) -> None:
+        if not len(collection):
+            raise EmptyCollectionError("cannot generate queries for an empty collection")
+        self._collection = collection
+        self._rng = random.Random(seed)
+        self._max_tries = max_tries
+        self._objects = collection.objects()
+        domain = collection.domain()
+        self._domain_lo = domain.st
+        self._domain_hi = domain.end
+        self._domain_span = domain.end - domain.st
+
+    # ----------------------------------------------------------------- pieces
+    def _random_object(self, min_elements: int = 1) -> TemporalObject:
+        for _ in range(self._max_tries):
+            obj = self._rng.choice(self._objects)
+            if len(obj.d) >= min_elements:
+                return obj
+        # Fall back to the richest object rather than failing the workload.
+        return max(self._objects, key=lambda o: len(o.d))
+
+    def _interval_overlapping(
+        self, obj: TemporalObject, extent_pct: float
+    ) -> Tuple[float, float]:
+        """A query interval of the given extent guaranteed to overlap ``obj``."""
+        length = self._domain_span * extent_pct / 100.0
+        lo = max(self._domain_lo, obj.st - length)
+        hi = min(obj.end, self._domain_hi - length)
+        if hi < lo:
+            hi = lo
+        q_st = self._rng.uniform(lo, hi)
+        if isinstance(self._domain_lo, int) and isinstance(self._domain_hi, int):
+            q_st = int(q_st)
+            return q_st, q_st + int(length)
+        return q_st, q_st + length
+
+    def _elements_from(self, obj: TemporalObject, k: int) -> List[Element]:
+        pool = sorted(obj.d, key=repr)
+        k = min(k, len(pool))
+        return self._rng.sample(pool, k)
+
+    # ------------------------------------------------------------------ axes
+    def by_extent(
+        self,
+        extent_pct: float,
+        n_queries: int,
+        n_elements: int = DEFAULT_NUM_ELEMENTS,
+    ) -> List[TimeTravelQuery]:
+        """Axis (1): fixed extent (0 = stabbing), default |q.d|."""
+        queries = []
+        for _ in range(n_queries):
+            obj = self._random_object(min_elements=1)
+            q_st, q_end = self._interval_overlapping(obj, extent_pct)
+            queries.append(
+                TimeTravelQuery(q_st, q_end, frozenset(self._elements_from(obj, n_elements)))
+            )
+        return queries
+
+    def by_num_elements(
+        self,
+        n_elements: int,
+        n_queries: int,
+        extent_pct: float = DEFAULT_EXTENT_PCT,
+    ) -> List[TimeTravelQuery]:
+        """Axis (2): fixed |q.d|, default extent."""
+        if n_elements < 1:
+            raise ConfigurationError(f"n_elements must be >= 1, got {n_elements}")
+        queries = []
+        for _ in range(n_queries):
+            obj = self._random_object(min_elements=n_elements)
+            q_st, q_end = self._interval_overlapping(obj, extent_pct)
+            queries.append(
+                TimeTravelQuery(q_st, q_end, frozenset(self._elements_from(obj, n_elements)))
+            )
+        return queries
+
+    def by_frequency_band(
+        self,
+        band: Tuple[float, float],
+        n_queries: int,
+        extent_pct: float = DEFAULT_EXTENT_PCT,
+        n_elements: int = DEFAULT_NUM_ELEMENTS,
+    ) -> List[TimeTravelQuery]:
+        """Axis (3): query elements restricted to one frequency band.
+
+        The anchor's description is filtered to band elements; when fewer
+        than ``n_elements`` co-occur, the query uses as many as exist (at
+        least one) — real collections rarely have 3 co-occurring sub-0.1 %
+        elements, and the paper's bins face the same constraint.
+        """
+        low_pct, high_pct = band
+        n = len(self._collection)
+        queries: List[TimeTravelQuery] = []
+        dictionary = self._collection.dictionary
+        for _ in range(n_queries):
+            best: Optional[Tuple[TemporalObject, List[Element]]] = None
+            for _try in range(self._max_tries):
+                obj = self._rng.choice(self._objects)
+                in_band = [
+                    e
+                    for e in sorted(obj.d, key=repr)
+                    if low_pct < 100.0 * dictionary.frequency(e) / n <= high_pct
+                    or (low_pct == 0.0 and 100.0 * dictionary.frequency(e) / n <= high_pct)
+                ]
+                if len(in_band) >= n_elements:
+                    best = (obj, self._rng.sample(in_band, n_elements))
+                    break
+                if in_band and (best is None or len(in_band) > len(best[1])):
+                    best = (obj, in_band)
+            if best is None:
+                continue  # the band is empty for this collection
+            obj, elements = best
+            q_st, q_end = self._interval_overlapping(obj, extent_pct)
+            queries.append(TimeTravelQuery(q_st, q_end, frozenset(elements)))
+        return queries
+
+    # ------------------------------------------------------------ selectivity
+    def empty_result_queries(self, n_queries: int) -> List[TimeTravelQuery]:
+        """The 0 % selectivity bin: verified-empty queries."""
+        queries: List[TimeTravelQuery] = []
+        tries = 0
+        while len(queries) < n_queries and tries < self._max_tries * n_queries:
+            tries += 1
+            a = self._rng.choice(self._objects)
+            b = self._rng.choice(self._objects)
+            elements = frozenset(
+                self._elements_from(a, 2) + self._elements_from(b, 2)
+            )
+            length = self._domain_span * 0.001
+            q_st = self._rng.uniform(self._domain_lo, self._domain_hi - length)
+            if isinstance(self._domain_lo, int):
+                q_st = int(q_st)
+                length = int(length)
+            q = TimeTravelQuery(q_st, q_st + length, elements)
+            if not self._collection.evaluate(q):
+                queries.append(q)
+        return queries
+
+    def by_selectivity(
+        self,
+        bins: Sequence[Tuple[float, float]] = SELECTIVITY_BINS,
+        n_per_bin: int = 20,
+        max_attempts_factor: int = 60,
+    ) -> Dict[str, List[TimeTravelQuery]]:
+        """Axis (4): queries bucketed by measured result-size percentage.
+
+        Mixed candidates (varying extent and |q.d|) are evaluated against the
+        collection and routed to their bin; generation stops when every bin
+        is full or the attempt budget runs out (sparse high-selectivity bins
+        may stay under-full on small collections — callers should check).
+        """
+        out: Dict[str, List[TimeTravelQuery]] = {band_label(b): [] for b in bins}
+        zero_label = band_label((0.0, 0.0))
+        if zero_label in out:
+            out[zero_label] = self.empty_result_queries(n_per_bin)
+        n = len(self._collection)
+        attempts = 0
+        budget = max_attempts_factor * n_per_bin * len(bins)
+        while attempts < budget and any(
+            len(out[band_label(b)]) < n_per_bin for b in bins if b[0] != b[1]
+        ):
+            attempts += 1
+            extent = self._rng.choice([0.01, 0.1, 1.0, 5.0, 10.0, 50.0])
+            k = self._rng.choice([1, 2, 3])
+            obj = self._random_object(min_elements=k)
+            q_st, q_end = self._interval_overlapping(obj, extent)
+            q = TimeTravelQuery(q_st, q_end, frozenset(self._elements_from(obj, k)))
+            pct = 100.0 * len(self._collection.evaluate(q)) / n
+            for b in bins:
+                lo, hi = b
+                if lo == hi:
+                    continue
+                if lo < pct <= hi and len(out[band_label(b)]) < n_per_bin:
+                    out[band_label(b)].append(q)
+                    break
+        return out
+
+    # ------------------------------------------------------------------ mixed
+    def mixed(self, n_queries: int) -> List[TimeTravelQuery]:
+        """A mixed workload across extents and |q.d| (smoke tests, examples)."""
+        queries = []
+        for _ in range(n_queries):
+            extent = self._rng.choice(list(EXTENT_PCTS[:6]))
+            k = self._rng.choice(list(NUM_ELEMENTS))
+            obj = self._random_object(min_elements=1)
+            q_st, q_end = self._interval_overlapping(obj, extent)
+            queries.append(
+                TimeTravelQuery(q_st, q_end, frozenset(self._elements_from(obj, k)))
+            )
+        return queries

@@ -1,0 +1,80 @@
+"""Persistence for query workloads.
+
+Saving generated workloads makes experiment runs replayable bit-for-bit
+across machines and sessions — the workload file, not the generator seed,
+becomes the source of truth.  Format: JSON lines, one query per line,
+optionally grouped into labelled workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.core.errors import ReproError
+from repro.core.model import TimeTravelQuery
+
+PathLike = Union[str, Path]
+
+
+def save_queries(queries: Sequence[TimeTravelQuery], path: PathLike) -> None:
+    """One ``{"st", "end", "d"}`` JSON object per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for q in queries:
+            record = {"st": q.st, "end": q.end, "d": sorted(str(e) for e in q.d)}
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def load_queries(path: PathLike) -> List[TimeTravelQuery]:
+    """Load a workload written by :func:`save_queries`."""
+    queries: List[TimeTravelQuery] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                queries.append(
+                    TimeTravelQuery(
+                        record["st"], record["end"], frozenset(record["d"])
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ReproError(f"{path}:{line_number}: malformed query: {exc}") from exc
+    return queries
+
+
+def save_workloads(
+    workloads: Dict[str, Sequence[TimeTravelQuery]], path: PathLike
+) -> None:
+    """Labelled workloads: ``{"label": ..., "st": ...}`` per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for label, queries in workloads.items():
+            for q in queries:
+                record = {
+                    "label": label,
+                    "st": q.st,
+                    "end": q.end,
+                    "d": sorted(str(e) for e in q.d),
+                }
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+def load_workloads(path: PathLike) -> Dict[str, List[TimeTravelQuery]]:
+    """Load labelled workloads written by :func:`save_workloads`."""
+    out: Dict[str, List[TimeTravelQuery]] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                out.setdefault(record["label"], []).append(
+                    TimeTravelQuery(record["st"], record["end"], frozenset(record["d"]))
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ReproError(f"{path}:{line_number}: malformed query: {exc}") from exc
+    return out

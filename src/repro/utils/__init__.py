@@ -1,0 +1,61 @@
+"""Shared utilities: bit arithmetic, size accounting, timing, sorted-sequence helpers."""
+
+from repro.utils.bitops import (
+    domain_size,
+    is_left_child,
+    is_right_child,
+    max_cell,
+    min_bits_for,
+    partition_extent,
+    partition_of,
+    partitions_per_level,
+    prefix,
+    validate_num_bits,
+)
+from repro.utils.memory import SizeModel, deep_getsizeof, mib
+from repro.utils.sorting import (
+    chunked,
+    count_in_range,
+    dedupe_sorted,
+    is_sorted,
+    is_strictly_increasing,
+    merge_sorted,
+    sorted_contains,
+)
+from repro.utils.timing import (
+    Stopwatch,
+    ThroughputMeasurement,
+    measure_query_throughput,
+    throughput,
+    time_call,
+    timed,
+)
+
+__all__ = [
+    "SizeModel",
+    "Stopwatch",
+    "ThroughputMeasurement",
+    "chunked",
+    "count_in_range",
+    "dedupe_sorted",
+    "deep_getsizeof",
+    "domain_size",
+    "is_left_child",
+    "is_right_child",
+    "is_sorted",
+    "is_strictly_increasing",
+    "max_cell",
+    "measure_query_throughput",
+    "merge_sorted",
+    "mib",
+    "min_bits_for",
+    "partition_extent",
+    "partition_of",
+    "partitions_per_level",
+    "prefix",
+    "sorted_contains",
+    "throughput",
+    "time_call",
+    "timed",
+    "validate_num_bits",
+]

@@ -1,0 +1,75 @@
+"""Tests for benchmark scales, dataset caching and tuned parameters."""
+
+import pytest
+
+from repro.bench.config import (
+    ALPHA_SWEEP,
+    DOMAIN_SIZE_SWEEP,
+    SCALES,
+    get_scale,
+    real_collection,
+    synthetic_collection,
+)
+from repro.bench.tuned import TUNED_PARAMS, tuned
+from repro.core.errors import ConfigurationError
+from repro.indexes.registry import PAPER_METHODS, build_index
+
+
+class TestScales:
+    def test_all_scales_present(self):
+        assert set(SCALES) == {"tiny", "small", "medium", "large"}
+
+    def test_scales_ordered_by_size(self):
+        sizes = [SCALES[name].n_real for name in ("tiny", "small", "medium", "large")]
+        assert sizes == sorted(sizes)
+        queries = [SCALES[name].n_queries for name in ("tiny", "small", "medium", "large")]
+        assert queries == sorted(queries)
+
+    def test_get_scale_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("galactic")
+
+    def test_sweeps_match_paper_values(self):
+        assert ALPHA_SWEEP == [1.01, 1.1, 1.2, 1.4, 1.8]
+        assert DOMAIN_SIZE_SWEEP[0] == 32_000_000
+        assert DOMAIN_SIZE_SWEEP[-1] == 512_000_000
+
+
+class TestCaching:
+    def test_real_collection_cached(self):
+        assert real_collection("eclog", "tiny") is real_collection("eclog", "tiny")
+
+    def test_real_collection_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            real_collection("imdb", "tiny")
+
+    def test_synthetic_overrides_create_new_entries(self):
+        base = synthetic_collection("tiny")
+        swept = synthetic_collection("tiny", alpha=1.4)
+        assert base is not swept
+        assert len(base) == len(swept)
+
+
+class TestTuned:
+    def test_every_paper_method_has_an_entry(self):
+        for key in PAPER_METHODS:
+            assert key in TUNED_PARAMS
+
+    def test_tuned_returns_copies(self):
+        first = tuned("tif-slicing")
+        first["n_slices"] = 999
+        assert tuned("tif-slicing")["n_slices"] == 50
+
+    def test_unknown_key_is_empty(self):
+        assert tuned("not-a-method") == {}
+
+    def test_tuned_params_accepted_by_builders(self, running_example):
+        for key in PAPER_METHODS:
+            index = build_index(key, running_example, **tuned(key))
+            assert len(index) == len(running_example)
+
+    def test_paper_values(self):
+        assert tuned("tif-slicing")["n_slices"] == 50
+        assert tuned("tif-hint-merge")["num_bits"] == 5
+        assert tuned("tif-hint-binary")["num_bits"] == 10
+        assert tuned("irhint-perf")["num_bits"] is None  # cost model

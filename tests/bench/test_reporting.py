@@ -1,0 +1,59 @@
+"""Tests for the text reporting helpers."""
+
+import io
+
+from repro.bench.reporting import SeriesTable, TextTable, banner, fmt, summarize_shape
+
+
+class TestFmt:
+    def test_none(self):
+        assert fmt(None) == "n/a"
+
+    def test_nan_and_inf(self):
+        assert fmt(float("nan")) == "n/a"
+        assert fmt(float("inf")) == "inf"
+
+    def test_magnitudes(self):
+        assert fmt(123456.0) == "1.23e+05"
+        assert fmt(1234.0) == "1234"
+        assert fmt(12.345) == "12.35"
+        assert fmt(0.01234) == "0.0123"
+        assert fmt(0.0) == "0"
+
+    def test_ints_and_strings(self):
+        assert fmt(42) == "42"
+        assert fmt("label") == "label"
+        assert fmt(True) == "True"
+
+
+class TestTables:
+    def test_render_alignment(self):
+        table = TextTable("T", ["col", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["long-label", 2.5])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[2]
+        assert "long-label" in text
+
+    def test_series_table(self):
+        table = SeriesTable("S", "x", ["m1", "m2"])
+        table.add_point(0.1, [100.0, 200.0])
+        text = table.render()
+        assert "m1" in text and "0.1" in text and "200" in text
+
+    def test_print_to_stream(self):
+        stream = io.StringIO()
+        table = TextTable("T", ["a"])
+        table.add_row([1])
+        table.print(stream)
+        assert "T" in stream.getvalue()
+
+
+def test_banner_and_shape(capsys):
+    banner("section")
+    summarize_shape("fig", ["obs one", "obs two"])
+    captured = capsys.readouterr().out
+    assert "section" in captured
+    assert "obs one" in captured and "obs two" in captured

@@ -1,0 +1,87 @@
+"""Tests for experiment-result persistence (non-string keys round-trip)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench.results_io import load_results, save_results
+from repro.bench.shapes import run_checks
+from repro.core.errors import ReproError
+
+
+class TestRoundtrip:
+    def test_nested_mixed_keys(self, tmp_path):
+        results = {
+            "fig12": {
+                "alpha": {1.01: {"a": 100.5, "b": 50}, 1.8: {"a": 500, "b": 300}},
+                "cardinality": {2000: {"a": 5}, 32000: {"a": 1}},
+            },
+            "notes": ["x", "y"],
+        }
+        path = tmp_path / "r.json"
+        save_results(results, path)
+        assert load_results(path) == results
+
+    def test_float_key_types_preserved(self, tmp_path):
+        results = {"panel": {1.5: 10, 2: 20, "s": 30, True: 1}}
+        path = tmp_path / "r.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert set(map(type, loaded["panel"])) == {float, int, str, bool}
+
+    def test_special_floats(self, tmp_path):
+        results = {"v": float("inf"), "n": float("nan")}
+        path = tmp_path / "r.json"
+        save_results(results, path)
+        loaded = load_results(path)
+        assert loaded["v"] == float("inf")
+        assert loaded["n"] != loaded["n"]  # NaN
+
+    def test_exotic_values_stringified(self, tmp_path):
+        results = {"q": frozenset({"a"})}
+        path = tmp_path / "r.json"
+        save_results(results, path)
+        assert "frozenset" in load_results(path)["q"]
+
+    def test_unsupported_key_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            save_results({("tuple", "key"): 1}, tmp_path / "r.json")
+
+    def test_non_dict_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ReproError):
+            load_results(path)
+
+    @given(
+        st.dictionaries(
+            st.one_of(st.text(max_size=6), st.integers(-50, 50), st.floats(-10, 10)),
+            st.one_of(st.integers(), st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=6)),
+            max_size=8,
+        )
+    )
+    def test_property_roundtrip(self, mapping):
+        import json
+
+        from repro.bench.results_io import _decode, _encode
+
+        encoded = json.loads(json.dumps(_encode({"panel": mapping})))
+        assert _decode(encoded) == {"panel": mapping}
+
+
+class TestShapesIntegration:
+    def test_checks_run_on_loaded_results(self, tmp_path):
+        results = {
+            "fig8": {
+                "eclog": {
+                    "slices": [1, 50],
+                    "build_s": [0.1, 0.5],
+                    "size_mb": [1.0, 4.0],
+                    "throughput": [5000, 27000],
+                }
+            }
+        }
+        path = tmp_path / "r.json"
+        save_results(results, path)
+        checks = run_checks(load_results(path))
+        assert checks and all(c.passed for c in checks)

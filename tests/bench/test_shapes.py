@@ -1,0 +1,191 @@
+"""Tests for the programmatic shape validation."""
+
+from repro.bench.shapes import (
+    ShapeCheck,
+    check_fig8,
+    check_fig9,
+    check_fig10,
+    check_fig11,
+    check_fig12,
+    check_table5,
+    check_table6,
+    check_table7,
+    render_checks,
+    run_checks,
+)
+
+
+def paperlike_fig8():
+    return {
+        "eclog": {
+            "slices": [1, 10, 50, 250],
+            "build_s": [0.1, 0.2, 0.5, 1.0],
+            "size_mb": [1.0, 2.0, 4.0, 10.0],
+            "throughput": [5000, 20000, 27000, 26000],
+        }
+    }
+
+
+class TestFig8:
+    def test_paperlike_passes(self):
+        checks = check_fig8(paperlike_fig8())
+        assert all(c.passed for c in checks)
+
+    def test_shrinking_size_fails(self):
+        data = paperlike_fig8()
+        data["eclog"]["size_mb"] = [10.0, 4.0, 2.0, 1.0]
+        checks = check_fig8(data)
+        assert not all(c.passed for c in checks)
+
+    def test_degenerate_single_slice_winning_fails(self):
+        data = paperlike_fig8()
+        data["eclog"]["throughput"] = [99999, 10, 10, 10]
+        assert any(not c.passed for c in check_fig8(data))
+
+
+class TestFig9:
+    def base(self):
+        variant = {
+            "m": [1, 5, 10],
+            "build_s": [0.1, 0.3, 1.0],
+            "size_mb": [1.0, 2.0, 4.0],
+            "throughput": [5000, 9000, 7000],
+        }
+        return {"eclog": {
+            "tif-hint-merge": dict(variant),
+            "tif-hint-binary": dict(variant),
+            "tif-hint-slicing": dict(variant),
+        }}
+
+    def test_paperlike_passes(self):
+        assert all(c.passed for c in check_fig9(self.base()))
+
+    def test_size_divergence_fails(self):
+        data = self.base()
+        data["eclog"]["tif-hint-binary"] = {
+            **data["eclog"]["tif-hint-binary"],
+            "size_mb": [9.0, 9.0, 9.0],
+        }
+        assert any(not c.passed for c in check_fig9(data))
+
+
+class TestFig10:
+    def test_merge_beats_binary_multi(self):
+        data = {"eclog": {
+            "tif-hint-binary": {"|q.d|=1": 30000, "|q.d|=3": 6000},
+            "tif-hint-merge": {"|q.d|=1": 31000, "|q.d|=3": 10000},
+            "tif-hint-slicing": {"|q.d|=1": 26000, "|q.d|=3": 19000},
+        }}
+        assert all(c.passed for c in check_fig10(data))
+
+    def test_binary_winning_multi_fails(self):
+        data = {"eclog": {
+            "tif-hint-binary": {"|q.d|=1": 30000, "|q.d|=3": 20000},
+            "tif-hint-merge": {"|q.d|=1": 31000, "|q.d|=3": 10000},
+            "tif-hint-slicing": {"|q.d|=1": 26000, "|q.d|=3": 19000},
+        }}
+        assert any(not c.passed for c in check_fig10(data))
+
+
+class TestTable5:
+    def paperlike(self):
+        rows = {
+            "tif-slicing": (0.5, 8.4),
+            "tif-sharding": (0.15, 1.9),
+            "tif-hint-binary": (4.8, 7.3),
+            "tif-hint-merge": (2.7, 3.1),
+            "tif-hint-slicing": (1.8, 9.0),
+            "irhint-perf": (1.2, 5.7),
+            "irhint-size": (0.6, 3.0),
+        }
+        return {
+            key: {
+                "time_eclog": t, "size_eclog": s,
+                "time_wikipedia": t, "size_wikipedia": s,
+            }
+            for key, (t, s) in rows.items()
+        }
+
+    def test_paperlike_passes(self):
+        assert all(c.passed for c in check_table5(self.paperlike()))
+
+    def test_bloated_sharding_fails(self):
+        data = self.paperlike()
+        for kind in ("eclog", "wikipedia"):
+            data["tif-sharding"][f"size_{kind}"] = 99.0
+            data["irhint-size"][f"size_{kind}"] = 99.0
+        assert any(not c.passed for c in check_table5(data))
+
+
+class TestFig11:
+    def paperlike(self):
+        methods = {
+            "tif-slicing": {"extent=stab": 36000, "extent=0.01%": 35000, "extent=10%": 9000, "extent=5%": 14000, "extent=50%": 1700, "extent=100%": 800},
+            "tif-sharding": {"extent=stab": 9900, "extent=0.01%": 10000, "extent=10%": 9200, "extent=5%": 9400, "extent=50%": 4200, "extent=100%": 3000},
+            "tif-hint-slicing": {"extent=stab": 20000, "extent=0.01%": 20600, "extent=10%": 8100, "extent=5%": 10900, "extent=50%": 1800, "extent=100%": 850},
+            "irhint-perf": {"extent=stab": 24000, "extent=0.01%": 24700, "extent=10%": 14600, "extent=5%": 16800, "extent=50%": 5100, "extent=100%": 2800},
+            "irhint-size": {"extent=stab": 10800, "extent=0.01%": 11100, "extent=10%": 5000, "extent=5%": 6500, "extent=50%": 1500, "extent=100%": 847},
+        }
+        return {"wikipedia": methods}
+
+    def test_paperlike_passes(self):
+        checks = check_fig11(self.paperlike())
+        assert all(c.passed for c in checks)
+
+    def test_flat_ratio_fails(self):
+        data = self.paperlike()
+        data["wikipedia"]["irhint-perf"]["extent=10%"] = 100
+        assert any(not c.passed for c in check_fig11(data))
+
+
+class TestFig12:
+    def test_alpha_and_cardinality_claims(self):
+        data = {
+            "alpha": {
+                1.01: {"a": 100, "b": 50},
+                1.8: {"a": 500, "b": 300},
+            },
+            "cardinality": {
+                2000: {"a": 500, "b": 300},
+                32000: {"a": 100, "b": 50},
+            },
+        }
+        assert all(c.passed for c in check_fig12(data))
+
+
+class TestTables67:
+    def paperlike6(self):
+        rows = {
+            "tif-slicing": 0.03, "tif-sharding": 0.034, "tif-hint-binary": 0.18,
+            "tif-hint-merge": 0.07, "tif-hint-slicing": 0.11,
+            "irhint-perf": 0.05, "irhint-size": 0.09,
+        }
+        return {
+            key: {f"{kind}_0.1": value for kind in ("eclog", "wikipedia")}
+            for key, value in rows.items()
+        }
+
+    def test_table6_paperlike(self):
+        assert all(c.passed for c in check_table6(self.paperlike6()))
+
+    def test_table7_merge_vs_hybrid(self):
+        data = self.paperlike6()
+        checks = check_table7(data)
+        strict = [c for c in checks if c.strict]
+        assert all(c.passed for c in strict)
+
+
+class TestPlumbing:
+    def test_run_checks_dispatch(self):
+        results = {"fig8": paperlike_fig8()}
+        checks = run_checks(results)
+        assert checks and all(c.experiment == "fig8" for c in checks)
+
+    def test_render(self):
+        checks = [
+            ShapeCheck("fig8", "claim", True, "detail"),
+            ShapeCheck("fig8", "weak claim", False, "detail", strict=False),
+            ShapeCheck("fig8", "hard claim", False, "detail"),
+        ]
+        text = render_checks(checks)
+        assert "PASS" in text and "DEVIATION" in text and "FAIL" in text

@@ -1,0 +1,102 @@
+"""Tests for collections and their Table 3 statistics."""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.errors import (
+    DuplicateObjectError,
+    EmptyCollectionError,
+    UnknownObjectError,
+)
+from repro.core.model import make_object, make_query
+
+
+class TestBasics:
+    def test_len_iter_contains(self, running_example):
+        assert len(running_example) == 8
+        assert 4 in running_example
+        assert 99 not in running_example
+        assert {o.id for o in running_example} == set(range(1, 9))
+
+    def test_getitem(self, running_example):
+        assert running_example[2].d == frozenset({"a", "c"})
+        with pytest.raises(UnknownObjectError):
+            running_example[99]
+
+    def test_duplicate_id_rejected(self, running_example):
+        with pytest.raises(DuplicateObjectError):
+            running_example.add(make_object(1, 0, 1))
+
+    def test_remove_updates_dictionary(self, running_example):
+        before = running_example.dictionary.frequency("b")
+        running_example.remove(3)  # o3 = {b}
+        assert running_example.dictionary.frequency("b") == before - 1
+        assert 3 not in running_example
+
+    def test_remove_unknown(self, running_example):
+        with pytest.raises(UnknownObjectError):
+            running_example.remove(99)
+
+    def test_objects_sorted_by_id(self, running_example):
+        ids = [o.id for o in running_example.objects()]
+        assert ids == sorted(ids)
+
+    def test_domain(self, running_example):
+        assert running_example.domain() == (0, 7)
+
+    def test_domain_empty_raises(self):
+        with pytest.raises(EmptyCollectionError):
+            Collection().domain()
+
+
+class TestEvaluate:
+    def test_running_example(self, running_example, example_query):
+        assert running_example.evaluate(example_query) == [2, 4, 7]
+
+    def test_pure_temporal(self, running_example):
+        # All objects overlapping [2, 4].
+        assert running_example.evaluate(make_query(2, 4)) == [2, 4, 5, 6, 7, 8]
+
+    def test_stabbing(self, running_example):
+        assert running_example.evaluate(make_query(0, 0, {"b"})) == [3, 4]
+
+    def test_unknown_element_yields_empty(self, running_example):
+        assert running_example.evaluate(make_query(0, 7, {"zzz"})) == []
+
+    def test_selectivity(self, running_example, example_query):
+        assert running_example.selectivity(example_query) == pytest.approx(3 / 8)
+
+
+class TestStats:
+    def test_table3_shape(self, running_example):
+        stats = running_example.stats()
+        assert stats.cardinality == 8
+        assert stats.domain_size == 7
+        assert stats.min_duration == 1
+        assert stats.max_duration == 7
+        assert stats.dictionary_size == 3
+        assert stats.min_description_size == 1
+        assert stats.max_description_size == 3
+        # element frequencies: a:4, b:4, c:7
+        assert stats.max_element_frequency == 7
+        assert stats.min_element_frequency == 4
+
+    def test_stats_rows_order(self, running_example):
+        labels = [label for label, _ in running_example.stats().rows()]
+        assert labels[0] == "Cardinality"
+        assert labels[-1] == "Avg. element frequency [%]"
+        assert len(labels) == 14
+
+    def test_stats_empty_raises(self):
+        with pytest.raises(EmptyCollectionError):
+            Collection().stats()
+
+    def test_duration_histogram_counts_everything(self, running_example):
+        histogram = running_example.duration_histogram(n_bins=4)
+        assert sum(count for _edge, count in histogram) == 8
+
+    def test_frequency_band(self, running_example):
+        # c appears in 7/8 objects = 87.5%
+        assert running_example.elements_by_frequency_band(80.0, 100.0) == ["c"]
+        # a and b in 4/8 = 50%
+        assert running_example.elements_by_frequency_band(40.0, 60.0) == ["a", "b"]

@@ -1,0 +1,124 @@
+"""Tests for the global element dictionary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dictionary import Dictionary
+from repro.core.errors import ReproError
+
+
+def build(*descriptions):
+    return Dictionary.from_descriptions(descriptions)
+
+
+class TestCounting:
+    def test_document_frequency(self):
+        d = build({"a", "b"}, {"a"}, {"a", "c"})
+        assert d.frequency("a") == 3
+        assert d.frequency("b") == 1
+        assert d.frequency("missing") == 0
+
+    def test_duplicates_within_description_count_once(self):
+        d = Dictionary()
+        d.add_description(["a", "a", "a"])
+        assert d.frequency("a") == 1
+
+    def test_len_and_contains(self):
+        d = build({"a", "b"})
+        assert len(d) == 2
+        assert "a" in d and "z" not in d
+
+    def test_remove_description(self):
+        d = build({"a", "b"}, {"a"})
+        d.remove_description({"a", "b"})
+        assert d.frequency("a") == 1
+        assert "b" not in d
+
+    def test_remove_unknown_raises(self):
+        d = build({"a"})
+        with pytest.raises(ReproError):
+            d.remove_description({"z"})
+
+    def test_remove_below_zero_raises(self):
+        d = build({"a"})
+        d.remove_description({"a"})
+        with pytest.raises(ReproError):
+            d.remove_description({"a"})
+
+
+class TestOrdering:
+    def test_order_increasing_frequency(self):
+        d = build({"a", "b"}, {"a"}, {"a", "b"}, {"c"})
+        assert d.order_by_frequency({"a", "b", "c"}) == ["c", "b", "a"]
+
+    def test_unknown_elements_sort_first(self):
+        d = build({"a"}, {"a"})
+        assert d.order_by_frequency({"a", "zzz"})[0] == "zzz"
+
+    def test_deterministic_tie_break(self):
+        d = build({"x", "y"})
+        assert d.order_by_frequency({"y", "x"}) == d.order_by_frequency({"x", "y"})
+
+    def test_least_frequent(self):
+        d = build({"a", "b"}, {"a"})
+        assert d.least_frequent({"a", "b"}) == "b"
+
+    def test_least_frequent_empty_raises(self):
+        with pytest.raises(ReproError):
+            Dictionary().least_frequent([])
+
+
+class TestStats:
+    def test_min_max_mean(self):
+        d = build({"a", "b"}, {"a"}, {"a"})
+        assert d.max_frequency() == 3
+        assert d.min_frequency() == 1
+        assert d.mean_frequency() == 2.0
+
+    def test_empty_stats(self):
+        d = Dictionary()
+        assert d.max_frequency() == 0
+        assert d.min_frequency() == 0
+        assert d.mean_frequency() == 0.0
+
+    def test_histogram(self):
+        d = build({"a", "b"}, {"a"}, {"a"})
+        # a: 3, b: 1 ; bins [1,2) and [2,4)
+        assert d.frequency_histogram([1, 2, 4]) == [1, 1]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcdef"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_add_remove_roundtrip(self, descriptions):
+        d = Dictionary.from_descriptions(descriptions)
+        for description in descriptions:
+            d.remove_description(description)
+        assert len(d) == 0
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcdef"), min_size=1, max_size=4),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_frequencies_equal_recount(self, descriptions):
+        d = Dictionary.from_descriptions(descriptions)
+        for element in "abcdef":
+            expected = sum(1 for desc in descriptions if element in desc)
+            assert d.frequency(element) == expected
+
+    @given(st.frozensets(st.sampled_from("abcdef"), max_size=6))
+    def test_order_is_permutation(self, elements):
+        d = build({"a", "b"}, {"b", "c"}, {"c"})
+        ordered = d.order_by_frequency(elements)
+        assert sorted(map(str, ordered)) == sorted(map(str, elements))
+        freqs = [d.frequency(e) for e in ordered]
+        assert freqs == sorted(freqs)

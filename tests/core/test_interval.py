@@ -1,0 +1,130 @@
+"""Unit and property tests for intervals and the overlap predicate."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidIntervalError
+from repro.core.interval import Interval, overlaps, span_of, validate_interval
+
+
+class TestConstruction:
+    def test_make_valid(self):
+        assert Interval.make(1, 5) == Interval(1, 5)
+
+    def test_make_point(self):
+        interval = Interval.make(3, 3)
+        assert interval.is_point
+        assert interval.duration == 0
+
+    def test_make_rejects_inverted(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.make(5, 1)
+
+    def test_make_rejects_nan(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.make(float("nan"), 1.0)
+
+    def test_make_rejects_infinity(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.make(0.0, float("inf"))
+
+    def test_make_rejects_non_numeric(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.make("a", "b")  # type: ignore[arg-type]
+
+    def test_make_rejects_bool(self):
+        with pytest.raises(InvalidIntervalError):
+            validate_interval(True, 5)
+
+    def test_unpacking(self):
+        st_, end = Interval(2, 9)
+        assert (st_, end) == (2, 9)
+
+    def test_floats_allowed(self):
+        assert Interval.make(0.5, 1.5).duration == 1.0
+
+
+class TestPredicates:
+    def test_overlap_shared_point(self):
+        assert Interval(0, 5).overlaps(Interval(5, 9))
+
+    def test_overlap_containment(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+    def test_no_overlap(self):
+        assert not Interval(0, 2).overlaps(Interval(3, 5))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Interval(0, 4), Interval(4, 8)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_contains_point_boundaries(self):
+        interval = Interval(2, 6)
+        assert interval.contains_point(2)
+        assert interval.contains_point(6)
+        assert not interval.contains_point(7)
+
+    def test_contains_interval(self):
+        assert Interval(0, 10).contains(Interval(0, 10))
+        assert Interval(0, 10).contains(Interval(2, 3))
+        assert not Interval(0, 10).contains(Interval(5, 11))
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 2).intersection(Interval(3, 9)) is None
+
+    def test_union_span(self):
+        assert Interval(0, 2).union_span(Interval(5, 9)) == Interval(0, 9)
+
+    def test_iter_points(self):
+        assert list(Interval(2, 5).iter_points()) == [2, 3, 4, 5]
+
+    def test_iter_points_rejects_floats(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(0.5, 2.5).iter_points()
+
+    def test_free_function_matches_method(self):
+        assert overlaps(0, 5, 5, 9) is True
+        assert overlaps(0, 2, 3, 9) is False
+
+
+class TestSpanOf:
+    def test_span(self):
+        assert span_of([Interval(3, 4), Interval(0, 1), Interval(2, 9)]) == Interval(0, 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            span_of([])
+
+
+bounded_ints = st.integers(min_value=-10_000, max_value=10_000)
+
+
+@st.composite
+def intervals(draw):
+    a = draw(bounded_ints)
+    b = draw(bounded_ints)
+    return Interval(min(a, b), max(a, b))
+
+
+class TestOverlapProperties:
+    @given(intervals(), intervals())
+    def test_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(intervals())
+    def test_reflexivity(self, a):
+        assert a.overlaps(a)
+
+    @given(intervals(), intervals())
+    def test_overlap_equals_pointwise_definition(self, a, b):
+        # Overlap iff max of starts <= min of ends (shared point exists).
+        assert a.overlaps(b) == (max(a.st, b.st) <= min(a.end, b.end))
+
+    @given(intervals(), intervals())
+    def test_intersection_consistent_with_overlap(self, a, b):
+        inter = a.intersection(b)
+        assert (inter is not None) == a.overlaps(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)

@@ -1,0 +1,104 @@
+"""Tests for temporal objects and time-travel queries."""
+
+import pytest
+
+from repro.core.errors import InvalidObjectError, InvalidQueryError
+from repro.core.model import TemporalObject, TimeTravelQuery, make_object, make_query
+
+
+class TestTemporalObject:
+    def test_construction(self):
+        obj = make_object(1, 0, 10, {"a", "b"})
+        assert obj.id == 1
+        assert obj.interval.st == 0
+        assert obj.duration == 10
+        assert obj.d == frozenset({"a", "b"})
+
+    def test_description_normalised_to_frozenset(self):
+        obj = TemporalObject(id=1, st=0, end=1, d=["a", "a", "b"])  # type: ignore[arg-type]
+        assert isinstance(obj.d, frozenset)
+        assert obj.d == frozenset({"a", "b"})
+
+    def test_empty_description_allowed(self):
+        assert make_object(1, 0, 1).d == frozenset()
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(InvalidObjectError):
+            make_object(-1, 0, 1)
+
+    def test_rejects_bool_id(self):
+        with pytest.raises(InvalidObjectError):
+            TemporalObject(id=True, st=0, end=1)  # type: ignore[arg-type]
+
+    def test_rejects_non_int_id(self):
+        with pytest.raises(InvalidObjectError):
+            TemporalObject(id="x", st=0, end=1)  # type: ignore[arg-type]
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(InvalidObjectError):
+            make_object(1, 10, 0)
+
+    def test_describes(self):
+        obj = make_object(1, 0, 1, {"a", "b", "c"})
+        assert obj.describes({"a"})
+        assert obj.describes(set())
+        assert not obj.describes({"a", "z"})
+
+    def test_overlaps_interval(self):
+        obj = make_object(1, 5, 9)
+        assert obj.overlaps_interval(9, 20)
+        assert obj.overlaps_interval(0, 5)
+        assert not obj.overlaps_interval(10, 20)
+
+    def test_matches_full_predicate(self):
+        obj = make_object(1, 5, 9, {"a", "b"})
+        assert obj.matches(make_query(0, 5, {"a"}))
+        assert not obj.matches(make_query(0, 4, {"a"}))  # temporal miss
+        assert not obj.matches(make_query(0, 5, {"z"}))  # description miss
+
+    def test_immutability(self):
+        obj = make_object(1, 0, 1)
+        with pytest.raises(AttributeError):
+            obj.st = 5  # type: ignore[misc]
+
+
+class TestTimeTravelQuery:
+    def test_construction(self):
+        q = make_query(0, 10, {"a"})
+        assert q.extent == 10
+        assert not q.is_stabbing
+        assert not q.is_pure_temporal
+
+    def test_stabbing(self):
+        assert make_query(5, 5).is_stabbing
+
+    def test_pure_temporal(self):
+        assert make_query(0, 1).is_pure_temporal
+        assert not make_query(0, 1, {"a"}).is_pure_temporal
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError):
+            make_query(10, 0)
+
+    def test_description_normalised(self):
+        q = TimeTravelQuery(st=0, end=1, d=["a", "a"])  # type: ignore[arg-type]
+        assert q.d == frozenset({"a"})
+
+    def test_interval_property(self):
+        assert make_query(2, 7).interval == (2, 7)
+
+
+class TestRunningExample:
+    def test_example_2_2(self, running_example, example_query):
+        """The paper's Example 2.2: answer is {o2, o4, o7}."""
+        assert running_example.evaluate(example_query) == [2, 4, 7]
+
+    def test_o1_fails_temporally(self, running_example, example_query):
+        o1 = running_example[1]
+        assert o1.d >= example_query.d
+        assert not o1.matches(example_query)
+
+    def test_o6_fails_on_description(self, running_example, example_query):
+        o6 = running_example[6]
+        assert o6.overlaps_interval(example_query.st, example_query.end)
+        assert not o6.matches(example_query)

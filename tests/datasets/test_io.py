@@ -1,0 +1,69 @@
+"""Tests for collection persistence (JSONL + binary)."""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.errors import ReproError
+from repro.core.model import make_object
+from repro.datasets.io import (
+    load,
+    load_binary,
+    load_jsonl,
+    save,
+    save_binary,
+    save_jsonl,
+)
+
+
+def equal_collections(a: Collection, b: Collection) -> bool:
+    return [(o.id, o.st, o.end, frozenset(map(str, o.d))) for o in a.objects()] == [
+        (o.id, o.st, o.end, frozenset(map(str, o.d))) for o in b.objects()
+    ]
+
+
+class TestJsonl:
+    def test_roundtrip(self, running_example, tmp_path):
+        path = tmp_path / "col.jsonl"
+        save_jsonl(running_example, path)
+        assert equal_collections(running_example, load_jsonl(path))
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"id": 1, "st": 0, "end": 1, "d": []}\n{"nope": true}\n')
+        with pytest.raises(ReproError, match="bad.jsonl:2"):
+            load_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "col.jsonl"
+        path.write_text('{"id": 1, "st": 0, "end": 1, "d": ["a"]}\n\n')
+        assert len(load_jsonl(path)) == 1
+
+
+class TestBinary:
+    def test_roundtrip(self, running_example, tmp_path):
+        path = tmp_path / "col.bin"
+        save_binary(running_example, path)
+        assert equal_collections(running_example, load_binary(path))
+
+    def test_smaller_than_jsonl(self, random_collection, tmp_path):
+        save_jsonl(random_collection, tmp_path / "c.jsonl")
+        save_binary(random_collection, tmp_path / "c.bin")
+        assert (tmp_path / "c.bin").stat().st_size < (tmp_path / "c.jsonl").stat().st_size
+
+    def test_rejects_float_timestamps(self, tmp_path):
+        collection = Collection([make_object(1, 0.5, 1.5, {"a"})])
+        with pytest.raises(ReproError, match="integer timestamps"):
+            save_binary(collection, tmp_path / "c.bin")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(ReproError, match="bad magic"):
+            load_binary(path)
+
+
+class TestDispatch:
+    def test_extension_dispatch(self, running_example, tmp_path):
+        save(running_example, tmp_path / "a.jsonl")
+        save(running_example, tmp_path / "a.bin")
+        assert equal_collections(load(tmp_path / "a.jsonl"), load(tmp_path / "a.bin"))

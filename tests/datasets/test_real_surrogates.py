@@ -1,0 +1,111 @@
+"""Tests for the ECLOG and WIKIPEDIA surrogate generators.
+
+Each test pins a characteristic the paper's Table 3 / Figure 7 reports, at
+surrogate scale — these are the claims DESIGN.md's substitution table makes.
+"""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datasets.eclog import ECLOG_DOMAIN_SECONDS, ECLogParams, generate_eclog
+from repro.datasets.wikipedia import (
+    WIKIPEDIA_DOMAIN_SECONDS,
+    WikipediaParams,
+    generate_wikipedia,
+)
+
+N = 3000
+
+
+@pytest.fixture(scope="module")
+def eclog():
+    return generate_eclog(n_sessions=N)
+
+
+@pytest.fixture(scope="module")
+def wikipedia():
+    return generate_wikipedia(n_revisions=N)
+
+
+class TestECLog:
+    def test_cardinality(self, eclog):
+        assert len(eclog) == N
+
+    def test_domain_matches_original(self, eclog):
+        domain = eclog.domain()
+        assert domain.st >= 0
+        assert domain.end <= ECLOG_DOMAIN_SECONDS
+
+    def test_duration_shape(self, eclog):
+        stats = eclog.stats()
+        # Paper: min 1 s, avg 8.4 % of the domain.
+        assert stats.min_duration == 1
+        assert 5.0 <= stats.avg_duration_pct <= 12.0
+
+    def test_dictionary_ratio(self, eclog):
+        stats = eclog.stats()
+        assert 0.3 * N <= stats.dictionary_size <= 0.9 * N
+
+    def test_zipf_frequencies(self, eclog):
+        stats = eclog.stats()
+        assert stats.min_element_frequency == 1
+        assert stats.max_element_frequency > 50 * stats.avg_element_frequency
+
+    def test_determinism(self):
+        a = generate_eclog(n_sessions=200)
+        b = generate_eclog(n_sessions=200)
+        assert [o.st for o in a.objects()] == [o.st for o in b.objects()]
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            ECLogParams(n_sessions=0)
+        with pytest.raises(ConfigurationError):
+            ECLogParams(dict_ratio=0)
+
+
+class TestWikipedia:
+    def test_cardinality(self, wikipedia):
+        assert len(wikipedia) == N
+
+    def test_domain_matches_original(self, wikipedia):
+        assert wikipedia.domain().end <= WIKIPEDIA_DOMAIN_SECONDS
+
+    def test_duration_shape(self, wikipedia):
+        stats = wikipedia.stats()
+        # Paper: avg 5.2 % of the domain.
+        assert 3.0 <= stats.avg_duration_pct <= 8.0
+
+    def test_revision_chains_are_contiguous(self, wikipedia):
+        """Consecutive revisions of an article abut: one's end is the
+        next's start (the defining structure of a versioned archive)."""
+        objects = wikipedia.objects()
+        abutting = sum(
+            1 for a, b in zip(objects, objects[1:]) if a.end == b.st
+        )
+        # Chains average ~16 revisions, so the overwhelming majority abut.
+        assert abutting > 0.8 * len(objects)
+
+    def test_stopwords_near_universal(self, wikipedia):
+        stats = wikipedia.stats()
+        # Paper: max element frequency ≈ cardinality (true stop-words).
+        assert stats.max_element_frequency == len(wikipedia)
+
+    def test_consecutive_revisions_share_terms(self, wikipedia):
+        objects = wikipedia.objects()
+        overlaps = [
+            len(a.d & b.d) / max(1, len(a.d | b.d))
+            for a, b in zip(objects, objects[1:])
+            if a.end == b.st
+        ]
+        assert sum(overlaps) / len(overlaps) > 0.4
+
+    def test_param_validation(self):
+        with pytest.raises(ConfigurationError):
+            WikipediaParams(n_revisions=0)
+        with pytest.raises(ConfigurationError):
+            WikipediaParams(mutation_rate=1.5)
+
+    def test_determinism(self):
+        a = generate_wikipedia(n_revisions=200)
+        b = generate_wikipedia(n_revisions=200)
+        assert [o.d for o in a.objects()] == [o.d for o in b.objects()]

@@ -1,0 +1,43 @@
+"""Tests for dataset statistics (Table 3 / Figure 7 series)."""
+
+from repro.datasets.stats import (
+    duration_distribution,
+    duration_percentiles,
+    element_frequency_distribution,
+    frequency_rank_series,
+    table3_rows,
+)
+
+
+class TestTable3Rows:
+    def test_labels_and_values(self, running_example):
+        rows = dict(table3_rows(running_example))
+        assert rows["Cardinality"] == 8
+        assert rows["Dictionary size [# elements]"] == 3
+
+
+class TestDistributions:
+    def test_duration_distribution_counts(self, running_example):
+        histogram = duration_distribution(running_example, n_bins=5)
+        assert sum(count for _e, count in histogram) == 8
+        edges = [edge for edge, _c in histogram]
+        assert edges == sorted(edges)
+
+    def test_duration_percentiles_monotone(self, random_collection):
+        pct = duration_percentiles(random_collection)
+        keys = ["p10", "p25", "p50", "p75", "p90", "p99", "max"]
+        values = [pct[k] for k in keys]
+        assert values == sorted(values)
+
+    def test_frequency_decades(self, running_example):
+        decades = element_frequency_distribution(running_example)
+        # a:4, b:4 in [1,10); c:7 in [1,10) → 3 elements in the first decade.
+        assert dict(decades)["[1,10)"] == 3
+        assert sum(count for _l, count in decades) == 3
+
+    def test_frequency_rank_series_decreasing(self, random_collection):
+        series = frequency_rank_series(random_collection, n_points=10)
+        frequencies = [f for _r, f in series]
+        assert frequencies == sorted(frequencies, reverse=True)
+        ranks = [r for r, _f in series]
+        assert ranks == sorted(ranks)

@@ -1,0 +1,87 @@
+"""Tests for the Table 4 synthetic generator."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.datasets.synthetic import SyntheticParams, generate_synthetic
+
+SMALL = dict(cardinality=2000, dict_size=500, domain_size=1_000_000, sigma=100_000.0)
+
+
+class TestParams:
+    def test_defaults_match_table4(self):
+        params = SyntheticParams()
+        assert params.cardinality == 1_000_000
+        assert params.domain_size == 128_000_000
+        assert params.alpha == 1.2
+        assert params.desc_size == 10
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticParams(cardinality=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticParams(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            SyntheticParams(desc_size=0)
+        with pytest.raises(ConfigurationError):
+            SyntheticParams(zeta=-0.5)
+
+    def test_scaled(self):
+        scaled = SyntheticParams().scaled(0.01)
+        assert scaled.cardinality == 10_000
+        assert scaled.dict_size == 1_000
+        assert scaled.domain_size == 128_000_000  # shape knobs untouched
+        with pytest.raises(ConfigurationError):
+            SyntheticParams().scaled(0)
+
+
+class TestGeneration:
+    def test_cardinality_and_bounds(self):
+        collection = generate_synthetic(**SMALL)
+        assert len(collection) == 2000
+        domain = collection.domain()
+        assert domain.st >= 0 and domain.end <= 1_000_000
+
+    def test_description_size_exact(self):
+        collection = generate_synthetic(desc_size=7, **SMALL)
+        assert all(len(o.d) == 7 for o in collection)
+
+    def test_determinism(self):
+        a = generate_synthetic(seed=5, **SMALL)
+        b = generate_synthetic(seed=5, **SMALL)
+        assert [(o.id, o.st, o.end, o.d) for o in a.objects()] == [
+            (o.id, o.st, o.end, o.d) for o in b.objects()
+        ]
+
+    def test_seed_changes_data(self):
+        a = generate_synthetic(seed=1, **SMALL)
+        b = generate_synthetic(seed=2, **SMALL)
+        assert [o.st for o in a.objects()] != [o.st for o in b.objects()]
+
+    def test_alpha_controls_duration(self):
+        """Larger alpha → shorter intervals (Table 4's semantics)."""
+        long_ = generate_synthetic(alpha=1.01, **SMALL)
+        short = generate_synthetic(alpha=1.8, **SMALL)
+        assert short.stats().avg_duration < long_.stats().avg_duration
+        # alpha = 1.8: the majority of intervals have length ~1.
+        short_durations = [o.duration for o in short]
+        assert sum(1 for d in short_durations if d <= 2) > len(short_durations) / 2
+
+    def test_sigma_controls_spread(self):
+        tight = generate_synthetic(**{**SMALL, "sigma": 1_000.0})
+        wide = generate_synthetic(**{**SMALL, "sigma": 200_000.0})
+        import statistics
+
+        spread = lambda col: statistics.pstdev(o.st for o in col)  # noqa: E731
+        assert spread(wide) > spread(tight)
+
+    def test_zeta_controls_skew(self):
+        flat = generate_synthetic(zeta=1.0, **SMALL)
+        skewed = generate_synthetic(zeta=2.0, **SMALL)
+        assert (
+            skewed.dictionary.max_frequency() > flat.dictionary.max_frequency()
+        )
+
+    def test_elements_drawn_from_dictionary(self):
+        collection = generate_synthetic(**SMALL)
+        assert len(collection.dictionary) <= SMALL["dict_size"]

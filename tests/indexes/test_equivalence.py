@@ -1,0 +1,139 @@
+"""Cross-index equivalence: every method returns exactly the oracle's answer.
+
+This is the library's strongest guarantee — all nine indexes implement the
+same query semantics (Definition 2.1), so on any collection and any query
+they must agree bit-for-bit with the brute-force evaluation, before and
+after arbitrary update sequences.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.collection import Collection
+from repro.core.model import TemporalObject, TimeTravelQuery
+from repro.indexes.registry import INDEX_CLASSES, build_index
+from tests.conftest import random_collection as _fixture  # noqa: F401 (doc aid)
+from tests.conftest import random_objects, random_queries
+
+ALL_KEYS = sorted(INDEX_CLASSES)
+
+ELEMENTS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def collections(draw):
+    n = draw(st.integers(1, 40))
+    objects = []
+    for i in range(n):
+        st_ = draw(st.integers(0, 200))
+        end = st_ + draw(st.integers(0, 80))
+        d = draw(st.frozensets(st.sampled_from(ELEMENTS), min_size=0, max_size=4))
+        objects.append(TemporalObject(id=i, st=st_, end=end, d=d))
+    return Collection(objects)
+
+
+@st.composite
+def queries(draw):
+    st_ = draw(st.integers(-20, 220))
+    end = st_ + draw(st.integers(0, 150))
+    d = draw(st.frozensets(st.sampled_from(ELEMENTS), min_size=0, max_size=3))
+    return TimeTravelQuery(st_, end, d)
+
+
+@pytest.mark.parametrize("key", ALL_KEYS)
+class TestAgainstOracle:
+    def test_randomized_collection(self, key, random_collection):
+        index = build_index(key, random_collection)
+        for q in random_queries(random_collection, 40, seed=5):
+            assert index.query(q) == random_collection.evaluate(q), q
+
+    def test_after_update_storm(self, key, random_collection):
+        index = build_index(key, random_collection)
+        # Delete a third, insert fresh objects, delete some of those too.
+        for object_id in range(0, 500, 3):
+            index.delete(object_id)
+            random_collection.remove(object_id)
+        fresh = random_objects(120, seed=77, domain=30_000)
+        for obj in fresh:
+            renamed = TemporalObject(id=obj.id + 10_000, st=obj.st, end=obj.end, d=obj.d)
+            index.insert(renamed)
+            random_collection.add(renamed)
+        for object_id in range(10_000, 10_060, 2):
+            index.delete(object_id)
+            random_collection.remove(object_id)
+        for q in random_queries(random_collection, 30, seed=6):
+            assert index.query(q) == random_collection.evaluate(q), q
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(collections(), st.lists(queries(), min_size=1, max_size=6))
+def test_all_indexes_agree_property(collection, query_list):
+    """Hypothesis: all nine indexes equal the oracle on arbitrary inputs."""
+    indexes = [build_index(key, collection) for key in ALL_KEYS]
+    for q in query_list:
+        expected = collection.evaluate(q)
+        for key, index in zip(ALL_KEYS, indexes):
+            assert index.query(q) == expected, (key, q)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(collections(), queries(), st.data())
+def test_delete_matches_rebuild_property(collection, q, data):
+    """Tombstone deletion is semantically identical to rebuilding without
+    the deleted objects."""
+    ids = collection.ids()
+    to_delete = data.draw(
+        st.lists(st.sampled_from(ids), unique=True, max_size=len(ids))
+    )
+    survivors = Collection(o for o in collection if o.id not in set(to_delete))
+    for key in ("tif-slicing", "tif-sharding", "tif-hint-merge", "irhint-perf", "irhint-size"):
+        index = build_index(key, collection)
+        for object_id in to_delete:
+            index.delete(object_id)
+        assert index.query(q) == survivors.evaluate(q), key
+
+
+@pytest.mark.parametrize("key", ["tif-slicing", "tif-sharding", "tif-hint-merge", "irhint-perf", "irhint-size"])
+def test_insertion_order_invariance(key):
+    """Query answers are independent of the order objects were indexed in.
+
+    (Physical layouts may differ — sharding's greedy placement is order-
+    sensitive — but the answer contract may not.)
+    """
+    import random
+
+    objects = random_objects(300, seed=55)
+    shuffled = objects[:]
+    random.Random(56).shuffle(shuffled)
+    forward = Collection(objects)
+    index_fwd = build_index(key, forward)
+    index_rev = build_index(key, Collection(reversed(objects)))
+    index_shuf = build_index(key, Collection(shuffled))
+    for q in random_queries(forward, 25, seed=57):
+        expected = forward.evaluate(q)
+        assert index_fwd.query(q) == expected, key
+        assert index_rev.query(q) == expected, key
+        assert index_shuf.query(q) == expected, key
+
+
+@pytest.mark.parametrize("key", ["tif-slicing", "irhint-perf"])
+def test_insert_then_delete_is_identity(key):
+    """Inserting and tombstoning the same objects leaves answers unchanged."""
+    objects = random_objects(200, seed=60)
+    collection = Collection(objects)
+    index = build_index(key, collection)
+    queries = random_queries(collection, 20, seed=61)
+    before = [index.query(q) for q in queries]
+    extra = random_objects(50, seed=62)
+    for obj in extra:
+        renamed = TemporalObject(id=obj.id + 50_000, st=obj.st, end=obj.end, d=obj.d)
+        index.insert(renamed)
+    for obj in extra:
+        index.delete(obj.id + 50_000)
+    after = [index.query(q) for q in queries]
+    assert before == after

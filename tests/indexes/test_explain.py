@@ -1,0 +1,127 @@
+"""Tests for query explanation/instrumentation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.model import make_query
+from repro.indexes import BruteForce, build_index, explain
+from repro.indexes.registry import PAPER_METHODS
+from repro.bench.tuned import tuned
+
+EXPLAINABLE = PAPER_METHODS + ["tif"]
+
+
+@pytest.fixture(scope="module")
+def built(random_collection_module):
+    collection = random_collection_module
+    return collection, {
+        key: build_index(key, collection, **tuned(key)) for key in EXPLAINABLE
+    }
+
+
+@pytest.fixture(scope="module")
+def random_collection_module():
+    from tests.conftest import random_objects
+    from repro.core.collection import Collection
+
+    return Collection(random_objects(400, seed=21))
+
+
+class TestStructure:
+    @pytest.mark.parametrize("key", EXPLAINABLE)
+    def test_result_size_matches_query(self, built, key):
+        collection, indexes = built
+        q = make_query(2000, 6000, {"e0", "e1"})
+        explanation = explain(indexes[key], q)
+        assert explanation.result_size == len(indexes[key].query(q))
+        assert explanation.method == indexes[key].name
+
+    @pytest.mark.parametrize("key", EXPLAINABLE)
+    def test_render_is_printable(self, built, key):
+        _collection, indexes = built
+        q = make_query(2000, 6000, {"e0", "e1"})
+        text = explain(indexes[key], q).render()
+        assert "explain" in text and "results" in text
+
+    def test_unknown_index_rejected(self, built):
+        collection, _indexes = built
+        with pytest.raises(ConfigurationError):
+            explain(BruteForce.build(collection), make_query(0, 1, {"e0"}))
+
+
+class TestPaperClaims:
+    """The structural facts the paper argues, verified via instrumentation."""
+
+    def test_candidates_shrink_monotonically(self, built):
+        """Every intersection can only remove candidates (Algorithm 1)."""
+        _collection, indexes = built
+        q = make_query(0, 15_000, {"e0", "e1", "e2"})
+        for key in ("tif", "tif-slicing", "tif-sharding", "tif-hint-merge"):
+            trajectory = explain(indexes[key], q).candidate_trajectory()
+            assert trajectory == sorted(trajectory, reverse=True), key
+
+    def test_slicing_touches_fewer_structures_than_hint_divisions(self, built):
+        """Section 3.2's fragmentation argument: for multi-element queries
+        the slicing copy reads fewer sub-lists than a HINT has relevant
+        divisions — the rationale for the hybrid design."""
+        _collection, indexes = built
+        q = make_query(2000, 2400, {"e0", "e1", "e2"})
+        slicing = explain(indexes["tif-slicing"], q)
+        merge = explain(indexes["tif-hint-merge"], q)
+        # Compare the intersection phases only (skip the first element).
+        slicing_touched = sum(p.structures_touched for p in slicing.phases[1:])
+        merge_touched = sum(p.structures_touched for p in merge.phases[1:])
+        assert slicing_touched <= merge_touched
+
+    def test_irhint_division_counts(self, built):
+        _collection, indexes = built
+        q = make_query(2000, 2400, {"e0"})
+        explanation = explain(indexes["irhint-perf"], q)
+        relevant = explanation.detail["relevant_divisions"]
+        materialised = explanation.detail["materialised_divisions"]
+        assert materialised <= relevant
+        m = explanation.detail["m"]
+        # Per level: at most (extent/width + 2) partitions, each with two
+        # divisions; summed over levels this is a loose structural bound.
+        assert relevant <= 2 * (m + 1) * 3 + 100
+
+    def test_sharding_impact_lists_skip_work(self, built):
+        """Impact lists must let late queries skip shard prefixes."""
+        collection, indexes = built
+        domain = collection.domain()
+        late = make_query(domain.end - 100, domain.end, {"e0"})
+        explanation = explain(indexes["tif-sharding"], late)
+        assert explanation.detail["impact_list_skips"] >= 0
+
+    def test_wider_queries_scan_more(self, built):
+        _collection, indexes = built
+        narrow = explain(indexes["irhint-perf"], make_query(5000, 5100, {"e0"}))
+        wide = explain(indexes["irhint-perf"], make_query(0, 20_000, {"e0"}))
+        assert (
+            wide.detail["materialised_divisions"]
+            >= narrow.detail["materialised_divisions"]
+        )
+
+
+class TestContainmentExplainers:
+    def test_signature_file(self, built):
+        collection, _indexes = built
+        from repro.indexes.containment import SignatureFileIndex
+
+        index = SignatureFileIndex.build(collection, signature_bits=16)
+        q = make_query(2000, 6000, {"e0", "e1"})
+        explanation = explain(index, q)
+        assert explanation.result_size == len(index.query(q))
+        assert explanation.detail["filter_passes"] >= explanation.result_size
+        assert explanation.phases[0].entries_scanned == len(collection)
+
+    def test_set_trie(self, built):
+        collection, _indexes = built
+        from repro.indexes.containment import SetTrieIndex
+
+        index = SetTrieIndex.build(collection)
+        q = make_query(2000, 6000, {"e0", "e1"})
+        explanation = explain(index, q)
+        assert explanation.result_size == len(index.query(q))
+        # The superset walk produces at least as many candidates as results.
+        assert explanation.phases[0].candidates_after >= explanation.result_size

@@ -1,0 +1,86 @@
+"""Per-index tests for the two irHINT variants (Section 4)."""
+
+import pytest
+
+from repro.core.errors import UnknownObjectError
+from repro.core.model import make_object, make_query
+from repro.indexes.irhint import IRHintPerformance, IRHintSize
+
+
+@pytest.mark.parametrize("cls", [IRHintPerformance, IRHintSize])
+class TestCommonBehaviour:
+    def test_running_example(self, cls, running_example, example_query):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(example_query) == [2, 4, 7]
+
+    def test_pure_temporal_handled_natively(self, cls, running_example):
+        """Time-first design: q.d = ∅ is a plain HINT range query."""
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(make_query(2, 4)) == [2, 4, 5, 6, 7, 8]
+
+    def test_stabbing(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(make_query(5, 5, {"b"})) == [1, 4, 5]
+
+    def test_full_extent_degrades_to_ir_search(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(make_query(0, 7, {"a", "c"})) == [1, 2, 4, 7]
+
+    def test_cost_model_chooses_m_when_unset(self, cls, running_example):
+        index = cls.build(running_example)
+        assert index.num_bits >= 1
+
+    def test_updates(self, cls, running_example, example_query):
+        index = cls.build(running_example, num_bits=3)
+        index.delete(2)
+        index.delete(running_example[7])
+        assert index.query(example_query) == [4]
+        index.insert(make_object(31, 2, 6, {"a", "c", "x"}))
+        assert index.query(example_query) == [4, 31]
+        assert index.query(make_query(2, 4, {"x"})) == [31]
+
+    def test_delete_unknown(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        with pytest.raises(UnknownObjectError):
+            index.delete(make_object(99, 0, 1, {"a"}))
+
+    def test_no_duplicates_across_divisions(self, cls, running_example):
+        """HINT's structural duplicate avoidance: o4 spans everything and
+        is replicated widely, yet reported once."""
+        index = cls.build(running_example, num_bits=3)
+        result = index.query(make_query(0, 7, {"b"}))
+        assert result == sorted(set(result)) == [1, 3, 4, 5]
+
+    def test_empty_index(self, cls):
+        from repro.core.collection import Collection
+
+        index = cls.build(Collection())
+        assert index.query(make_query(0, 1, {"a"})) == []
+        assert index.query(make_query(0, 1)) == []
+
+
+class TestVariantSpecifics:
+    def test_divisions_materialised(self, running_example):
+        perf = IRHintPerformance.build(running_example, num_bits=3)
+        size = IRHintSize.build(running_example, num_bits=3)
+        assert perf.n_divisions() > 0
+        assert size.n_divisions() > 0
+
+    def test_size_variant_is_smaller(self, random_collection):
+        """Section 4.2's whole point: the size variant stores each interval
+        once per division instead of once per (element, division)."""
+        perf = IRHintPerformance.build(random_collection, num_bits=5)
+        size = IRHintSize.build(random_collection, num_bits=5)
+        assert size.size_bytes() < perf.size_bytes()
+
+    def test_perf_division_entries_scale_with_description(self, running_example):
+        perf = IRHintPerformance.build(running_example, num_bits=3)
+        # Σ over assignments of |o.d| — strictly more than one entry per
+        # object whenever descriptions exceed one element.
+        assert perf.stats()["division_entries"] > len(running_example)
+
+    def test_size_variant_shares_hint(self, running_example):
+        size = IRHintSize.build(running_example, num_bits=3)
+        assert size.interval_hint is not None
+        assert len(size.interval_hint) == 8
+        assert size.interval_hint.range_query(2, 4) == [2, 4, 5, 6, 7, 8]

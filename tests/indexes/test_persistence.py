@@ -1,0 +1,92 @@
+"""Tests for index snapshots (save/load built indexes)."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.model import make_object, make_query
+from repro.indexes.persistence import (
+    dumps_index,
+    load_index,
+    loads_index,
+    read_header,
+    save_index,
+)
+from repro.indexes.registry import PAPER_METHODS, build_index
+from repro.bench.tuned import tuned
+
+
+@pytest.mark.parametrize("key", PAPER_METHODS)
+def test_roundtrip_every_method(key, running_example, example_query, tmp_path):
+    index = build_index(key, running_example, **tuned(key))
+    path = tmp_path / f"{key}.idx"
+    save_index(index, path)
+    restored = load_index(path)
+    assert restored.name == index.name
+    assert restored.query(example_query) == [2, 4, 7]
+    assert len(restored) == len(index)
+
+
+def test_restored_index_stays_updatable(running_example, example_query, tmp_path):
+    index = build_index("irhint-perf", running_example)
+    path = tmp_path / "i.idx"
+    save_index(index, path)
+    restored = load_index(path)
+    restored.insert(make_object(60, 2, 4, {"a", "c"}))
+    restored.delete(4)
+    assert restored.query(example_query) == [2, 7, 60]
+    # The on-disk snapshot is unaffected.
+    assert load_index(path).query(example_query) == [2, 4, 7]
+
+
+def test_header_is_cheap_and_informative(running_example, tmp_path):
+    index = build_index("tif-slicing", running_example)
+    path = tmp_path / "i.idx"
+    save_index(index, path)
+    header = read_header(path)
+    assert header["index_class"] == "TIFSlicing"
+    assert header["objects"] == 8
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.idx"
+    path.write_bytes(b"NOTANIDX" + b"\x00" * 32)
+    with pytest.raises(ReproError, match="bad magic"):
+        load_index(path)
+
+
+def test_corrupt_header_rejected(tmp_path):
+    path = tmp_path / "junk.idx"
+    path.write_bytes(b"RPROIDX1" + (10).to_bytes(4, "little") + b"not json!!")
+    with pytest.raises(ReproError, match="corrupt"):
+        read_header(path)
+
+
+def test_save_rejects_non_index(tmp_path):
+    with pytest.raises(ReproError):
+        save_index({"not": "an index"}, tmp_path / "x.idx")  # type: ignore[arg-type]
+
+
+def test_in_memory_roundtrip(running_example, example_query):
+    index = build_index("irhint-size", running_example)
+    blob = dumps_index(index)
+    restored = loads_index(blob)
+    assert restored.query(example_query) == [2, 4, 7]
+    with pytest.raises(ReproError):
+        loads_index(b"garbage")
+
+
+def test_format_version_guard(running_example, tmp_path):
+    import json
+
+    index = build_index("tif", running_example)
+    path = tmp_path / "i.idx"
+    save_index(index, path)
+    raw = path.read_bytes()
+    # Forge a future format version in the header.
+    length = int.from_bytes(raw[8:12], "little")
+    header = json.loads(raw[12 : 12 + length])
+    header["format"] = 999
+    forged = json.dumps(header, separators=(",", ":")).encode()
+    path.write_bytes(raw[:8] + len(forged).to_bytes(4, "little") + forged + raw[12 + length :])
+    with pytest.raises(ReproError, match="unsupported"):
+        load_index(path)

@@ -1,0 +1,58 @@
+"""Tests for the index registry/factory."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.indexes.base import TemporalIRIndex
+from repro.indexes.brute import BruteForce
+from repro.indexes.registry import (
+    COMPARISON_METHODS,
+    PAPER_METHODS,
+    available_indexes,
+    build_index,
+    index_class,
+    register_index,
+)
+
+
+def test_all_paper_methods_registered():
+    assert set(PAPER_METHODS) <= set(available_indexes())
+    assert set(COMPARISON_METHODS) <= set(PAPER_METHODS)
+
+
+def test_index_class_resolution():
+    assert index_class("brute") is BruteForce
+
+
+def test_unknown_key_raises():
+    with pytest.raises(ConfigurationError):
+        index_class("nope")
+
+
+def test_build_index(running_example, example_query):
+    index = build_index("tif", running_example)
+    assert index.query(example_query) == [2, 4, 7]
+
+
+def test_build_index_with_params(running_example):
+    index = build_index("tif-slicing", running_example, n_slices=7)
+    assert index.stats()["n_slices"] == 7
+
+
+def test_register_custom_index(running_example):
+    class Custom(BruteForce):
+        name = "custom"
+
+    register_index("custom-test-key", Custom)
+    try:
+        index = build_index("custom-test-key", running_example)
+        assert isinstance(index, TemporalIRIndex)
+    finally:
+        from repro.indexes.registry import INDEX_CLASSES
+
+        del INDEX_CLASSES["custom-test-key"]
+
+
+def test_register_duplicate_rejected():
+    with pytest.raises(ConfigurationError):
+        register_index("brute", BruteForce)

@@ -1,0 +1,83 @@
+"""Per-index tests for the HINT-based IR-first family (Section 3)."""
+
+import pytest
+
+from repro.core.errors import UnknownObjectError
+from repro.core.model import make_object, make_query
+from repro.indexes.tif_hint import TIFHintBinary, TIFHintMerge
+from repro.indexes.tif_hint_slicing import TIFHintSlicing
+from repro.intervals.hint.partition import SortPolicy
+
+
+@pytest.mark.parametrize("cls", [TIFHintBinary, TIFHintMerge, TIFHintSlicing])
+class TestCommonBehaviour:
+    def test_running_example(self, cls, running_example, example_query):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(example_query) == [2, 4, 7]
+
+    def test_single_element_uses_range_query_only(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(make_query(2, 4, {"c"})) == [2, 4, 5, 6, 7, 8]
+
+    def test_unknown_element(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(make_query(0, 7, {"zzz"})) == []
+        assert index.query(make_query(0, 7, {"a", "zzz"})) == []
+
+    def test_stabbing(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        assert index.query(make_query(0, 0, {"b"})) == [3, 4]
+
+    def test_updates(self, cls, running_example, example_query):
+        index = cls.build(running_example, num_bits=3)
+        index.delete(4)
+        index.insert(make_object(30, 3, 4, {"a", "c"}))
+        assert index.query(example_query) == [2, 7, 30]
+
+    def test_delete_unknown(self, cls, running_example):
+        index = cls.build(running_example, num_bits=3)
+        with pytest.raises(UnknownObjectError):
+            index.delete(make_object(99, 0, 1, {"a"}))
+
+    def test_insert_beyond_domain(self, cls, running_example, example_query):
+        index = cls.build(running_example, num_bits=3)
+        index.insert(make_object(41, 500, 600, {"a", "c"}))
+        assert index.query(make_query(550, 560, {"a", "c"})) == [41]
+        assert index.query(example_query) == [2, 4, 7]
+
+
+class TestVariantSpecifics:
+    def test_binary_uses_temporal_sorting(self, running_example):
+        index = TIFHintBinary.build(running_example, num_bits=3)
+        assert index.hint_for("a").sort_policy is SortPolicy.TEMPORAL
+
+    def test_merge_uses_id_sorting(self, running_example):
+        index = TIFHintMerge.build(running_example, num_bits=3)
+        assert index.hint_for("a").sort_policy is SortPolicy.BY_ID
+
+    def test_hybrid_has_two_copies(self, running_example):
+        index = TIFHintSlicing.build(running_example, num_bits=3, n_slices=4)
+        assert index._hints and index._sliced
+        assert set(index._hints) == set(index._sliced) == {"a", "b", "c"}
+
+    def test_hybrid_larger_than_plain_merge(self, random_collection):
+        merge = TIFHintMerge.build(random_collection, num_bits=5)
+        hybrid = TIFHintSlicing.build(random_collection, num_bits=5, n_slices=16)
+        assert hybrid.size_bytes() > merge.size_bytes()
+
+    def test_binary_and_merge_same_size_at_same_m(self, random_collection):
+        """Figure 9: the two variants differ only in sorting, so their size
+        curves coincide for equal m."""
+        binary = TIFHintBinary.build(random_collection, num_bits=5)
+        merge = TIFHintMerge.build(random_collection, num_bits=5)
+        assert binary.size_bytes() == merge.size_bytes()
+
+    def test_num_bits_exposed(self, running_example):
+        index = TIFHintMerge.build(running_example, num_bits=4)
+        assert index.num_bits == 4
+        assert index.stats()["num_bits"] == 4
+
+    def test_replication_reported(self, random_collection):
+        index = TIFHintMerge.build(random_collection, num_bits=6)
+        stats = index.stats()
+        assert stats["replicated_entries"] >= stats["objects"]

@@ -1,0 +1,130 @@
+"""Tests for Allen's interval-algebra queries (HINT journal version, [20])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.intervals import Grid1D, Hint, IntervalTree
+from repro.intervals.allen import (
+    AllenIndex,
+    AllenRelation,
+    PREDICATES,
+    brute_force_allen,
+)
+
+RECORDS = [
+    (1, 0, 5),
+    (2, 5, 9),
+    (3, 2, 3),
+    (4, 0, 9),
+    (5, 0, 5),
+    (6, 9, 12),
+    (7, 6, 7),
+    (8, 0, 2),
+]
+
+
+@pytest.fixture(scope="module")
+def allen():
+    return AllenIndex.build(RECORDS, Hint, num_bits=4)
+
+
+class TestRelationsOnExamples:
+    """Hand-checked answers against the query interval [0, 5]."""
+
+    Q = (0, 5)
+
+    def test_equals(self, allen):
+        assert allen.query(AllenRelation.EQUALS, *self.Q) == [1, 5]
+
+    def test_during(self, allen):
+        assert allen.query(AllenRelation.DURING, *self.Q) == [3]
+
+    def test_contains(self, allen):
+        # Strict containment on both sides: nothing contains [0,5] strictly
+        # here (o4 = [0,9] shares the start).
+        assert allen.query(AllenRelation.CONTAINS, *self.Q) == []
+
+    def test_started_by_and_starts(self, allen):
+        assert allen.query(AllenRelation.STARTED_BY, *self.Q) == [4]
+        assert allen.query(AllenRelation.STARTS, 0, 9) == [1, 5, 8]
+
+    def test_finishes_finished_by(self, allen):
+        assert allen.query(AllenRelation.FINISHES, 0, 9) == [2]
+        assert allen.query(AllenRelation.FINISHED_BY, 2, 3) == []
+
+    def test_meets_met_by(self, allen):
+        assert allen.query(AllenRelation.MEETS, 5, 9) == [1, 5]
+        assert allen.query(AllenRelation.MET_BY, *self.Q) == [2]
+
+    def test_before_after(self, allen):
+        assert allen.query(AllenRelation.BEFORE, 8, 9) == [1, 3, 5, 7, 8]
+        assert allen.query(AllenRelation.AFTER, 0, 5) == [7, 6]  or allen.query(AllenRelation.AFTER, 0, 5) == [6, 7]
+
+    def test_overlaps_overlapped_by(self, allen):
+        assert allen.query(AllenRelation.OVERLAPS, 4, 8) == [1, 5]
+        # o2 = [5, 9]: 4 < 5 < 8 < 9.
+        assert allen.query(AllenRelation.OVERLAPPED_BY, 4, 8) == [2]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("relation", list(AllenRelation))
+    def test_randomized(self, relation):
+        rng = random.Random(31)
+        records = []
+        for i in range(300):
+            a = rng.randint(0, 200)
+            records.append((i, a, a + rng.randint(0, 50)))
+        allen = AllenIndex.build(records, Hint, num_bits=6)
+        for _ in range(25):
+            a = rng.randint(0, 220)
+            b = a + rng.randint(0, 60)
+            expected = brute_force_allen(records, relation, a, b)
+            assert allen.query(relation, a, b) == expected, (relation, a, b)
+
+    @pytest.mark.parametrize("index_cls,params", [
+        (Hint, {"num_bits": 5}),
+        (Grid1D, {"n_slices": 9}),
+        (IntervalTree, {}),
+    ])
+    def test_substrate_independence(self, index_cls, params):
+        """The reduction only uses range_query, so any substrate works."""
+        allen = AllenIndex.build(RECORDS, index_cls, **params)
+        for relation in AllenRelation:
+            expected = brute_force_allen(RECORDS, relation, 0, 5)
+            assert allen.query(relation, 0, 5) == expected, relation
+
+
+class TestUpdates:
+    def test_insert_and_delete(self):
+        allen = AllenIndex.build(RECORDS, Hint, num_bits=4)
+        allen.insert(9, 0, 5)
+        assert 9 in allen.query(AllenRelation.EQUALS, 0, 5)
+        allen.delete(9)
+        allen.delete(1)
+        assert allen.query(AllenRelation.EQUALS, 0, 5) == [5]
+        assert len(allen) == 7
+
+
+class TestPredicateAlgebra:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_relations_are_mutually_exclusive_and_exhaustive(self, data):
+        """Any interval pair satisfies exactly one Allen relation (for proper
+        and point intervals under our closed-interval conventions, except
+        point-interval edge cases which may satisfy none of the strict
+        relations — those must at least not satisfy two)."""
+        a = data.draw(st.integers(0, 30))
+        b = a + data.draw(st.integers(0, 10))
+        s = data.draw(st.integers(0, 30))
+        e = s + data.draw(st.integers(0, 10))
+        matching = [r for r, p in PREDICATES.items() if p(a, b, s, e)]
+        if a < b and s < e:  # proper intervals: exactly one relation
+            assert len(matching) == 1, (a, b, s, e, matching)
+        else:
+            # Point intervals sit outside classic Allen algebra: a pair of
+            # relations can coincide there (e.g. MET_BY and STARTED_BY for a
+            # point query at an interval's start), but never more than two.
+            assert len(matching) <= 2, (a, b, s, e, matching)

@@ -1,0 +1,84 @@
+"""Tests for the HINT cost model."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.intervals.hint.cost_model import (
+    CostEstimate,
+    choose_num_bits,
+    estimate_cost,
+    sweep_costs,
+)
+
+
+def make_records(n=500, duration=50, domain=10_000):
+    return [(i, (i * 37) % domain, (i * 37) % domain + duration) for i in range(n)]
+
+
+class TestEstimate:
+    def test_empty_records(self):
+        estimate = estimate_cost([], 5, 0.001)
+        assert estimate.replication == 0.0
+        assert estimate.expected_reads == 0.0
+
+    def test_replication_grows_with_m(self):
+        records = make_records(duration=500)
+        small = estimate_cost(records, 2, 0.001)
+        large = estimate_cost(records, 10, 0.001)
+        assert large.replication >= small.replication
+
+    def test_reads_shrink_with_m_for_point_queries(self):
+        records = make_records(duration=10)
+        coarse = estimate_cost(records, 1, 1e-6)
+        fine = estimate_cost(records, 10, 1e-6)
+        assert fine.expected_reads < coarse.expected_reads
+
+    def test_divisions_grow_with_m(self):
+        records = make_records()
+        assert (
+            estimate_cost(records, 10, 0.001).expected_divisions
+            > estimate_cost(records, 3, 0.001).expected_divisions
+        )
+
+    def test_total_cost_includes_overheads(self):
+        estimate = CostEstimate(num_bits=4, replication=1.0, expected_reads=100.0, expected_divisions=10.0)
+        assert estimate.total_cost > estimate.expected_reads
+
+
+class TestChoose:
+    def test_empty_input(self):
+        assert choose_num_bits([]) == 1
+
+    def test_returns_value_in_range(self):
+        m = choose_num_bits(make_records(), max_bits=12)
+        assert 1 <= m <= 12
+
+    def test_replication_cap_respected(self):
+        records = make_records(duration=2000)
+        m = choose_num_bits(records, max_replication=1.5)
+        assert estimate_cost(records, m, 0.001).replication <= 1.5
+
+    def test_impossible_cap_falls_back(self):
+        records = make_records(duration=9000)
+        assert choose_num_bits(records, max_replication=0.5) == 1
+
+    def test_not_degenerate(self):
+        """On realistic data the model avoids both extremes."""
+        m = choose_num_bits(make_records(n=2000, duration=300), max_bits=16)
+        assert 2 <= m <= 14
+
+
+class TestSweep:
+    def test_sweep_length(self):
+        assert len(sweep_costs(make_records(), max_bits=8)) == 8
+
+    def test_sweep_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            sweep_costs(make_records(), max_bits=0)
+
+    def test_sampling_stays_stable(self):
+        """Sampled estimation stays close to the full computation."""
+        records = make_records(n=5000)
+        sampled = estimate_cost(records, 6, 0.001)
+        exact = estimate_cost(records[:2000], 6, 0.001)  # under MAX_SAMPLE
+        assert sampled.replication == pytest.approx(exact.replication, rel=0.2)

@@ -1,0 +1,119 @@
+"""Tests for the time-expanding HINT (LIT-style domain growth)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.intervals.hint.expanding import ExpandingHint, exact_mapper
+from repro.intervals.linear import LinearScan
+
+
+class TestExactMapper:
+    def test_identity_offset(self):
+        mapper = exact_mapper(100, 4)
+        assert mapper.cell(100) == 0
+        assert mapper.cell(107) == 7
+        assert mapper.n_cells == 16
+
+    def test_rejects_float_origin(self):
+        with pytest.raises(ConfigurationError):
+            exact_mapper(0.5, 4)
+
+
+class TestExpansion:
+    def test_no_expansion_inside_domain(self):
+        hint = ExpandingHint(origin=0, num_bits=6)
+        hint.insert(1, 0, 63)
+        assert hint.n_expansions == 0
+
+    def test_single_doubling(self):
+        hint = ExpandingHint(origin=0, num_bits=4)  # domain [0, 15]
+        hint.insert(1, 0, 10)
+        hint.insert(2, 20, 25)  # beyond → double to [0, 31]
+        assert hint.n_expansions == 1
+        assert hint.num_bits == 5
+        assert hint.range_query(18, 30) == [2]
+        assert hint.range_query(0, 30) == [1, 2]
+
+    def test_multiple_doublings_in_one_insert(self):
+        hint = ExpandingHint(origin=0, num_bits=3)  # domain [0, 7]
+        hint.insert(1, 0, 1)
+        hint.insert(2, 1000, 1001)  # needs several doublings
+        assert hint.num_bits >= 10
+        assert hint.range_query(999, 1002) == [2]
+        assert hint.range_query(0, 2) == [1]
+
+    def test_existing_answers_survive_expansion(self):
+        rng = random.Random(5)
+        hint = ExpandingHint(origin=0, num_bits=6)
+        oracle = LinearScan()
+        for i in range(200):
+            st = rng.randint(0, 60)
+            end = st + rng.randint(0, 20)
+            hint.insert(i, st, end)
+            oracle.insert(i, st, end)
+        before = hint.range_query(10, 50)
+        hint.insert(999, 5000, 5100)  # forces expansion
+        oracle.insert(999, 5000, 5100)
+        assert hint.range_query(10, 50) == before
+        for _ in range(50):
+            a = rng.randint(0, 5200)
+            b = a + rng.randint(0, 300)
+            assert hint.range_query(a, b) == oracle.range_query(a, b)
+
+    def test_delete_after_expansion(self):
+        hint = ExpandingHint(origin=0, num_bits=4)
+        hint.insert(1, 0, 3)
+        hint.insert(2, 100, 110)
+        hint.delete(1, 0, 3)
+        assert hint.range_query(0, 200) == [2]
+
+    def test_origin_is_a_floor(self):
+        hint = ExpandingHint(origin=1000, num_bits=4)
+        hint.insert(1, 1000, 1005)
+        with pytest.raises(ConfigurationError):
+            hint.insert(2, 500, 600)
+
+    def test_float_timestamps_rejected(self):
+        hint = ExpandingHint(origin=0, num_bits=4)
+        with pytest.raises(ConfigurationError):
+            hint.insert(1, 0.5, 1.5)
+
+
+class TestBuild:
+    def test_build_sizes_domain_to_span(self):
+        records = [(1, 100, 200), (2, 150, 900)]
+        hint = ExpandingHint.build(records)
+        assert hint.origin == 100
+        assert hint.mapper.covers(900)
+        assert hint.range_query(100, 1000) == [1, 2]
+
+    def test_build_empty(self):
+        hint = ExpandingHint.build([])
+        assert len(hint) == 0
+
+    def test_build_rejects_floats(self):
+        with pytest.raises(ConfigurationError):
+            ExpandingHint.build([(1, 0.5, 1.0)])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_append_workload_matches_oracle(data):
+    """The headline workload: an archive that only grows forward."""
+    hint = ExpandingHint(origin=0, num_bits=4)
+    oracle = LinearScan()
+    clock = 0
+    n = data.draw(st.integers(1, 60))
+    for i in range(n):
+        clock += data.draw(st.integers(0, 200))
+        duration = data.draw(st.integers(0, 100))
+        hint.insert(i, clock, clock + duration)
+        oracle.insert(i, clock, clock + duration)
+    for _ in range(5):
+        a = data.draw(st.integers(0, clock + 200))
+        b = a + data.draw(st.integers(0, clock + 1))
+        assert hint.range_query(a, b) == oracle.range_query(a, b)

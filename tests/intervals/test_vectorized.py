@@ -1,0 +1,107 @@
+"""Tests for the numpy-backed VectorizedHint."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, ReproError
+from repro.intervals.hint import Hint
+from repro.intervals.hint.vectorized import VectorizedHint
+from repro.intervals.linear import LinearScan
+
+
+@pytest.fixture(scope="module")
+def records():
+    rng = random.Random(13)
+    return [
+        (i, st, st + rng.randint(0, 700))
+        for i, st in enumerate(rng.randint(0, 50_000) for _ in range(3000))
+    ]
+
+
+@pytest.fixture(scope="module")
+def vectorized(records):
+    return VectorizedHint.build(records, num_bits=8)
+
+
+class TestCorrectness:
+    def test_matches_list_based_hint(self, records, vectorized):
+        hint = Hint.build(records, num_bits=8)
+        rng = random.Random(14)
+        for _ in range(80):
+            a = rng.randint(-100, 52_000)
+            b = a + rng.randint(0, 20_000)
+            assert vectorized.range_query(a, b) == hint.range_query(a, b), (a, b)
+
+    def test_matches_oracle(self, records, vectorized):
+        oracle = LinearScan.build(records)
+        for q in ((0, 60_000), (100, 100), (25_000, 25_500)):
+            assert vectorized.range_query(*q) == oracle.range_query(*q)
+
+    def test_stab(self, records, vectorized):
+        oracle = LinearScan.build(records)
+        assert vectorized.stab_query(25_000) == oracle.range_query(25_000, 25_000)
+
+    def test_array_api_matches_list_api(self, vectorized):
+        arr = vectorized.range_query_array(1000, 9000)
+        assert sorted(arr.tolist()) == vectorized.range_query(1000, 9000)
+
+    def test_empty_build_and_query(self):
+        empty = VectorizedHint.build([], num_bits=4)
+        assert empty.range_query(0, 100) == []
+        assert empty.range_query_array(0, 100).size == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_property_vs_oracle(self, data):
+        n = data.draw(st.integers(1, 60))
+        recs = []
+        for i in range(n):
+            a = data.draw(st.integers(0, 2000))
+            recs.append((i, a, a + data.draw(st.integers(0, 500))))
+        m = data.draw(st.integers(1, 8))
+        vec = VectorizedHint.build(recs, num_bits=m)
+        oracle = LinearScan.build(recs)
+        for _ in range(4):
+            a = data.draw(st.integers(-10, 2600))
+            b = a + data.draw(st.integers(0, 1500))
+            assert vec.range_query(a, b) == oracle.range_query(a, b)
+
+
+class TestContract:
+    def test_read_only(self, vectorized):
+        with pytest.raises(ReproError):
+            vectorized.insert(10**6, 0, 1)
+        with pytest.raises(ReproError):
+            vectorized.delete(0, 0, 1)
+
+    def test_needs_bits_or_mapper(self):
+        with pytest.raises(ConfigurationError):
+            VectorizedHint.build([(1, 0, 1)])
+
+    def test_size_accounting(self, vectorized):
+        assert vectorized.size_bytes() > 0
+        assert vectorized.n_partitions() > 0
+        assert len(vectorized) == 3000
+
+
+class TestSpeed:
+    def test_faster_than_list_hint_on_wide_queries(self, records, vectorized):
+        """Not a benchmark, a sanity bound: the vectorised scan must not be
+        slower than the interpreted one on a wide query at this size."""
+        import time
+
+        hint = Hint.build(records, num_bits=8)
+        queries = [(i * 400, i * 400 + 25_000) for i in range(40)]
+
+        def clock(index):
+            start = time.perf_counter()
+            for a, b in queries:
+                index.range_query(a, b)
+            return time.perf_counter() - start
+
+        slow = clock(hint)
+        fast = clock(vectorized)
+        assert fast < slow * 1.5  # generous: CI noise tolerated

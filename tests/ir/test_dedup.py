@@ -1,0 +1,48 @@
+"""Tests for the reference-value de-duplication method."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.dedup import dedupe_preserving_order, is_reference_partition, reference_value
+from repro.intervals.grid1d import GridLayout
+
+
+class TestReferenceValue:
+    def test_reference_value(self):
+        assert reference_value(3, 7) == 7
+        assert reference_value(9, 7) == 9
+
+    def test_single_owner_partition(self):
+        # Slices of width 10 over [0, 40): the pair (o.st=12, q.st=5) has
+        # reference 12, owned by slice [10, 20) only.
+        owners = [
+            is_reference_partition(12, 5, lo, lo + 10) for lo in (0, 10, 20, 30)
+        ]
+        assert owners == [False, True, False, False]
+
+    def test_boundary_belongs_to_upper_slice(self):
+        assert not is_reference_partition(10, 0, 0, 10)
+        assert is_reference_partition(10, 0, 10, 20)
+
+
+class TestExactlyOnceProperty:
+    @given(
+        st.integers(0, 999),  # o.st
+        st.integers(0, 999),  # q.st
+        st.integers(1, 12),  # number of slices
+    )
+    def test_exactly_one_slice_reports(self, o_st, q_st, n_slices):
+        layout = GridLayout(0, 1000, n_slices)
+        reporting = [
+            index
+            for index in range(n_slices)
+            if layout.is_reference_slice(index, o_st, q_st)
+        ]
+        assert len(reporting) == 1
+        # And it is the slice holding the reference value.
+        assert reporting[0] == layout.slice_of(reference_value(o_st, q_st))
+
+
+def test_dedupe_preserving_order():
+    assert dedupe_preserving_order([3, 1, 3, 2, 1]) == [3, 1, 2]
+    assert dedupe_preserving_order([]) == []

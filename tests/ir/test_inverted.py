@@ -1,0 +1,83 @@
+"""Tests for the temporal inverted file (Algorithm 1) and its check modes."""
+
+import pytest
+
+from repro.ir.inverted import TemporalCheck, TemporalInvertedFile
+
+
+@pytest.fixture()
+def tif(running_example):
+    index = TemporalInvertedFile()
+    for obj in running_example:
+        index.add_object(obj.id, obj.st, obj.end, obj.d)
+    return index
+
+
+class TestStructure:
+    def test_elements(self, tif):
+        assert sorted(tif.elements()) == ["a", "b", "c"]
+
+    def test_list_lengths(self, tif):
+        assert tif.list_length("a") == 4
+        assert tif.list_length("c") == 7
+        assert tif.list_length("zzz") == 0
+
+    def test_n_entries_counts_replicated_postings(self, tif):
+        # Sum of |d| over all 8 objects: 3+2+1+3+2+1+2+1 = 15.
+        assert tif.n_entries() == 15
+
+    def test_iter_all_entries_dedupes(self, tif):
+        ids = sorted(entry[0] for entry in tif.iter_all_entries())
+        assert ids == list(range(1, 9))
+
+    def test_size_grows_with_entries(self):
+        a, b = TemporalInvertedFile(), TemporalInvertedFile()
+        a.add_object(1, 0, 1, {"x"})
+        b.add_object(1, 0, 1, {"x", "y"})
+        assert b.size_bytes() > a.size_bytes()
+
+
+class TestQuery:
+    def test_running_example(self, tif, running_example, example_query):
+        ordered = running_example.dictionary.order_by_frequency(example_query.d)
+        result = tif.query(example_query.st, example_query.end, ordered)
+        assert result == [2, 4, 7]
+
+    def test_least_frequent_first_matters_not_for_result(self, tif):
+        # Any ordering of q.d yields the same answer.
+        assert tif.query(2, 4, ["a", "c"]) == tif.query(2, 4, ["c", "a"])
+
+    def test_unknown_element(self, tif):
+        assert tif.query(0, 7, ["zzz"]) == []
+        assert tif.query(0, 7, ["a", "zzz"]) == []
+
+    def test_pure_temporal_over_all_entries(self, tif):
+        assert tif.query(2, 4, []) == [2, 4, 5, 6, 7, 8]
+
+    def test_check_modes(self, tif):
+        # o3 = [0, 1] {b}; o1 = [5, 6] {a,b,c}
+        assert tif.query(2, 4, ["b"], TemporalCheck.BOTH) == [4, 5]
+        # START_ONLY keeps everything ending at/after q.st = 2.
+        assert tif.query(2, 4, ["b"], TemporalCheck.START_ONLY) == [1, 4, 5]
+        # END_ONLY keeps everything starting at/before q.end = 4.
+        assert tif.query(2, 4, ["b"], TemporalCheck.END_ONLY) == [3, 4, 5]
+        # NONE reports the whole postings list.
+        assert tif.query(2, 4, ["b"], TemporalCheck.NONE) == [1, 3, 4, 5]
+
+
+class TestUpdates:
+    def test_delete_object(self, tif, running_example, example_query):
+        obj = running_example[4]
+        tif.delete_object(obj.id, obj.d)
+        ordered = running_example.dictionary.order_by_frequency(example_query.d)
+        assert tif.query(example_query.st, example_query.end, ordered) == [2, 7]
+
+    def test_delete_ignores_unlisted_elements(self, tif):
+        # Deleting with a superset description must not raise.
+        tif.delete_object(3, {"b", "not-indexed"})
+        assert tif.list_length("b") == 3
+
+    def test_order_elements_locally(self, tif):
+        assert tif.order_elements_locally(["c", "a"]) == ["a", "c"]
+        # Unknown elements sort first (local length 0).
+        assert tif.order_elements_locally(["c", "zzz"])[0] == "zzz"

@@ -1,0 +1,90 @@
+"""Tests for the set-trie containment baseline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import UnknownObjectError
+from repro.core.model import make_object, make_query
+from repro.indexes.containment import SetTrieIndex
+from repro.ir.settrie import SetTrie
+
+
+class TestSetTrie:
+    def test_superset_search(self):
+        trie = SetTrie()
+        trie.insert({"a", "b", "c"}, (1, 0, 1))
+        trie.insert({"a", "c"}, (2, 0, 1))
+        trie.insert({"b"}, (3, 0, 1))
+        hits = {p[0] for p in trie.supersets({"a", "c"})}
+        assert hits == {1, 2}
+        assert {p[0] for p in trie.supersets(set())} == {1, 2, 3}
+        assert trie.supersets({"z"}) == []
+
+    def test_duplicate_sets_share_a_node(self):
+        trie = SetTrie()
+        trie.insert({"x", "y"}, (1, 0, 1))
+        trie.insert({"x", "y"}, (2, 5, 9))
+        assert len(trie) == 2
+        assert {p[0] for p in trie.supersets({"x", "y"})} == {1, 2}
+
+    def test_delete(self):
+        trie = SetTrie()
+        trie.insert({"a"}, (1, 0, 1))
+        trie.delete({"a"}, 1)
+        assert trie.supersets({"a"}) == []
+        with pytest.raises(UnknownObjectError):
+            trie.delete({"a"}, 1)
+        with pytest.raises(UnknownObjectError):
+            trie.delete({"never-seen"}, 9)
+
+    def test_prefix_sharing_bounds_nodes(self):
+        trie = SetTrie()
+        for i in range(50):
+            trie.insert({"common", f"tail{i}"}, (i, 0, 1))
+        # 1 root + 1 'common' node + 50 tails (ranks assigned in first-seen
+        # order keep 'common' first on every path).
+        assert trie.n_nodes() <= 52
+
+    @given(
+        st.lists(
+            st.frozensets(st.sampled_from("abcdef"), max_size=4),
+            min_size=1,
+            max_size=25,
+        ),
+        st.frozensets(st.sampled_from("abcdef"), max_size=3),
+    )
+    def test_matches_bruteforce_supersets(self, sets, query):
+        trie = SetTrie()
+        for i, description in enumerate(sets):
+            trie.insert(description, (i, 0, 1))
+        expected = sorted(i for i, d in enumerate(sets) if d >= query)
+        assert sorted(p[0] for p in trie.supersets(query)) == expected
+
+
+class TestSetTrieIndex:
+    def test_running_example(self, running_example, example_query):
+        index = SetTrieIndex.build(running_example)
+        assert index.query(example_query) == [2, 4, 7]
+
+    def test_matches_oracle_randomized(self, random_collection):
+        from tests.conftest import random_queries
+
+        index = SetTrieIndex.build(random_collection)
+        for q in random_queries(random_collection, 40, seed=12):
+            assert index.query(q) == random_collection.evaluate(q)
+
+    def test_updates(self, running_example, example_query):
+        index = SetTrieIndex.build(running_example)
+        index.delete(2)
+        index.insert(make_object(50, 3, 3, {"a", "c", "z"}))
+        assert index.query(example_query) == [4, 7, 50]
+
+    def test_stats(self, running_example):
+        index = SetTrieIndex.build(running_example)
+        assert index.stats()["trie_nodes"] >= 3
+        assert index.size_bytes() > 0
+
+    def test_stabbing(self, running_example):
+        index = SetTrieIndex.build(running_example)
+        assert index.query(make_query(0, 0, {"b"})) == [3, 4]

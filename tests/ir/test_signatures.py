@@ -1,0 +1,93 @@
+"""Tests for the signature-file containment baseline."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError, UnknownObjectError
+from repro.core.model import make_object, make_query
+from repro.indexes.containment import SignatureFileIndex
+from repro.ir.signatures import element_pattern, make_signature
+
+
+class TestPatterns:
+    def test_deterministic(self):
+        assert element_pattern("a", 64, 3) == element_pattern("a", 64, 3)
+
+    def test_within_width(self):
+        for element in ("a", "b", 42, ("x", 1)):
+            assert element_pattern(element, 16, 3) < (1 << 16)
+
+    def test_bits_per_element_bound(self):
+        pattern = element_pattern("a", 1024, 3)
+        assert 1 <= bin(pattern).count("1") <= 3
+
+    def test_signature_superimposes(self):
+        sig = make_signature({"a", "b"}, 64, 3)
+        assert sig & element_pattern("a", 64, 3) == element_pattern("a", 64, 3)
+        assert sig & element_pattern("b", 64, 3) == element_pattern("b", 64, 3)
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            element_pattern("a", 0, 3)
+        with pytest.raises(ConfigurationError):
+            SignatureFileIndex(bits_per_element=0)
+
+    @given(st.frozensets(st.sampled_from("abcdefgh"), max_size=5),
+           st.frozensets(st.sampled_from("abcdefgh"), max_size=5))
+    def test_filter_never_false_negative(self, superset_part, query):
+        """A true superset's signature always passes the filter."""
+        description = superset_part | query
+        d_sig = make_signature(description, 32, 3)
+        q_sig = make_signature(query, 32, 3)
+        assert d_sig & q_sig == q_sig
+
+
+class TestIndex:
+    def test_running_example(self, running_example, example_query):
+        index = SignatureFileIndex.build(running_example)
+        assert index.query(example_query) == [2, 4, 7]
+
+    def test_matches_oracle_randomized(self, random_collection):
+        from tests.conftest import random_queries
+
+        index = SignatureFileIndex.build(random_collection, signature_bits=32)
+        for q in random_queries(random_collection, 40, seed=8):
+            assert index.query(q) == random_collection.evaluate(q)
+
+    def test_false_positives_happen_but_are_verified(self, random_collection):
+        # A deliberately narrow signature forces collisions; answers must
+        # still be exact thanks to verification.
+        index = SignatureFileIndex.build(random_collection, signature_bits=8)
+        from tests.conftest import random_queries
+
+        for q in random_queries(random_collection, 30, seed=9):
+            assert index.query(q) == random_collection.evaluate(q)
+        assert index.false_positive_count() > 0
+
+    def test_wider_signatures_filter_better(self, random_collection):
+        from tests.conftest import random_queries
+
+        narrow = SignatureFileIndex.build(random_collection, signature_bits=8)
+        wide = SignatureFileIndex.build(random_collection, signature_bits=256)
+        queries = random_queries(random_collection, 30, seed=10)
+        for q in queries:
+            narrow.query(q)
+            wide.query(q)
+        assert wide.false_positive_count() <= narrow.false_positive_count()
+        assert wide.size_bytes() > narrow.size_bytes()
+
+    def test_updates(self, running_example, example_query):
+        index = SignatureFileIndex.build(running_example)
+        index.delete(4)
+        index.insert(make_object(40, 2, 4, {"a", "c"}))
+        assert index.query(example_query) == [2, 7, 40]
+
+    def test_delete_unknown(self, running_example):
+        index = SignatureFileIndex.build(running_example)
+        with pytest.raises(UnknownObjectError):
+            index.delete(make_object(99, 0, 1, {"a"}))
+
+    def test_pure_temporal(self, running_example):
+        index = SignatureFileIndex.build(running_example)
+        assert index.query(make_query(2, 4)) == [2, 4, 5, 6, 7, 8]

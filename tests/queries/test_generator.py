@@ -1,0 +1,107 @@
+"""Tests for the query-workload generator (Section 5.1 axes)."""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError, EmptyCollectionError
+from repro.queries.generator import (
+    EXTENT_PCTS,
+    FREQUENCY_BANDS,
+    SELECTIVITY_BINS,
+    QueryWorkload,
+    band_label,
+)
+
+
+@pytest.fixture()
+def workload(random_collection):
+    return QueryWorkload(random_collection, seed=3)
+
+
+class TestAxes:
+    def test_extent_queries_non_empty_and_sized(self, workload, random_collection):
+        domain = random_collection.domain()
+        span = domain.end - domain.st
+        queries = workload.by_extent(1.0, 25)
+        assert len(queries) == 25
+        for q in queries:
+            assert len(random_collection.evaluate(q)) > 0
+            assert q.extent == pytest.approx(span * 0.01, abs=1)
+            assert len(q.d) <= 3
+
+    def test_stabbing_extent_zero(self, workload, random_collection):
+        for q in workload.by_extent(0.0, 10):
+            assert q.is_stabbing
+            assert len(random_collection.evaluate(q)) > 0
+
+    def test_full_extent(self, workload, random_collection):
+        domain = random_collection.domain()
+        for q in workload.by_extent(100.0, 5):
+            assert q.extent >= (domain.end - domain.st) * 0.99
+
+    def test_num_elements_exact(self, workload, random_collection):
+        for k in (1, 2, 4):
+            queries = workload.by_num_elements(k, 15)
+            assert all(len(q.d) == k for q in queries)
+            assert all(random_collection.evaluate(q) for q in queries)
+
+    def test_num_elements_rejects_zero(self, workload):
+        with pytest.raises(ConfigurationError):
+            workload.by_num_elements(0, 5)
+
+    def test_frequency_bands_respected(self, workload, random_collection):
+        n = len(random_collection)
+        dictionary = random_collection.dictionary
+        for band in FREQUENCY_BANDS:
+            low, high = band
+            queries = workload.by_frequency_band(band, 10)
+            for q in queries:
+                assert random_collection.evaluate(q)
+                for element in q.d:
+                    pct = 100.0 * dictionary.frequency(element) / n
+                    assert pct <= high
+                    if low > 0:
+                        assert pct > low
+
+    def test_selectivity_bins(self, workload, random_collection):
+        n = len(random_collection)
+        result = workload.by_selectivity(n_per_bin=4)
+        zero = result[band_label((0.0, 0.0))]
+        assert all(not random_collection.evaluate(q) for q in zero)
+        for band in SELECTIVITY_BINS[1:]:
+            label = band_label(band)
+            for q in result[label]:
+                pct = 100.0 * len(random_collection.evaluate(q)) / n
+                assert band[0] < pct <= band[1]
+
+    def test_mixed(self, workload):
+        assert len(workload.mixed(12)) == 12
+
+
+class TestDeterminism:
+    def test_same_seed_same_queries(self, random_collection):
+        a = QueryWorkload(random_collection, seed=9).by_extent(0.5, 10)
+        b = QueryWorkload(random_collection, seed=9).by_extent(0.5, 10)
+        assert a == b
+
+    def test_different_seeds_differ(self, random_collection):
+        a = QueryWorkload(random_collection, seed=1).by_extent(0.5, 10)
+        b = QueryWorkload(random_collection, seed=2).by_extent(0.5, 10)
+        assert a != b
+
+
+class TestEdgeCases:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(EmptyCollectionError):
+            QueryWorkload(Collection())
+
+    def test_band_labels(self):
+        assert band_label((0.0, 0.0)) == "0"
+        assert band_label((0.0, 0.1)) == "[*-0.1]"
+        assert band_label((0.1, 1.0)) == "(0.1-1]"
+        assert band_label((10.0, 100.0)) == "(10-*]"
+
+    def test_paper_axis_constants(self):
+        assert EXTENT_PCTS[-1] == 100.0
+        assert len(FREQUENCY_BANDS) == 4
+        assert len(SELECTIVITY_BINS) == 6

@@ -1,0 +1,59 @@
+"""Tests for query-workload persistence."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.model import make_query
+from repro.queries.io import load_queries, load_workloads, save_queries, save_workloads
+
+
+@pytest.fixture()
+def queries():
+    return [
+        make_query(0, 10, {"a", "b"}),
+        make_query(5, 5, {"c"}),
+        make_query(2, 9),
+    ]
+
+
+class TestQueries:
+    def test_roundtrip(self, queries, tmp_path):
+        path = tmp_path / "w.jsonl"
+        save_queries(queries, path)
+        loaded = load_queries(path)
+        assert [(q.st, q.end, q.d) for q in loaded] == [
+            (q.st, q.end, frozenset(map(str, q.d))) for q in queries
+        ]
+
+    def test_malformed_line_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"st": 0, "end": 1, "d": []}\n{"oops": 1}\n')
+        with pytest.raises(ReproError, match="bad.jsonl:2"):
+            load_queries(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('\n{"st": 0, "end": 1, "d": ["a"]}\n\n')
+        assert len(load_queries(path)) == 1
+
+
+class TestWorkloads:
+    def test_labelled_roundtrip(self, queries, tmp_path):
+        workloads = {"extent=0.1%": queries[:2], "stab": queries[2:]}
+        path = tmp_path / "wl.jsonl"
+        save_workloads(workloads, path)
+        loaded = load_workloads(path)
+        assert set(loaded) == {"extent=0.1%", "stab"}
+        assert len(loaded["extent=0.1%"]) == 2
+        assert loaded["stab"][0].d == frozenset()
+
+    def test_replay_is_deterministic(self, running_example, tmp_path):
+        """The file, not the generator, becomes the source of truth."""
+        from repro.queries.generator import QueryWorkload
+
+        generated = QueryWorkload(running_example, seed=4).by_extent(50.0, 10)
+        path = tmp_path / "w.jsonl"
+        save_queries(generated, path)
+        replayed = load_queries(path)
+        for a, b in zip(generated, replayed):
+            assert running_example.evaluate(a) == running_example.evaluate(b)

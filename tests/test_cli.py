@@ -1,0 +1,129 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.io import save
+
+
+@pytest.fixture()
+def data_file(running_example, tmp_path):
+    path = tmp_path / "example.bin"
+    save(running_example, path)
+    return str(path)
+
+
+class TestGenerate:
+    def test_generate_eclog(self, tmp_path, capsys):
+        out = str(tmp_path / "ec.bin")
+        assert main(["generate", "--dataset", "eclog", "--n", "200", "--out", out]) == 0
+        assert "wrote 200 objects" in capsys.readouterr().out
+
+    def test_generate_synthetic_jsonl(self, tmp_path, capsys):
+        out = str(tmp_path / "syn.jsonl")
+        assert main(["generate", "--dataset", "synthetic", "--n", "100", "--out", out]) == 0
+        assert (tmp_path / "syn.jsonl").exists()
+
+    def test_generate_wikipedia(self, tmp_path):
+        out = str(tmp_path / "wiki.bin")
+        assert main(["generate", "--dataset", "wikipedia", "--n", "150", "--out", out]) == 0
+
+
+class TestStats:
+    def test_stats(self, data_file, capsys):
+        assert main(["stats", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "Cardinality" in out and "8" in out
+
+
+class TestBuildQueryExplain:
+    def test_build(self, data_file, capsys):
+        assert main(["build", data_file, "--index", "irhint-perf"]) == 0
+        out = capsys.readouterr().out
+        assert "built irhint-perf" in out and "size_bytes" in out
+
+    def test_query_running_example(self, data_file, capsys):
+        assert (
+            main(
+                [
+                    "query", data_file,
+                    "--index", "tif-slicing",
+                    "--start", "2", "--end", "4",
+                    "--elements", "a,c",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 results" in out
+        assert "[2, 4, 7]" in out
+
+    def test_query_pure_temporal(self, data_file, capsys):
+        assert (
+            main(["query", data_file, "--index", "tif", "--start", "2", "--end", "4"])
+            == 0
+        )
+        assert "6 results" in capsys.readouterr().out
+
+    def test_query_limit(self, data_file, capsys):
+        main(
+            [
+                "query", data_file, "--index", "tif",
+                "--start", "0", "--end", "7", "--elements", "c", "--limit", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert out.strip().endswith("[1, 2]")
+
+    def test_explain(self, data_file, capsys):
+        assert (
+            main(
+                [
+                    "explain", data_file,
+                    "--index", "irhint-perf",
+                    "--start", "2", "--end", "4",
+                    "--elements", "a,c",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "explain irHINT (performance)" in out
+        assert "3 results" in out
+
+    def test_untuned_build(self, data_file):
+        assert main(["build", data_file, "--index", "tif-slicing", "--no-tuned"]) == 0
+
+
+class TestBench:
+    def test_bench_table3(self, capsys):
+        assert main(["bench", "table3", "--scale", "tiny"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_bad_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "not-an-experiment"])
+
+    def test_bad_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSnapshots:
+    def test_build_save_then_query_snapshot(self, data_file, tmp_path, capsys):
+        snap = str(tmp_path / "idx.snap")
+        assert main(["build", data_file, "--index", "irhint-perf", "--save", snap]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query", data_file,
+                    "--snapshot", snap,
+                    "--start", "2", "--end", "4",
+                    "--elements", "a,c",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[2, 4, 7]" in out

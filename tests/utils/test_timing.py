@@ -1,0 +1,63 @@
+"""Tests for timing helpers."""
+
+import pytest
+
+from repro.utils.timing import (
+    Stopwatch,
+    measure_query_throughput,
+    throughput,
+    time_call,
+    timed,
+)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        watch.start()
+        first = watch.stop()
+        watch.start()
+        second = watch.stop()
+        assert watch.elapsed == pytest.approx(first + second)
+
+    def test_double_start_raises(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+
+def test_timed_context_manager():
+    with timed() as watch:
+        sum(range(1000))
+    assert watch.elapsed > 0
+    assert not watch.running
+
+
+def test_time_call():
+    assert time_call(lambda: sum(range(1000))) > 0
+
+
+def test_throughput():
+    assert throughput(100, 2.0) == 50.0
+    assert throughput(100, 0.0) == float("inf")
+
+
+def test_measure_query_throughput():
+    queries = [1, 2, 3]
+    result = measure_query_throughput(lambda q: [q] * 2, queries)
+    assert result.n_queries == 3
+    assert result.results_total == 6
+    assert result.queries_per_second > 0
