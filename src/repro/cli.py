@@ -8,6 +8,8 @@ Commands
 ``query``     answer one time-travel IR query against a chosen index
 ``explain``   same, but print the per-phase evaluation trace
 ``bench``     run one of the paper's experiments (or ``all``)
+``serve``     run a crash-safe durable store, commands on stdin
+``recover``   replay a store directory's snapshots + WAL; print a report
 
 Examples
 --------
@@ -127,6 +129,96 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_line(store, line: str) -> Optional[str]:
+    """Execute one serve-loop command; the reply text (None = quit)."""
+    from repro.core.model import make_object
+
+    parts = line.split()
+    if not parts:
+        return ""
+    cmd, rest = parts[0].lower(), parts[1:]
+    if cmd in ("quit", "exit"):
+        return None
+    if cmd == "insert":
+        if len(rest) < 3:
+            return "error: usage: insert <id> <start> <end> [e1,e2,...]"
+        elements = [e for e in (rest[3] if len(rest) > 3 else "").split(",") if e]
+        store.insert(
+            make_object(
+                int(rest[0]), _parse_number(rest[1]), _parse_number(rest[2]), elements
+            )
+        )
+        return f"ok: inserted {rest[0]}"
+    if cmd == "delete":
+        if len(rest) != 1:
+            return "error: usage: delete <id>"
+        store.delete(int(rest[0]))
+        return f"ok: deleted {rest[0]}"
+    if cmd == "query":
+        if len(rest) < 2:
+            return "error: usage: query <start> <end> [e1,e2,...]"
+        elements = [e for e in (rest[2] if len(rest) > 2 else "").split(",") if e]
+        result = store.query(
+            make_query(_parse_number(rest[0]), _parse_number(rest[1]), set(elements))
+        )
+        return f"{len(result)} results: {result}"
+    if cmd == "checkpoint":
+        path = store.checkpoint()
+        return f"ok: snapshot {path.name}"
+    if cmd == "stats":
+        return "\n".join(f"{k}: {v}" for k, v in store.stats().items())
+    return f"error: unknown command {cmd!r} (insert/delete/query/checkpoint/stats/quit)"
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.errors import ReproError
+    from repro.service.store import DurableIndexStore
+
+    store = DurableIndexStore.open(
+        args.directory,
+        index_key=args.index,
+        retain=args.retain,
+        wal_fsync=not args.no_fsync,
+        checkpoint_every=args.checkpoint_every,
+    )
+    with store:
+        if args.data:
+            collection = load(args.data)
+            store.bootstrap(collection, args.index, **(tuned(args.index) if args.tuned else {}))
+            print(f"bootstrapped {len(collection)} objects into {args.index}")
+        recovery = store.last_recovery
+        if recovery is not None:
+            for line in recovery.summary_lines():
+                print(f"# {line}")
+        print("# serving; commands: insert/delete/query/checkpoint/stats/quit")
+        for line in sys.stdin:
+            try:
+                reply = _serve_line(store, line)
+            except ReproError as exc:
+                reply = f"error: {exc}"
+            except ValueError as exc:
+                reply = f"error: {exc}"
+            if reply is None:
+                break
+            if reply:
+                print(reply, flush=True)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.service.recovery import recover
+    from repro.service.store import DurableIndexStore
+
+    report = recover(args.directory)
+    for line in report.summary_lines():
+        print(line)
+    if args.checkpoint:
+        with DurableIndexStore.open(args.directory) as store:
+            path = store.checkpoint()
+            print(f"checkpointed recovered state to {path.name}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import importlib
 
@@ -184,6 +276,35 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "query":
             p.add_argument("--limit", type=int, default=20, help="ids to print (0 = all)")
         p.set_defaults(func=func)
+
+    p = sub.add_parser("serve", help="run a crash-safe durable store (commands on stdin)")
+    p.add_argument("directory", help="store directory (created if missing)")
+    p.add_argument("--index", choices=available_indexes(), default="irhint-perf")
+    p.add_argument("--data", help="bootstrap an empty store from this collection file")
+    p.add_argument(
+        "--tuned",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="apply the paper's tuned parameters when bootstrapping",
+    )
+    p.add_argument("--retain", type=int, default=3, help="snapshot generations to keep")
+    p.add_argument(
+        "--checkpoint-every", type=int, default=None,
+        help="auto-checkpoint after this many mutations",
+    )
+    p.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip per-record fsync (faster, loses the last records on a crash)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("recover", help="recover a store directory; print a report")
+    p.add_argument("directory", help="store directory")
+    p.add_argument(
+        "--checkpoint", action="store_true",
+        help="write a fresh snapshot of the recovered state",
+    )
+    p.set_defaults(func=_cmd_recover)
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment", choices=_EXPERIMENTS)

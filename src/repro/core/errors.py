@@ -43,3 +43,12 @@ class ConfigurationError(ReproError, ValueError):
 
 class EmptyCollectionError(ReproError, ValueError):
     """An operation that requires data was invoked on an empty collection."""
+
+
+class CorruptSnapshotError(ReproError):
+    """An index snapshot failed an integrity check (magic, header, length,
+    payload checksum, or unpickling) and must not be trusted."""
+
+
+class StoreClosedError(ReproError):
+    """A mutation or query was issued against a closed DurableIndexStore."""

@@ -66,17 +66,21 @@ class TemporalIRIndex(abc.ABC):
         self._dictionary.add_description(obj.d)
 
     def delete(self, obj: Union[TemporalObject, int]) -> None:
-        """Tombstone one object, given the object or its id."""
-        if isinstance(obj, int):
-            found = self._catalog.get(obj)
-            if found is None:
-                raise UnknownObjectError(obj)
-            obj = found
-        elif obj.id not in self._catalog:
-            raise UnknownObjectError(obj.id)
-        self._delete_impl(obj)
-        del self._catalog[obj.id]
-        self._dictionary.remove_description(obj.d)
+        """Tombstone one object, given the object or its id.
+
+        Missing ids raise :class:`UnknownObjectError` uniformly across every
+        registry index (the catalog is consulted before any index-specific
+        work).  When a :class:`TemporalObject` is passed, the *catalog's*
+        copy for that id is the one deleted, so a stale caller-side object
+        with divergent fields cannot desynchronise the dictionary.
+        """
+        object_id = obj if isinstance(obj, int) else obj.id
+        found = self._catalog.get(object_id)
+        if found is None:
+            raise UnknownObjectError(object_id)
+        self._delete_impl(found)
+        del self._catalog[object_id]
+        self._dictionary.remove_description(found.d)
 
     @abc.abstractmethod
     def _insert_impl(self, obj: TemporalObject) -> None:

@@ -1,0 +1,135 @@
+"""Deterministic fault injection for the crash-consistency suite.
+
+A :class:`FaultyFileSystem` stands in for the durability layer's
+:class:`~repro.service.fsio.FileSystem` seam and fails at *exactly* the
+point a :class:`FaultPlan` names: crash on the k-th write (optionally
+after persisting a prefix — a torn write), refuse fsync, or crash just
+before an atomic rename installs a snapshot.  The crash is a
+:class:`SimulatedCrash` — deliberately **not** a
+:class:`~repro.core.errors.ReproError` — so no library code can swallow
+it: whatever bytes reached the file when it fires are precisely the bytes
+a power cut at that instant would have left.
+
+Standalone helpers :func:`flip_bit` and :func:`truncate_tail` model
+at-rest corruption (bit rot, a torn tail from a different writer).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Optional, Union
+
+from repro.service.fsio import FileSystem, PathLike
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" here; only the test harness may catch this."""
+
+
+@dataclass
+class FaultPlan:
+    """Where and how the filesystem fails.  All counters are 1-based.
+
+    Parameters
+    ----------
+    match:
+        Substring of the file name the faults apply to (``"wal-"`` to
+        target WAL segments, ``"snapshot-"`` for snapshot temp files,
+        ``""`` for everything).
+    crash_after_writes:
+        Crash on the k-th matching ``write`` call.  With ``short_write``
+        the crashing call first persists the first half of its buffer —
+        a torn record; without it the call persists nothing.
+    fail_fsync:
+        Matching fsyncs raise ``OSError(EIO)`` instead of syncing.
+    crash_on_replace:
+        Crash immediately *before* a matching atomic rename — the temp
+        file is complete but never installed.
+    """
+
+    match: str = ""
+    crash_after_writes: Optional[int] = None
+    short_write: bool = False
+    fail_fsync: bool = False
+    crash_on_replace: bool = False
+
+
+class _CountingFile:
+    """File proxy that executes the plan's write faults."""
+
+    def __init__(self, handle: BinaryIO, fs: "FaultyFileSystem") -> None:
+        self._handle = handle
+        self._fs = fs
+
+    def write(self, data: bytes) -> int:
+        plan = self._fs.plan
+        self._fs.writes_seen += 1
+        if (
+            plan.crash_after_writes is not None
+            and self._fs.writes_seen >= plan.crash_after_writes
+        ):
+            if plan.short_write:
+                self._handle.write(data[: max(1, len(data) // 2)])
+            self._handle.flush()
+            raise SimulatedCrash(
+                f"crash on write #{self._fs.writes_seen} to {self._handle.name}"
+            )
+        return self._handle.write(data)
+
+    def __getattr__(self, name: str):
+        return getattr(self._handle, name)
+
+    def __enter__(self) -> "_CountingFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._handle.close()
+
+
+class FaultyFileSystem(FileSystem):
+    """A :class:`FileSystem` that fails exactly where its plan says."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.writes_seen = 0
+        self.fsyncs_seen = 0
+
+    def _matches(self, path: PathLike) -> bool:
+        return self.plan.match in Path(path).name
+
+    def open(self, path: PathLike, mode: str) -> BinaryIO:
+        handle = open(path, mode)
+        if "b" in mode and ("w" in mode or "a" in mode) and self._matches(path):
+            return _CountingFile(handle, self)  # type: ignore[return-value]
+        return handle
+
+    def fsync(self, handle: BinaryIO) -> None:
+        name = getattr(handle, "name", "")
+        if self.plan.fail_fsync and self.plan.match in Path(str(name)).name:
+            self.fsyncs_seen += 1
+            raise OSError(5, f"injected fsync failure on {name}")
+        self.fsyncs_seen += 1
+        super().fsync(handle)
+
+    def replace(self, src: PathLike, dst: PathLike) -> None:
+        if self.plan.crash_on_replace and self._matches(dst):
+            raise SimulatedCrash(f"crash before installing {dst}")
+        super().replace(src, dst)
+
+
+# --------------------------------------------------- at-rest corruption tools
+def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit in place (``byte_offset`` may be negative, from EOF)."""
+    path = Path(path)
+    blob = bytearray(path.read_bytes())
+    blob[byte_offset] ^= 1 << (bit & 7)
+    path.write_bytes(bytes(blob))
+
+
+def truncate_tail(path: PathLike, nbytes: int) -> None:
+    """Chop the last ``nbytes`` off a file — a torn final write."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(0, size - nbytes))

@@ -1,0 +1,227 @@
+"""Fault-injected crash-consistency matrix.
+
+The contract under test (the issue's acceptance criterion): for every
+fault point — crash mid-WAL-append, crash mid-snapshot, corrupt snapshot
+checksum, torn WAL tail — recovering a :class:`DurableIndexStore` yields
+query results **identical** to an uninterrupted run of the mutations that
+were durable when the fault hit, and a corrupted-beyond-repair snapshot
+set degrades to a functioning BruteForce fallback rather than crashing.
+
+Every workload is seeded (``FAULT_SEED``); CI runs this file as its own
+job with the seed pinned.
+"""
+
+import pytest
+
+from repro.service import layout
+from repro.service.faults import (
+    FaultPlan,
+    FaultyFileSystem,
+    SimulatedCrash,
+    flip_bit,
+    truncate_tail,
+)
+from repro.service.store import DurableIndexStore
+
+from tests.service.conftest import apply_ops, make_ops, oracle_index, query_results
+
+INDEX_KEYS = ["brute", "irhint-perf"]
+
+
+def run_until_crash(directory, ops, fs, index_key="brute", **kwargs):
+    """Apply ops through a faulty filesystem; the count applied in memory."""
+    store = DurableIndexStore.open(directory, index_key=index_key, fs=fs, **kwargs)
+    applied = 0
+    try:
+        for op in ops:
+            apply_ops(store, [op])
+            applied += 1
+    except SimulatedCrash:
+        return store, applied, True
+    return store, applied, False
+
+
+def assert_converged(directory, expected_ops):
+    """Recovered store answers exactly like an uninterrupted run."""
+    with DurableIndexStore.open(directory) as recovered:
+        assert not recovered.degraded
+        assert query_results(recovered) == query_results(oracle_index(expected_ops))
+        assert len(recovered.index) == len(oracle_index(expected_ops))
+    return True
+
+
+# ------------------------------------------------------------ WAL-append crashes
+@pytest.mark.parametrize("index_key", INDEX_KEYS)
+@pytest.mark.parametrize("crash_at", [1, 7, 40, 78])
+def test_crash_mid_wal_append_loses_only_the_torn_record(tmp_path, index_key, crash_at):
+    ops = make_ops()
+    fs = FaultyFileSystem(FaultPlan(match="wal-", crash_after_writes=crash_at))
+    _store, applied, crashed = run_until_crash(tmp_path, ops, fs, index_key=index_key)
+    assert crashed and applied == crash_at - 1
+    # Nothing of the crashing record reached the log: the durable state is
+    # exactly the ops whose append completed.
+    assert_converged(tmp_path, ops[: crash_at - 1])
+
+
+@pytest.mark.parametrize("crash_at", [3, 25, 61])
+def test_short_write_tears_exactly_one_record(tmp_path, crash_at):
+    ops = make_ops()
+    fs = FaultyFileSystem(
+        FaultPlan(match="wal-", crash_after_writes=crash_at, short_write=True)
+    )
+    _store, applied, crashed = run_until_crash(tmp_path, ops, fs)
+    assert crashed and applied == crash_at - 1
+    # Half a frame hit the disk; replay must drop it and keep the prefix.
+    wal_size_before = layout.wal_path(tmp_path, 0).stat().st_size
+    assert_converged(tmp_path, ops[: crash_at - 1])
+    # Recovery truncated the torn bytes off the segment.
+    assert layout.wal_path(tmp_path, 0).stat().st_size < wal_size_before
+
+
+def test_crash_then_resume_then_crash_again(tmp_path):
+    """Recovery is re-entrant: serve, crash, recover, serve, crash, recover."""
+    ops = make_ops(120)
+    fs = FaultyFileSystem(FaultPlan(match="wal-", crash_after_writes=30))
+    _s1, applied1, crashed = run_until_crash(tmp_path, ops, fs)
+    assert crashed
+    survivors = ops[:applied1]
+    lost = ops[applied1]  # this op never reached the log
+    remaining = ops[applied1 + 1 :]
+    if lost[0] == "insert":
+        # A later delete of the lost object would now (correctly) fail fast;
+        # drop it to keep the resumed workload valid.
+        remaining = [op for op in remaining if op != ("delete", lost[1].id)]
+    fs2 = FaultyFileSystem(FaultPlan(match="wal-", crash_after_writes=40))
+    _s2, applied2, crashed2 = run_until_crash(tmp_path, remaining, fs2)
+    assert crashed2
+    # fs2 counted the remaining appends only; the durable suffix is applied2.
+    expected = survivors + remaining[: applied2]
+    with DurableIndexStore.open(tmp_path) as recovered:
+        assert query_results(recovered) == query_results(oracle_index(expected))
+
+
+# ------------------------------------------------------------- snapshot crashes
+@pytest.mark.parametrize("plan", [
+    FaultPlan(match="snapshot-", crash_after_writes=1),
+    FaultPlan(match="snapshot-", crash_after_writes=1, short_write=True),
+    FaultPlan(match="snapshot-", crash_on_replace=True),
+], ids=["no-bytes", "torn-temp", "before-replace"])
+def test_crash_mid_snapshot_preserves_all_durable_mutations(tmp_path, plan):
+    ops = make_ops()
+    fs = FaultyFileSystem(plan)
+    store = DurableIndexStore.open(tmp_path, index_key="brute", fs=fs)
+    apply_ops(store, ops)
+    with pytest.raises(SimulatedCrash):
+        store.checkpoint()
+    # The WAL already held every mutation; the failed snapshot changes nothing.
+    assert_converged(tmp_path, ops)
+    # The next open cleaned the orphaned temp file, if any.
+    assert layout.orphan_temp_files(tmp_path) == []
+
+
+def test_crash_mid_snapshot_with_earlier_generation(tmp_path):
+    ops = make_ops()
+    mid = 50
+    with DurableIndexStore.open(tmp_path, index_key="brute") as store:
+        apply_ops(store, ops[:mid])
+        store.checkpoint()
+    fs = FaultyFileSystem(FaultPlan(match="snapshot-", crash_after_writes=1))
+    store = DurableIndexStore.open(tmp_path, fs=fs)
+    apply_ops(store, ops[mid:])
+    with pytest.raises(SimulatedCrash):
+        store.checkpoint()
+    assert_converged(tmp_path, ops)
+
+
+# --------------------------------------------------------- at-rest corruption
+def test_corrupt_snapshot_checksum_falls_back_a_generation(tmp_path):
+    ops = make_ops()
+    with DurableIndexStore.open(tmp_path, index_key="brute") as store:
+        apply_ops(store, ops[:30])
+        store.checkpoint()
+        apply_ops(store, ops[30:60])
+        store.checkpoint()
+        apply_ops(store, ops[60:])
+    flip_bit(layout.snapshot_path(tmp_path, 2), -11)
+    with DurableIndexStore.open(tmp_path) as recovered:
+        report = recovered.last_recovery
+        assert report.snapshot_seq == 1
+        assert [p.name for p in report.corrupt_snapshots] == ["snapshot-00000002.idx"]
+        assert not recovered.degraded
+        assert query_results(recovered) == query_results(oracle_index(ops))
+
+
+def test_torn_wal_tail_drops_only_the_last_record(tmp_path):
+    ops = make_ops()
+    with DurableIndexStore.open(tmp_path, index_key="brute") as store:
+        apply_ops(store, ops)
+    truncate_tail(layout.wal_path(tmp_path, 0), 3)
+    assert_converged(tmp_path, ops[:-1])
+
+
+def test_torn_tail_is_truncated_before_new_appends(tmp_path):
+    """Appending after a torn tail must not bury the new records."""
+    from repro.core.model import make_object
+
+    ops = make_ops()
+    with DurableIndexStore.open(tmp_path, index_key="brute") as store:
+        apply_ops(store, ops)
+    truncate_tail(layout.wal_path(tmp_path, 0), 5)
+    extra = make_object(50_000, 0, 100, {"post-crash"})
+    with DurableIndexStore.open(tmp_path) as reopened:
+        assert reopened.last_recovery.torn_tail
+        reopened.insert(extra)
+    assert_converged(tmp_path, ops[:-1] + [("insert", extra)])
+
+
+def test_all_snapshots_corrupt_degrades_but_keeps_answering(tmp_path):
+    ops = make_ops()
+    with DurableIndexStore.open(tmp_path, index_key="irhint-perf") as store:
+        apply_ops(store, ops[:50])
+        store.checkpoint()
+        apply_ops(store, ops[50:])
+    for _seq, path in layout.list_snapshots(tmp_path):
+        flip_bit(path, -21)
+    with DurableIndexStore.open(tmp_path) as fallback:
+        assert fallback.degraded
+        # Functioning: every probe answers, and everything the surviving
+        # log covers is present (ops beyond the pruned first generation).
+        results = query_results(fallback)
+        assert all(isinstance(r, list) for r in results)
+        live_after_snapshot = [
+            op[1].id
+            for op in ops[50:]
+            if op[0] == "insert"
+            and ("delete", op[1].id) not in ops[50:]
+        ]
+        for object_id in live_after_snapshot:
+            assert object_id in fallback.index
+
+
+# ------------------------------------------------------------- fsync failures
+def test_fsync_failure_surfaces_and_state_stays_recoverable(tmp_path):
+    ops = make_ops()
+    good_fs = FaultyFileSystem(FaultPlan())  # no faults — sanity baseline
+    store = DurableIndexStore.open(tmp_path, index_key="brute", fs=good_fs)
+    apply_ops(store, ops[:20])
+    store.close()
+
+    bad_fs = FaultyFileSystem(FaultPlan(match="wal-", fail_fsync=True))
+    store = DurableIndexStore.open(tmp_path, fs=bad_fs)
+    with pytest.raises(OSError, match="injected fsync failure"):
+        apply_ops(store, ops[20:])
+    # Treat the fsync failure as fatal (do NOT close: closing would flush
+    # the unacknowledged record, which a real dead process never does).
+    assert_converged(tmp_path, ops[:20])
+    store = None  # only now may the wrecked handle be collected
+
+
+def test_uninterrupted_run_matches_oracle_end_to_end(tmp_path):
+    """The baseline the whole matrix compares against is itself consistent."""
+    ops = make_ops()
+    with DurableIndexStore.open(
+        tmp_path, index_key="irhint-perf", checkpoint_every=33
+    ) as store:
+        apply_ops(store, ops)
+        assert query_results(store) == query_results(oracle_index(ops))
+    assert_converged(tmp_path, ops)

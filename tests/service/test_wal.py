@@ -1,0 +1,136 @@
+"""Write-ahead log framing, replay, and torn-tail detection."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.model import make_object
+from repro.service.faults import flip_bit, truncate_tail
+from repro.service.wal import (
+    WriteAheadLog,
+    delete_op,
+    insert_op,
+    read_wal,
+)
+
+
+def sample_ops(n=5):
+    ops = []
+    for i in range(n):
+        ops.append(insert_op(make_object(i, i * 10, i * 10 + 5, {f"e{i}", "shared"}), i + 1))
+    ops.append(delete_op(2, n + 1))
+    return ops
+
+
+def write_segment(path, ops):
+    with WriteAheadLog(path) as wal:
+        for op in ops:
+            wal.append(op)
+    return path
+
+
+def test_append_replay_roundtrip(tmp_path):
+    ops = sample_ops()
+    path = write_segment(tmp_path / "wal-00000000.log", ops)
+    result = read_wal(path)
+    assert result.records == ops
+    assert not result.torn
+    assert result.dropped_bytes == 0
+    assert result.valid_bytes == path.stat().st_size
+
+
+def test_missing_segment_reads_empty(tmp_path):
+    result = read_wal(tmp_path / "wal-00000042.log")
+    assert result.records == [] and not result.torn
+
+
+def test_empty_segment_reads_empty(tmp_path):
+    path = tmp_path / "w.log"
+    path.write_bytes(b"")
+    result = read_wal(path)
+    assert result.records == [] and not result.torn
+
+
+def test_torn_tail_truncated_payload(tmp_path):
+    ops = sample_ops()
+    path = write_segment(tmp_path / "w.log", ops)
+    truncate_tail(path, 3)
+    result = read_wal(path)
+    assert result.records == ops[:-1]
+    assert result.torn
+    assert result.dropped_bytes > 0
+    assert "truncated" in result.error
+
+
+def test_torn_tail_partial_header(tmp_path):
+    ops = sample_ops()
+    path = write_segment(tmp_path / "w.log", ops)
+    # Leave only 2 bytes of the final record's frame header.
+    prefix_end = _record_offsets(path)[-1]
+    path.write_bytes(path.read_bytes()[: prefix_end + 2])
+    result = read_wal(path)
+    assert result.records == ops[:-1]
+    assert result.torn and result.error == "truncated frame header"
+    assert result.valid_bytes == prefix_end
+
+
+def _record_offsets(path):
+    """Start offset of every record in a valid segment."""
+    blob = path.read_bytes()
+    offsets, offset = [], 0
+    while offset < len(blob):
+        offsets.append(offset)
+        length = int.from_bytes(blob[offset : offset + 4], "little")
+        offset += 8 + length
+    return offsets
+
+
+def test_corrupt_final_record_dropped(tmp_path):
+    ops = sample_ops()
+    path = write_segment(tmp_path / "w.log", ops)
+    last = _record_offsets(path)[-1]
+    flip_bit(path, last + 8 + 2)  # a payload byte of the final record
+    result = read_wal(path)
+    assert result.records == ops[:-1]
+    assert result.torn and result.error == "record checksum mismatch"
+
+
+def test_corrupt_middle_record_stops_replay_there(tmp_path):
+    ops = sample_ops()
+    path = write_segment(tmp_path / "w.log", ops)
+    third = _record_offsets(path)[2]
+    flip_bit(path, third + 8 + 1)
+    result = read_wal(path)
+    # Framing beyond the damage cannot be trusted: earlier records replay.
+    assert result.records == ops[:2]
+    assert result.torn and result.dropped_bytes > 0
+
+
+def test_implausible_length_field_stops_replay(tmp_path):
+    ops = sample_ops()
+    path = write_segment(tmp_path / "w.log", ops)
+    last = _record_offsets(path)[-1]
+    blob = bytearray(path.read_bytes())
+    blob[last : last + 4] = (1 << 30).to_bytes(4, "little")
+    path.write_bytes(bytes(blob))
+    result = read_wal(path)
+    assert result.records == ops[:-1]
+    assert "implausible" in result.error
+
+
+def test_append_after_close_refused(tmp_path):
+    wal = WriteAheadLog(tmp_path / "w.log")
+    wal.append(delete_op(1, 1))
+    wal.close()
+    with pytest.raises(ReproError, match="closed"):
+        wal.append(delete_op(2, 2))
+
+
+def test_appends_accumulate_across_handles(tmp_path):
+    path = tmp_path / "w.log"
+    write_segment(path, sample_ops(2))
+    with WriteAheadLog(path) as wal:
+        wal.append(delete_op(0, 99))
+        assert wal.records_appended == 1
+    result = read_wal(path)
+    assert len(result.records) == 4  # 2 inserts + a delete + the new delete
+    assert result.records[-1] == delete_op(0, 99)

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import io
+
 import pytest
 
 from repro.cli import main
@@ -107,6 +109,85 @@ class TestBench:
     def test_bad_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    def _serve(self, monkeypatch, argv, commands):
+        monkeypatch.setattr("sys.stdin", io.StringIO(commands))
+        return main(argv)
+
+    def test_serve_bootstrap_and_commands(self, data_file, tmp_path, monkeypatch, capsys):
+        store_dir = str(tmp_path / "store")
+        commands = (
+            "query 2 4 a,c\n"
+            "insert 60 2 4 a,c\n"
+            "query 2 4 a,c\n"
+            "delete 60\n"
+            "checkpoint\n"
+            "stats\n"
+            "quit\n"
+        )
+        code = self._serve(
+            monkeypatch,
+            ["serve", store_dir, "--index", "tif-slicing", "--data", data_file],
+            commands,
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bootstrapped 8 objects" in out
+        assert "3 results: [2, 4, 7]" in out
+        assert "4 results: [2, 4, 7, 60]" in out
+        assert "ok: deleted 60" in out
+        assert "ok: snapshot snapshot-" in out
+        assert "degraded: False" in out
+
+    def test_serve_errors_do_not_kill_the_loop(self, tmp_path, monkeypatch, capsys):
+        store_dir = str(tmp_path / "store")
+        commands = (
+            "insert 1 0 10 a\n"
+            "insert 1 0 10 a\n"   # duplicate -> error line
+            "delete 99\n"          # missing -> error line
+            "frobnicate\n"         # unknown -> error line
+            "insert\n"             # bad arity -> usage line
+            "query 0 10\n"
+            "quit\n"
+        )
+        code = self._serve(monkeypatch, ["serve", store_dir, "--index", "brute"], commands)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error: object id 1 already indexed" in out
+        assert out.count("error:") >= 3
+        assert "1 results: [1]" in out
+
+    def test_serve_state_survives_restart(self, tmp_path, monkeypatch, capsys):
+        store_dir = str(tmp_path / "store")
+        assert self._serve(
+            monkeypatch, ["serve", store_dir, "--index", "brute"],
+            "insert 7 0 5 x,y\nquit\n",
+        ) == 0
+        capsys.readouterr()
+        assert self._serve(
+            monkeypatch, ["serve", store_dir], "query 0 10 x\nquit\n"
+        ) == 0
+        assert "1 results: [7]" in capsys.readouterr().out
+
+
+class TestRecover:
+    def test_recover_reports_and_checkpoints(self, tmp_path, monkeypatch, capsys):
+        store_dir = str(tmp_path / "store")
+        monkeypatch.setattr("sys.stdin", io.StringIO("insert 1 0 5 a\nquit\n"))
+        assert main(["serve", store_dir, "--index", "brute"]) == 0
+        capsys.readouterr()
+        assert main(["recover", store_dir, "--checkpoint"]) == 0
+        out = capsys.readouterr().out
+        assert "1 live objects" in out
+        assert "checkpointed recovered state" in out
+
+    def test_recover_missing_directory_fails_cleanly(self, tmp_path):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="not a directory"):
+            main(["recover", str(tmp_path / "nope")])
 
 
 class TestSnapshots:
