@@ -12,7 +12,6 @@ Everything the paper reports reduces to four measurements:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -20,6 +19,8 @@ from repro.core.collection import Collection
 from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
 from repro.indexes.registry import build_index
+from repro.obs.registry import OBS
+from repro.utils.timing import Stopwatch, timed
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,10 +35,11 @@ class BuildResult:
 
 def build_timed(key: str, collection: Collection, **params: object) -> BuildResult:
     """Build the registered index over the collection, timing it."""
-    start = time.perf_counter()
-    index = build_index(key, collection, **params)
-    seconds = time.perf_counter() - start
-    return BuildResult(key=key, seconds=seconds, size_bytes=index.size_bytes(), index=index)
+    with timed() as watch:
+        index = build_index(key, collection, **params)
+    return BuildResult(
+        key=key, seconds=watch.elapsed, size_bytes=index.size_bytes(), index=index
+    )
 
 
 def query_throughput(
@@ -56,11 +58,11 @@ def query_throughput(
     best = float("inf")
     total = 0
     for _ in range(passes):
-        start = time.perf_counter()
+        watch = Stopwatch()
+        watch.start()
         for q in queries:
             total += len(index.query(q))
-        seconds = time.perf_counter() - start
-        best = min(best, seconds)
+        best = min(best, watch.stop())
     if best <= 0.0:
         return float("inf")
     # `total` is deliberately folded into a no-op so the loop cannot be
@@ -81,10 +83,11 @@ def insert_batch_time(index: TemporalIRIndex, batch: Sequence[TemporalObject]) -
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        start = time.perf_counter()
+        watch = Stopwatch()
+        watch.start()
         for obj in batch:
             index.insert(obj)
-        return time.perf_counter() - start
+        return watch.stop()
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -97,10 +100,11 @@ def delete_batch_time(index: TemporalIRIndex, batch: Sequence[TemporalObject]) -
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
-        start = time.perf_counter()
+        watch = Stopwatch()
+        watch.start()
         for obj in batch:
             index.delete(obj)
-        return time.perf_counter() - start
+        return watch.stop()
     finally:
         if gc_was_enabled:
             gc.enable()
@@ -152,6 +156,18 @@ def validate_index(
             )
 
 
+def _counter_deltas(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Nonzero counter movement between two snapshots, keyed ``_obs_<name>``."""
+    out: Dict[str, float] = {}
+    for key, value in after.items():
+        delta = value - before.get(key, 0.0)
+        if delta:
+            out[f"_obs_{key}"] = delta
+    return out
+
+
 def measure_methods(
     methods: Sequence[str],
     collection: Collection,
@@ -162,11 +178,17 @@ def measure_methods(
     """Build each method once and run every workload against it.
 
     Returns ``{method: {workload_label: queries_per_second, "_build_s": …,
-    "_size_mb": …}}`` — the common inner loop of Figures 10-12.
+    "_size_mb": …}}`` — the common inner loop of Figures 10-12.  When a
+    metrics registry is enabled, each row additionally carries the
+    counters this method's measurement moved, as ``_obs_``-prefixed
+    deltas (e.g. ``_obs_repro_queries_total{index=tIF}``), so experiment
+    outputs double as per-experiment metric snapshots.
     """
     build_params = build_params or {}
     out: Dict[str, Dict[str, float]] = {}
     for key in methods:
+        registry = OBS.registry
+        before = registry.counter_snapshot() if registry.enabled else None
         result = build_timed(key, collection, **build_params.get(key, {}))
         row: Dict[str, float] = {
             "_build_s": result.seconds,
@@ -176,5 +198,7 @@ def measure_methods(
             if validate and queries:
                 validate_index(result.index, collection, queries, sample=3)
             row[label] = query_throughput(result.index, queries)
+        if before is not None:
+            row.update(_counter_deltas(before, registry.counter_snapshot()))
         out[key] = row
     return out

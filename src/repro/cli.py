@@ -3,7 +3,9 @@
 Commands
 --------
 ``generate``  synthesise a dataset (synthetic / eclog / wikipedia) to a file
-``stats``     print a saved collection's Table 3 characteristics
+``stats``     print a collection's Table 3 characteristics, or (with
+              ``--metrics``) dump the metric catalog / an exported metrics
+              file in Prometheus text or JSON
 ``build``     build an index over a saved collection; print time and size
 ``query``     answer one time-travel IR query against a chosen index
 ``explain``   same, but print the per-phase evaluation trace
@@ -17,9 +19,11 @@ Examples
 
     python -m repro generate --dataset eclog --n 5000 --out /tmp/ec.bin
     python -m repro stats /tmp/ec.bin
+    python -m repro stats --metrics --metrics-file /tmp/store.prom
     python -m repro build /tmp/ec.bin --index irhint-perf
     python -m repro query /tmp/ec.bin --index irhint-perf \
         --start 100000 --end 500000 --elements /uri/3,/uri/9
+    python -m repro serve /tmp/store --metrics-file /tmp/store.prom
     python -m repro bench fig8 --scale tiny
 """
 
@@ -27,7 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.config import SCALES
@@ -40,6 +44,7 @@ from repro.datasets.synthetic import generate_synthetic
 from repro.datasets.wikipedia import generate_wikipedia
 from repro.indexes.explain import explain as explain_query
 from repro.indexes.registry import available_indexes, build_index
+from repro.utils.timing import timed
 
 _EXPERIMENTS = [
     "table3", "fig7", "fig8", "fig9", "fig10",
@@ -69,7 +74,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_registry(metrics_file: Optional[str]):
+    """The registry to dump: a parsed export, or the zero-valued catalog."""
+    from repro.obs.exposition import registry_from_prometheus
+    from repro.obs.instruments import register_catalog
+    from repro.obs.registry import MetricsRegistry
+
+    if metrics_file:
+        return registry_from_prometheus(
+            Path(metrics_file).read_text(encoding="utf-8")
+        )
+    return register_catalog(MetricsRegistry(enabled=True))
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.metrics or args.metrics_file:
+        from repro.obs.exposition import render_json, render_prometheus
+
+        registry = _metrics_registry(args.metrics_file)
+        if args.format == "json":
+            print(render_json(registry))
+        else:
+            print(render_prometheus(registry), end="")
+        return 0
+    if args.data is None:
+        print(
+            "error: a collection file is required unless --metrics is given",
+            file=sys.stderr,
+        )
+        return 2
     collection = load(args.data)
     width = max(len(label) for label, _v in table3_rows(collection))
     for label, value in table3_rows(collection):
@@ -82,15 +115,14 @@ def _build(args: argparse.Namespace):
     if snapshot:
         from repro.indexes.persistence import load_index
 
-        start = time.perf_counter()
-        index = load_index(snapshot)
-        return None, index, time.perf_counter() - start
+        with timed() as watch:
+            index = load_index(snapshot)
+        return None, index, watch.elapsed
     collection = load(args.data)
     params = tuned(args.index) if args.tuned else {}
-    start = time.perf_counter()
-    index = build_index(args.index, collection, **params)
-    seconds = time.perf_counter() - start
-    return collection, index, seconds
+    with timed() as watch:
+        index = build_index(args.index, collection, **params)
+    return collection, index, watch.elapsed
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -114,9 +146,9 @@ def _make_query_from_args(args: argparse.Namespace):
 def _cmd_query(args: argparse.Namespace) -> int:
     _collection, index, _seconds = _build(args)
     q = _make_query_from_args(args)
-    start = time.perf_counter()
-    result = index.query(q)
-    ms = (time.perf_counter() - start) * 1000
+    with timed() as watch:
+        result = index.query(q)
+    ms = watch.elapsed * 1000
     print(f"{len(result)} results in {ms:.2f} ms")
     limit = args.limit if args.limit > 0 else len(result)
     print(result[:limit])
@@ -167,51 +199,102 @@ def _serve_line(store, line: str) -> Optional[str]:
         return f"ok: snapshot {path.name}"
     if cmd == "stats":
         return "\n".join(f"{k}: {v}" for k, v in store.stats().items())
-    return f"error: unknown command {cmd!r} (insert/delete/query/checkpoint/stats/quit)"
+    if cmd == "metrics":
+        from repro.obs.exposition import render_prometheus
+        from repro.obs.registry import OBS
+
+        if not OBS.registry.enabled:
+            return "error: metrics are disabled (serve with --metrics-file)"
+        return render_prometheus(OBS.registry).rstrip("\n")
+    return (
+        f"error: unknown command {cmd!r} "
+        "(insert/delete/query/checkpoint/stats/metrics/quit)"
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.errors import ReproError
+    from repro.obs.exposition import render_prometheus
+    from repro.obs.instruments import register_catalog
+    from repro.obs.registry import OBS, MetricsRegistry, set_registry
     from repro.service.store import DurableIndexStore
 
-    store = DurableIndexStore.open(
-        args.directory,
-        index_key=args.index,
-        retain=args.retain,
-        wal_fsync=not args.no_fsync,
-        checkpoint_every=args.checkpoint_every,
-    )
-    with store:
-        if args.data:
-            collection = load(args.data)
-            store.bootstrap(collection, args.index, **(tuned(args.index) if args.tuned else {}))
-            print(f"bootstrapped {len(collection)} objects into {args.index}")
-        recovery = store.last_recovery
-        if recovery is not None:
-            for line in recovery.summary_lines():
-                print(f"# {line}")
-        print("# serving; commands: insert/delete/query/checkpoint/stats/quit")
-        for line in sys.stdin:
-            try:
-                reply = _serve_line(store, line)
-            except ReproError as exc:
-                reply = f"error: {exc}"
-            except ValueError as exc:
-                reply = f"error: {exc}"
-            if reply is None:
-                break
-            if reply:
-                print(reply, flush=True)
+    metrics_file = args.metrics_file
+    previous_registry = None
+    if metrics_file:
+        previous_registry = set_registry(
+            register_catalog(MetricsRegistry(enabled=True))
+        )
+
+    def export_metrics() -> None:
+        if metrics_file:
+            Path(metrics_file).write_text(
+                render_prometheus(OBS.registry), encoding="utf-8"
+            )
+
+    try:
+        store = DurableIndexStore.open(
+            args.directory,
+            index_key=args.index,
+            retain=args.retain,
+            wal_fsync=not args.no_fsync,
+            checkpoint_every=args.checkpoint_every,
+        )
+        with store:
+            if args.data:
+                collection = load(args.data)
+                store.bootstrap(collection, args.index, **(tuned(args.index) if args.tuned else {}))
+                print(f"bootstrapped {len(collection)} objects into {args.index}")
+            recovery = store.last_recovery
+            if recovery is not None:
+                for line in recovery.summary_lines():
+                    print(f"# {line}")
+            export_metrics()
+            print("# serving; commands: insert/delete/query/checkpoint/stats/metrics/quit")
+            for line in sys.stdin:
+                try:
+                    reply = _serve_line(store, line)
+                except ReproError as exc:
+                    reply = f"error: {exc}"
+                except ValueError as exc:
+                    reply = f"error: {exc}"
+                if reply is None:
+                    break
+                if reply:
+                    print(reply, flush=True)
+                command = line.split()[:1]
+                if command and command[0].lower() in ("checkpoint", "stats", "metrics"):
+                    export_metrics()
+        export_metrics()
+    finally:
+        if previous_registry is not None:
+            set_registry(previous_registry)
     return 0
 
 
+#: Counters printed by ``repro recover`` (and asserted on by its tests).
+_RECOVERY_COUNTERS = (
+    "repro_recovery_runs_total",
+    "repro_recovery_corrupt_snapshots_total",
+    "repro_recovery_records_replayed_total",
+    "repro_recovery_records_skipped_total",
+    "repro_recovery_torn_tails_total",
+    "repro_recovery_degraded_total",
+)
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.obs.registry import isolated_registry
     from repro.service.recovery import recover
     from repro.service.store import DurableIndexStore
 
-    report = recover(args.directory)
-    for line in report.summary_lines():
-        print(line)
+    with isolated_registry() as registry:
+        report = recover(args.directory)
+        for line in report.summary_lines():
+            print(line)
+        print("recovery counters:")
+        for name in _RECOVERY_COUNTERS:
+            print(f"  {name} {int(registry.sample_value(name))}")
     if args.checkpoint:
         with DurableIndexStore.open(args.directory) as store:
             path = store.checkpoint()
@@ -242,8 +325,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True, help=".jsonl or binary path")
     p.set_defaults(func=_cmd_generate)
 
-    p = sub.add_parser("stats", help="Table 3 characteristics of a collection")
-    p.add_argument("data", help="collection file (.jsonl or binary)")
+    p = sub.add_parser(
+        "stats",
+        help="Table 3 characteristics of a collection, or metric dumps",
+    )
+    p.add_argument("data", nargs="?", help="collection file (.jsonl or binary)")
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="dump the metric catalog instead of collection statistics",
+    )
+    p.add_argument(
+        "--metrics-file",
+        help="render this exported Prometheus text file (implies --metrics)",
+    )
+    p.add_argument(
+        "--format", choices=["prometheus", "json"], default="prometheus",
+        help="metric exposition format (default: prometheus text)",
+    )
     p.set_defaults(func=_cmd_stats)
 
     def add_index_args(p: argparse.ArgumentParser) -> None:
@@ -295,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-fsync", action="store_true",
         help="skip per-record fsync (faster, loses the last records on a crash)",
+    )
+    p.add_argument(
+        "--metrics-file",
+        help="enable metrics and export Prometheus text to this file "
+        "(written at startup, after checkpoint/stats/metrics commands, on exit)",
     )
     p.set_defaults(func=_cmd_serve)
 

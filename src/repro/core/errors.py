@@ -52,3 +52,15 @@ class CorruptSnapshotError(ReproError):
 
 class StoreClosedError(ReproError):
     """A mutation or query was issued against a closed DurableIndexStore."""
+
+
+class MetricError(ReproError, ValueError):
+    """A metric was registered or used inconsistently (name clash with a
+    different type/labels, wrong label set, malformed exposition input)."""
+
+
+class LabelCardinalityError(MetricError):
+    """A labelled metric family exceeded its configured label-set limit.
+
+    Unbounded label values (object ids, raw timestamps, …) silently turn a
+    fixed-cost registry into a memory leak; the guard makes that loud."""

@@ -26,6 +26,8 @@ from repro.core.collection import Collection
 from repro.core.dictionary import Dictionary
 from repro.core.errors import DuplicateObjectError, UnknownObjectError
 from repro.core.model import Element, TemporalObject, TimeTravelQuery
+from repro.obs.registry import OBS
+from repro.utils.timing import Stopwatch
 
 
 class TemporalIRIndex(abc.ABC):
@@ -92,10 +94,43 @@ class TemporalIRIndex(abc.ABC):
 
     # ------------------------------------------------------------------ query
     def query(self, q: TimeTravelQuery) -> List[int]:
-        """Answer a time-travel IR query; returns sorted live object ids."""
+        """Answer a time-travel IR query; returns sorted live object ids.
+
+        When observability is off (the default) this is the bare dispatch;
+        one attribute load and a branch is the entire overhead.  With a
+        metrics registry enabled and/or a query trace active, the evaluation
+        is timed and its cost accounting recorded (see :mod:`repro.obs`).
+        """
+        if OBS.active:
+            return self._observed_query(q)
         if q.is_pure_temporal:
             return self._pure_temporal_query(q)
         return self._query_impl(q)
+
+    def _observed_query(self, q: TimeTravelQuery) -> List[int]:
+        """The slow-path twin of :meth:`query`: timed and counted."""
+        from repro.obs.instruments import query_instruments
+
+        registry = OBS.registry
+        metrics = registry.enabled
+        watch = Stopwatch()
+        watch.start()
+        if q.is_pure_temporal:
+            result = self._pure_temporal_query(q)
+        else:
+            result = self._query_impl(q)
+        seconds = watch.stop()
+        trace = OBS.trace
+        if trace is not None:
+            trace.note("query_seconds", seconds)
+        if metrics:
+            instruments = query_instruments(registry)
+            instruments.queries.labels(self.name).inc()
+            instruments.seconds.labels(self.name).observe(seconds)
+            instruments.results.labels(self.name).inc(len(result))
+            if q.is_pure_temporal:
+                instruments.pure_temporal.labels(self.name).inc()
+        return result
 
     @abc.abstractmethod
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
@@ -108,11 +143,21 @@ class TemporalIRIndex(abc.ABC):
         honest answer is a scan; time-first structures override this with
         their HINT traversal.
         """
-        return sorted(
+        result = sorted(
             obj.id
             for obj in self._catalog.values()
             if obj.st <= q.end and q.st <= obj.end
         )
+        trace = OBS.trace
+        if trace is not None:
+            trace.phase(
+                "catalog scan",
+                entries_scanned=len(self._catalog),
+                candidates_after=len(result),
+                structures_touched=1,
+            )
+            trace.note("note", "pure-temporal query: catalog scan")
+        return result
 
     # -------------------------------------------------------------- inspection
     @property

@@ -21,6 +21,7 @@ from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
 from repro.ir.settrie import SetTrie
 from repro.ir.signatures import make_signature
+from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
 
 
@@ -72,6 +73,7 @@ class SignatureFileIndex(TemporalIRIndex):
 
     # ------------------------------------------------------------------ query
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         q_sig = make_signature(q.d, self._bits, self._k)
         q_st, q_end = q.st, q.end
         catalog = self._catalog
@@ -83,18 +85,37 @@ class SignatureFileIndex(TemporalIRIndex):
             self._sigs,
             self._alive,
         )
+        filter_passes = temporal_passes = 0
         for i in range(len(ids)):
             if not alive[i]:
                 continue
             if sigs[i] & q_sig != q_sig:  # signature filter
                 continue
+            if trace is not None:
+                filter_passes += 1
             if not (sts[i] <= q_end and q_st <= ends[i]):
                 continue
+            if trace is not None:
+                temporal_passes += 1
             if catalog[ids[i]].d >= q.d:  # verify (false-positive check)
                 out.append(ids[i])
             else:
                 self._false_positives += 1
         out.sort()
+        if trace is not None:
+            trace.phase(
+                "sequential signature scan",
+                entries_scanned=len(ids),
+                candidates_after=filter_passes,
+                structures_touched=1,
+            )
+            trace.phase(
+                "temporal filter + verification",
+                entries_scanned=filter_passes,
+                candidates_after=len(out),
+            )
+            trace.note("filter_passes", filter_passes)
+            trace.note("verified_away", temporal_passes - len(out))
         return out
 
     # -------------------------------------------------------------- inspection
@@ -130,11 +151,31 @@ class SetTrieIndex(TemporalIRIndex):
 
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
         q_st, q_end = q.st, q.end
-        return sorted(
+        trace = OBS.trace
+        if trace is None:
+            return sorted(
+                object_id
+                for object_id, st, end in self._trie.supersets(q.d)
+                if st <= q_end and q_st <= end
+            )
+        supersets = list(self._trie.supersets(q.d))
+        out = sorted(
             object_id
-            for object_id, st, end in self._trie.supersets(q.d)
+            for object_id, st, end in supersets
             if st <= q_end and q_st <= end
         )
+        trace.phase(
+            "superset trie walk",
+            entries_scanned=len(supersets),
+            candidates_after=len(supersets),
+            structures_touched=self._trie.n_nodes(),
+        )
+        trace.phase(
+            "temporal post-filter",
+            entries_scanned=len(supersets),
+            candidates_after=len(out),
+        )
+        return out
 
     @property
     def trie(self) -> SetTrie:

@@ -1,9 +1,11 @@
 """Query explanation: where does a time-travel IR query spend its work?
 
-``explain(index, query)`` re-evaluates a query against a built index while
-counting the quantities the paper reasons about — initial candidate set
-size, relevant slices/shards/divisions touched, entries scanned, and the
-candidate-set trajectory across intersections.  It exists for three reasons:
+``explain(index, query)`` evaluates the query against a built index with a
+:func:`repro.obs.tracing.query_trace` active, then renders the collected
+trace as a :class:`QueryExplanation` — per-phase entries scanned, candidate
+counts, structures touched, plus the method-specific ``detail`` keys
+(relevant slices, impact-list skips, division counts, …).  It exists for
+three reasons:
 
 * **teaching** — the examples print explanations to make the IR-first vs
   time-first difference tangible;
@@ -13,15 +15,16 @@ candidate-set trajectory across intersections.  It exists for three reasons:
 * **tuning** — the per-phase counts show *why* a configuration is slow
   (e.g. an oversized ``m`` shows up as division count, not as a mystery).
 
-Explanations never mutate the index and are intentionally not on the hot
-path — they re-derive counts from the same public traversal primitives the
-indexes use, so they stay correct by construction.
+Because the phases come from the *real* query paths (each index emits them
+when a trace is active — see :mod:`repro.obs.tracing`), the numbers an
+explanation reports and the numbers a live trace reports are the same
+numbers by construction.  Explanations never mutate the index.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Set, Type
 
 from repro.core.errors import ConfigurationError
 from repro.core.model import TimeTravelQuery
@@ -32,6 +35,7 @@ from repro.indexes.tif_hint import TIFHintBinary, TIFHintMerge
 from repro.indexes.tif_hint_slicing import TIFHintSlicing
 from repro.indexes.tif_sharding import TIFSharding
 from repro.indexes.tif_slicing import TIFSlicing
+from repro.obs.tracing import QueryTrace, query_trace
 
 
 @dataclass
@@ -42,30 +46,46 @@ class PhaseTrace:
     entries_scanned: int = 0
     candidates_after: int = 0
     structures_touched: int = 0  # sub-lists / shards / divisions read
+    seconds: float = 0.0  # wall-clock, when the phase was a timed span
 
 
 @dataclass
 class QueryExplanation:
-    """The full trace of one query evaluation."""
+    """The full trace of one query evaluation.
+
+    Every explainable index emits at least one phase on every query path
+    (including pure-temporal fallbacks and empty-index early returns), so a
+    phaseless explanation indicates a broken emitter; the aggregate
+    accessors refuse to hide that as a silent zero.
+    """
 
     method: str
     query: TimeTravelQuery
     result_size: int
     phases: List[PhaseTrace] = field(default_factory=list)
     detail: Dict[str, object] = field(default_factory=dict)
+    seconds: float = 0.0  # whole-query wall-clock
+
+    def _require_phases(self) -> List[PhaseTrace]:
+        if not self.phases:
+            raise ConfigurationError(
+                f"explanation for {self.method!r} recorded no phases; the "
+                "index's query path emitted no trace records"
+            )
+        return self.phases
 
     @property
     def total_entries_scanned(self) -> int:
-        return sum(phase.entries_scanned for phase in self.phases)
+        return sum(phase.entries_scanned for phase in self._require_phases())
 
     @property
     def total_structures_touched(self) -> int:
-        return sum(phase.structures_touched for phase in self.phases)
+        return sum(phase.structures_touched for phase in self._require_phases())
 
     def candidate_trajectory(self) -> List[int]:
         """Candidate-set sizes after each phase (monotone non-increasing
         after the first phase for every correct method)."""
-        return [phase.candidates_after for phase in self.phases]
+        return [phase.candidates_after for phase in self._require_phases()]
 
     def render(self) -> str:
         lines = [
@@ -83,303 +103,54 @@ class QueryExplanation:
         return "\n".join(lines)
 
 
-# --------------------------------------------------------------------- tIF
-def _explain_tif(index: TIF, q: TimeTravelQuery) -> QueryExplanation:
-    ordered = index.order_query_elements(q)
-    tif = index.inverted_file
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    if not ordered:
-        explanation.detail["note"] = "pure-temporal query: catalog scan"
-        return explanation
-    first = tif.postings(ordered[0])
-    candidates = first.overlapping_ids(q.st, q.end) if first else []
-    explanation.phases.append(
+def explanation_from_trace(
+    method: str, q: TimeTravelQuery, result_size: int, trace: QueryTrace
+) -> QueryExplanation:
+    """Wrap a collected :class:`QueryTrace` as a :class:`QueryExplanation`."""
+    phases = [
         PhaseTrace(
-            label=f"scan I[{ordered[0]}]",
-            entries_scanned=len(first) if first else 0,
-            candidates_after=len(candidates),
-            structures_touched=1,
+            label=span.name,
+            entries_scanned=int(span.count("entries_scanned")),
+            candidates_after=int(span.count("candidates_after")),
+            structures_touched=int(span.count("structures_touched")),
+            seconds=span.seconds,
         )
-    )
-    for element in ordered[1:]:
-        postings = tif.postings(element)
-        if postings is None:
-            candidates = []
-            explanation.phases.append(PhaseTrace(f"∩ I[{element}] (absent)", 0, 0, 0))
-            continue
-        candidates = postings.intersect_sorted(sorted(candidates))
-        explanation.phases.append(
-            PhaseTrace(
-                label=f"∩ I[{element}]",
-                entries_scanned=len(postings),
-                candidates_after=len(candidates),
-                structures_touched=1,
-            )
-        )
-    return explanation
+        for span in trace.phases()
+    ]
+    detail = dict(trace.detail)
+    seconds = float(detail.pop("query_seconds", 0.0))  # type: ignore[arg-type]
+    return QueryExplanation(method, q, result_size, phases, detail, seconds)
 
 
-# ----------------------------------------------------------------- slicing
-def _explain_slicing(index: TIFSlicing, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    layout = index.layout
-    if layout is None or q.is_pure_temporal:
-        explanation.detail["note"] = "empty index or pure-temporal fallback"
-        return explanation
-    ordered = index.order_query_elements(q)
-    first_slice, last_slice = layout.slice_range(q.st, q.end)
-    explanation.detail["relevant_slices"] = last_slice - first_slice + 1
-    candidates: Optional[int] = None
-    for rank, element in enumerate(ordered):
-        sliced = index._lists.get(element)
-        scanned = 0
-        touched = 0
-        if sliced is not None:
-            for slice_index in range(first_slice, last_slice + 1):
-                columns = sliced.slices.get(slice_index)
-                if columns is not None:
-                    scanned += len(columns[0])
-                    touched += 1
-        if rank == 0:
-            candidates = len(
-                index.query(TimeTravelQuery(q.st, q.end, frozenset({element})))
-            )
-            label = f"filter+dedup I[{element}]"
-        else:
-            partial = frozenset(ordered[: rank + 1])
-            candidates = len(index.query(TimeTravelQuery(q.st, q.end, partial)))
-            label = f"∩ sub-lists of I[{element}]"
-        explanation.phases.append(PhaseTrace(label, scanned, candidates, touched))
-    return explanation
-
-
-# ---------------------------------------------------------------- sharding
-def _explain_sharding(index: TIFSharding, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    if q.is_pure_temporal:
-        explanation.detail["note"] = "pure-temporal fallback"
-        return explanation
-    ordered = index.order_query_elements(q)
-    for rank, element in enumerate(ordered):
-        shards = index._shards.get(element, [])
-        scanned = 0
-        for shard in shards:
-            start = shard.scan_start(q.st)
-            i, n = start, len(shard)
-            while i < n and shard.sts[i] <= q.end:
-                i += 1
-            scanned += i - start
-        partial = frozenset(ordered[: rank + 1])
-        candidates = len(index.query(TimeTravelQuery(q.st, q.end, partial)))
-        label = f"{'scan' if rank == 0 else '∩'} shards of I[{element}]"
-        explanation.phases.append(PhaseTrace(label, scanned, candidates, len(shards)))
-    explanation.detail["impact_list_skips"] = sum(
-        shard.scan_start(q.st)
-        for element in ordered
-        for shard in index._shards.get(element, [])
-    )
-    return explanation
-
-
-# ---------------------------------------------------------------- tIF+HINT
-def _explain_tif_hint(index, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    if q.is_pure_temporal:
-        explanation.detail["note"] = "pure-temporal fallback"
-        return explanation
-    ordered = index.order_query_elements(q)
-    for rank, element in enumerate(ordered):
-        hint = index.hint_for(element) if hasattr(index, "hint_for") else index._hints.get(element)
-        touched = 0
-        scanned = 0
-        if hint is not None:
-            for _level, _j, partition, _kind, _check in hint.iter_query_divisions(q.st, q.end):
-                touched += 1
-                scanned += len(partition)
-        partial = frozenset(ordered[: rank + 1])
-        candidates = len(index.query(TimeTravelQuery(q.st, q.end, partial)))
-        label = f"{'range query' if rank == 0 else '∩ divisions of'} H[{element}]"
-        explanation.phases.append(PhaseTrace(label, scanned, candidates, touched))
-    return explanation
-
-
-def _explain_tif_hint_slicing(index: TIFHintSlicing, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    if q.is_pure_temporal or index._layout is None:
-        explanation.detail["note"] = "pure-temporal fallback or empty index"
-        return explanation
-    ordered = index.order_query_elements(q)
-    hint = index._hints.get(ordered[0])
-    touched = scanned = 0
-    if hint is not None:
-        for _level, _j, partition, _kind, _check in hint.iter_query_divisions(q.st, q.end):
-            touched += 1
-            scanned += len(partition)
-    candidates = len(index.query(TimeTravelQuery(q.st, q.end, frozenset({ordered[0]}))))
-    explanation.phases.append(
-        PhaseTrace(f"range query H[{ordered[0]}]", scanned, candidates, touched)
-    )
-    first_slice, last_slice = index._layout.slice_range(q.st, q.end)
-    for rank, element in enumerate(ordered[1:], start=1):
-        sliced = index._sliced.get(element)
-        scanned = touched = 0
-        if sliced is not None:
-            for slice_index in range(first_slice, last_slice + 1):
-                columns = sliced.slices.get(slice_index)
-                if columns is not None:
-                    scanned += len(columns[0])
-                    touched += 1
-        partial = frozenset(ordered[: rank + 1])
-        candidates = len(index.query(TimeTravelQuery(q.st, q.end, partial)))
-        explanation.phases.append(
-            PhaseTrace(f"∩ sub-lists of I[{element}]", scanned, candidates, touched)
-        )
-    explanation.detail["relevant_slices"] = last_slice - first_slice + 1
-    return explanation
-
-
-# ------------------------------------------------------------------ irHINT
-def _explain_irhint_perf(index: IRHintPerformance, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    mapper = index._mapper
-    if mapper is None:
-        return explanation
-    from repro.intervals.hint.traversal import iter_relevant_divisions
-
-    first_cell, last_cell = mapper.cell_range(q.st, q.end)
-    relevant = 0
-    materialised = 0
-    scanned = 0
-    per_level: Dict[int, int] = {}
-    for level, j, kind, _check in iter_relevant_divisions(
-        mapper.num_bits, first_cell, last_cell
-    ):
-        relevant += 1
-        division = index._divisions.get((level, j, kind.value == "O"))
-        if division is not None:
-            materialised += 1
-            scanned += division.n_entries()
-            per_level[level] = per_level.get(level, 0) + 1
-    explanation.phases.append(
-        PhaseTrace("bottom-up division sweep", scanned, explanation.result_size, materialised)
-    )
-    explanation.detail["relevant_divisions"] = relevant
-    explanation.detail["materialised_divisions"] = materialised
-    explanation.detail["divisions_per_level"] = per_level
-    explanation.detail["m"] = mapper.num_bits
-    return explanation
-
-
-def _explain_irhint_size(index: IRHintSize, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    hint = index._hint
-    if hint is None:
-        return explanation
-    touched = 0
-    interval_candidates = 0
-    for _level, _j, partition, kind, check in hint.iter_query_divisions(q.st, q.end):
-        touched += 1
-        probe: List[int] = []
-        partition.scan_division(kind, check, q.st, q.end, probe)
-        interval_candidates += len(probe)
-    explanation.phases.append(
-        PhaseTrace(
-            "interval-store range filters",
-            interval_candidates,
-            interval_candidates,
-            touched,
-        )
-    )
-    explanation.phases.append(
-        PhaseTrace(
-            "per-division id-postings merges",
-            interval_candidates,
-            explanation.result_size,
-            touched,
-        )
-    )
-    explanation.detail["m"] = hint.num_bits
-    return explanation
-
-
-# ------------------------------------------------------- containment baselines
-def _explain_signature_file(index, q: TimeTravelQuery) -> QueryExplanation:
-    from repro.ir.signatures import make_signature
-
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    q_sig = make_signature(q.d, index._bits, index._k)
-    filter_passes = sum(
-        1
-        for i in range(len(index._sigs))
-        if index._alive[i] and index._sigs[i] & q_sig == q_sig
-    )
-    explanation.phases.append(
-        PhaseTrace(
-            "sequential signature scan",
-            entries_scanned=len(index._sigs),
-            candidates_after=filter_passes,
-            structures_touched=1,
-        )
-    )
-    explanation.detail["filter_passes"] = filter_passes
-    explanation.detail["verified_away"] = filter_passes - explanation.result_size - sum(
-        1
-        for i in range(len(index._sigs))
-        if index._alive[i]
-        and index._sigs[i] & q_sig == q_sig
-        and not (index._sts[i] <= q.end and q.st <= index._ends[i])
-    )
-    return explanation
-
-
-def _explain_set_trie(index, q: TimeTravelQuery) -> QueryExplanation:
-    explanation = QueryExplanation(index.name, q, len(index.query(q)))
-    supersets = index.trie.supersets(q.d)
-    explanation.phases.append(
-        PhaseTrace(
-            "superset trie walk",
-            entries_scanned=len(supersets),
-            candidates_after=len(supersets),
-            structures_touched=index.trie.n_nodes(),
-        )
-    )
-    explanation.phases.append(
-        PhaseTrace(
-            "temporal post-filter",
-            entries_scanned=len(supersets),
-            candidates_after=explanation.result_size,
-            structures_touched=0,
-        )
-    )
-    return explanation
+#: Index types whose query paths emit trace phases.  BruteForce is absent by
+#: design: a linear scan has no structure worth explaining.
+_EXPLAINABLE: Set[Type[TemporalIRIndex]] = {
+    TIF,
+    TIFSlicing,
+    TIFSharding,
+    TIFHintBinary,
+    TIFHintMerge,
+    TIFHintSlicing,
+    IRHintPerformance,
+    IRHintSize,
+}
 
 
 def _register_containment() -> None:
     """Lazy registration: avoids an import cycle with the package __init__."""
     from repro.indexes.containment import SetTrieIndex, SignatureFileIndex
 
-    _EXPLAINERS.setdefault(SignatureFileIndex, _explain_signature_file)
-    _EXPLAINERS.setdefault(SetTrieIndex, _explain_set_trie)
-
-
-_EXPLAINERS = {
-    TIF: _explain_tif,
-    TIFSlicing: _explain_slicing,
-    TIFSharding: _explain_sharding,
-    TIFHintBinary: _explain_tif_hint,
-    TIFHintMerge: _explain_tif_hint,
-    TIFHintSlicing: _explain_tif_hint_slicing,
-    IRHintPerformance: _explain_irhint_perf,
-    IRHintSize: _explain_irhint_size,
-}
+    _EXPLAINABLE.add(SignatureFileIndex)
+    _EXPLAINABLE.add(SetTrieIndex)
 
 
 def explain(index: TemporalIRIndex, q: TimeTravelQuery) -> QueryExplanation:
     """Trace one query against a built index (see module docstring)."""
     _register_containment()
-    explainer = _EXPLAINERS.get(type(index))
-    if explainer is None:
+    if type(index) not in _EXPLAINABLE:
         raise ConfigurationError(
             f"no explainer registered for {type(index).__name__}"
         )
-    return explainer(index, q)
+    with query_trace() as trace:
+        result = index.query(q)
+    return explanation_from_trace(index.name, q, len(result), trace)

@@ -42,6 +42,7 @@ from repro.intervals.hint.traversal import DivisionKind, assign, iter_relevant_d
 from repro.ir.intersection import intersect_adaptive
 from repro.ir.inverted import TemporalCheck, TemporalInvertedFile
 from repro.ir.postings import IdPostingsList
+from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES
 
 #: Headroom left above the built domain for insertion workloads.
@@ -132,8 +133,11 @@ class IRHintPerformance(TemporalIRIndex):
         return self._traverse(q)
 
     def _traverse(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         mapper = self._mapper
         if mapper is None:
+            if trace is not None:
+                trace.phase("empty index")
             return []
         first_cell, last_cell = mapper.cell_range(q.st, q.end)
         out: List[int] = []
@@ -143,16 +147,36 @@ class IRHintPerformance(TemporalIRIndex):
         # than once per division.
         ordered = self._dictionary.order_by_frequency(q.d) if q.d else []
         originals = DivisionKind.ORIGINALS
+        relevant = materialised = scanned = 0
+        per_level: Dict[int, int] = {}
         for level, j, kind, check in iter_relevant_divisions(
             mapper.num_bits, first_cell, last_cell
         ):
+            if trace is not None:
+                relevant += 1
             division = divisions.get((level, j, kind is originals))
             if division is None:
                 continue
+            if trace is not None:
+                materialised += 1
+                scanned += division.n_entries()
+                per_level[level] = per_level.get(level, 0) + 1
             # QueryTemporalIF (Alg. 5): Algorithm 1 inside the division with
-            # only the comparisons the flags deem necessary.
+            # only the comparisons the flags deem necessary.  No trace is
+            # passed down: the sweep accounts for the divisions wholesale.
             out.extend(division.query(q.st, q.end, ordered, check))
         out.sort()
+        if trace is not None:
+            trace.phase(
+                "bottom-up division sweep",
+                entries_scanned=scanned,
+                candidates_after=len(out),
+                structures_touched=materialised,
+            )
+            trace.note("relevant_divisions", relevant)
+            trace.note("materialised_divisions", materialised)
+            trace.note("divisions_per_level", per_level)
+            trace.note("m", mapper.num_bits)
         return out
 
     # -------------------------------------------------------------- inspection
@@ -250,21 +274,34 @@ class IRHintSize(TemporalIRIndex):
 
     def _pure_temporal_query(self, q: TimeTravelQuery) -> List[int]:
         if self._hint is None:
+            if OBS.trace is not None:
+                OBS.trace.phase("empty index")
             return []
+        if OBS.trace is not None:
+            # The traversal is the range query when q.d = ∅; running it
+            # keeps the trace's per-division accounting on the real path.
+            return self._traverse(q)
         return self._hint.range_query(q.st, q.end)
 
     def _traverse(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         hint = self._hint
         if hint is None:
+            if trace is not None:
+                trace.phase("empty index")
             return []
         out: List[int] = []
         # Global frequency order, computed once (Algorithm 1 line 2).
         ordered = self._dictionary.order_by_frequency(q.d) if q.d else []
         originals = DivisionKind.ORIGINALS
+        touched = interval_candidates = 0
         for level, j, partition, kind, check in hint.iter_query_divisions(q.st, q.end):
             # Step 1 (Alg. 6): range-filter the division's interval store.
             candidates: List[int] = []
             partition.scan_division(kind, check, q.st, q.end, candidates)
+            if trace is not None:
+                touched += 1
+                interval_candidates += len(candidates)
             if not candidates:
                 continue
             candidates.sort()  # by object id, for the merge intersections
@@ -286,6 +323,20 @@ class IRHintSize(TemporalIRIndex):
                     break
             out.extend(candidates)
         out.sort()
+        if trace is not None:
+            trace.phase(
+                "interval-store range filters",
+                entries_scanned=interval_candidates,
+                candidates_after=interval_candidates,
+                structures_touched=touched,
+            )
+            trace.phase(
+                "per-division id-postings merges",
+                entries_scanned=interval_candidates,
+                candidates_after=len(out),
+                structures_touched=touched,
+            )
+            trace.note("m", hint.num_bits)
         return out
 
     # -------------------------------------------------------------- inspection

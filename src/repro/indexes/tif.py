@@ -14,6 +14,7 @@ from typing import List
 from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
 from repro.ir.inverted import TemporalCheck, TemporalInvertedFile
+from repro.obs.registry import OBS
 
 
 class TIF(TemporalIRIndex):
@@ -35,7 +36,9 @@ class TIF(TemporalIRIndex):
     # ------------------------------------------------------------------ query
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
         ordered = self.order_query_elements(q)
-        return self._tif.query(q.st, q.end, ordered, TemporalCheck.BOTH)
+        return self._tif.query(
+            q.st, q.end, ordered, TemporalCheck.BOTH, trace=OBS.trace
+        )
 
     # -------------------------------------------------------------- inspection
     @property

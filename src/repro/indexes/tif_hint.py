@@ -34,11 +34,37 @@ from repro.intervals.hint.domain import DomainMapper
 from repro.intervals.hint.index import Hint
 from repro.intervals.hint.partition import SortPolicy
 from repro.ir.intersection import contains_sorted, intersect_merge
+from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES
 from repro.utils.sorting import merge_sorted
 
 #: Headroom left above the built domain for insertion workloads.
 DOMAIN_SLACK = 0.25
+
+
+def _traced_range_query(hint: Hint, q: TimeTravelQuery, element, trace) -> List[int]:
+    """The first element's HINT range query, with optional phase accounting.
+
+    Untraced, this is exactly ``hint.range_query_unsorted``; traced, the
+    same traversal runs division by division so entries scanned and
+    divisions touched can be recorded (``scan_division`` defaults match the
+    plain range query's configuration).
+    """
+    if trace is None:
+        return hint.range_query_unsorted(q.st, q.end)
+    candidates: List[int] = []
+    scanned = touched = 0
+    for _level, _j, partition, kind, check in hint.iter_query_divisions(q.st, q.end):
+        scanned += len(partition)
+        touched += 1
+        partition.scan_division(kind, check, q.st, q.end, candidates)
+    trace.phase(
+        f"range query H[{element}]",
+        entries_scanned=scanned,
+        candidates_after=len(candidates),
+        structures_touched=touched,
+    )
+    return candidates
 
 
 class _TIFHintBase(TemporalIRIndex):
@@ -112,29 +138,45 @@ class TIFHintBinary(_TIFHintBase):
     _policy = SortPolicy.TEMPORAL
 
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         ordered = self.order_query_elements(q)
         first_hint = self._hints.get(ordered[0])
         if first_hint is None:
+            if trace is not None:
+                trace.phase(f"range query H[{ordered[0]}] (absent)")
             return []
         # Lines 1-3: the initial candidates via a plain HINT range query.
-        candidates = first_hint.range_query_unsorted(q.st, q.end)
+        candidates = _traced_range_query(first_hint, q, ordered[0], trace)
         for element in ordered[1:]:
             if not candidates:
                 return []
             hint = self._hints.get(element)
             if hint is None:
+                if trace is not None:
+                    trace.phase(f"∩ divisions of H[{element}] (absent)")
                 return []
             candidates.sort()  # line 5
             matched: List[int] = []
+            scanned = touched = 0
             # Lines 7-29: traverse H[e] with the comp flags; each object that
             # passes its division's temporal checks is probed into C.
             for _level, _j, partition, kind, check in hint.iter_query_divisions(q.st, q.end):
+                if trace is not None:
+                    scanned += len(partition)
+                    touched += 1
                 probe: List[int] = []
                 partition.scan_division(kind, check, q.st, q.end, probe)
                 for object_id in probe:
                     if contains_sorted(candidates, object_id):
                         matched.append(object_id)
             candidates = matched  # line 30
+            if trace is not None:
+                trace.phase(
+                    f"∩ divisions of H[{element}]",
+                    entries_scanned=scanned,
+                    candidates_after=len(candidates),
+                    structures_touched=touched,
+                )
         candidates.sort()
         return candidates
 
@@ -146,19 +188,25 @@ class TIFHintMerge(_TIFHintBase):
     _policy = SortPolicy.BY_ID
 
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         ordered = self.order_query_elements(q)
         first_hint = self._hints.get(ordered[0])
         if first_hint is None:
+            if trace is not None:
+                trace.phase(f"range query H[{ordered[0]}] (absent)")
             return []
-        candidates = first_hint.range_query_unsorted(q.st, q.end)
+        candidates = _traced_range_query(first_hint, q, ordered[0], trace)
         candidates.sort()
         for element in ordered[1:]:
             if not candidates:
                 return []
             hint = self._hints.get(element)
             if hint is None:
+                if trace is not None:
+                    trace.phase(f"∩ divisions of H[{element}] (absent)")
                 return []
             matched: List[int] = []
+            scanned = touched = 0
             # Lines 6-11: plain partition sweep, no comp flags, no temporal
             # comparisons — candidates are already temporally exact, and
             # HINT's structure guarantees each object meets the sweep once.
@@ -168,10 +216,23 @@ class TIFHintMerge(_TIFHintBase):
                         partition.r_in.live_ids(), partition.r_aft.live_ids()
                     )
                     matched.extend(intersect_merge(candidates, replicas))
+                    if trace is not None:
+                        scanned += len(replicas)
+                        touched += 2
                 originals = merge_sorted(
                     partition.o_in.live_ids(), partition.o_aft.live_ids()
                 )
                 matched.extend(intersect_merge(candidates, originals))
+                if trace is not None:
+                    scanned += len(originals)
+                    touched += 2
             matched.sort()
             candidates = matched
+            if trace is not None:
+                trace.phase(
+                    f"∩ divisions of H[{element}]",
+                    entries_scanned=scanned,
+                    candidates_after=len(candidates),
+                    structures_touched=touched,
+                )
         return candidates

@@ -31,6 +31,8 @@ from repro.intervals.grid1d import GridLayout
 from repro.intervals.hint.domain import DomainMapper
 from repro.intervals.hint.index import Hint
 from repro.intervals.hint.partition import SortPolicy
+from repro.indexes.tif_hint import _traced_range_query
+from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES, ENTRY_ID_START_BYTES
 
 #: Headroom left above the built domain for insertion workloads.
@@ -149,18 +151,25 @@ class TIFHintSlicing(TemporalIRIndex):
 
     # ------------------------------------------------------------------ query
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         layout = self._layout
         if layout is None:
+            if trace is not None:
+                trace.phase("empty index")
             return []
         ordered = self.order_query_elements(q)
         first_hint = self._hints.get(ordered[0])
         if first_hint is None:
+            if trace is not None:
+                trace.phase(f"range query H[{ordered[0]}] (absent)")
             return []
         # First element: HINT's fast range query provides the candidates.
-        candidates = first_hint.range_query_unsorted(q.st, q.end)
+        candidates = _traced_range_query(first_hint, q, ordered[0], trace)
         candidates.sort()
         q_st = q.st
         first_slice, last_slice = layout.slice_range(q.st, q.end)
+        if trace is not None:
+            trace.note("relevant_slices", last_slice - first_slice + 1)
         # Remaining elements: slice-restricted merge intersections with
         # reference-value de-duplication on the ⟨id, t_st⟩ pairs.
         for element in ordered[1:]:
@@ -168,13 +177,19 @@ class TIFHintSlicing(TemporalIRIndex):
                 return []
             sliced = self._sliced.get(element)
             if sliced is None:
+                if trace is not None:
+                    trace.phase(f"∩ sub-lists of I[{element}] (absent)")
                 return []
             matched: List[int] = []
+            scanned = touched = 0
             for slice_index in range(first_slice, last_slice + 1):
                 columns = sliced.slices.get(slice_index)
                 if columns is None:
                     continue
                 ids, sts, alive = columns
+                if trace is not None:
+                    scanned += len(ids)
+                    touched += 1
                 slice_lo, slice_hi = layout.slice_bounds(slice_index)
                 i = j = 0
                 n_c, n_e = len(candidates), len(ids)
@@ -196,6 +211,13 @@ class TIFHintSlicing(TemporalIRIndex):
                         j += 1
             matched.sort()
             candidates = matched
+            if trace is not None:
+                trace.phase(
+                    f"∩ sub-lists of I[{element}]",
+                    entries_scanned=scanned,
+                    candidates_after=len(candidates),
+                    structures_touched=touched,
+                )
         return candidates
 
     # -------------------------------------------------------------- inspection

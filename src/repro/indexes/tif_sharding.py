@@ -34,6 +34,7 @@ from repro.core.interval import Timestamp
 from repro.core.errors import ConfigurationError, UnknownObjectError
 from repro.core.model import Element, TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
+from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES, ENTRY_ID_START_BYTES
 
 #: Impact-list sampling stride (entries per sampled offset).
@@ -123,14 +124,16 @@ class _Shard:
         q_end: Timestamp,
         out: List[int],
         membership: Optional[Set[int]] = None,
-    ) -> None:
+    ) -> int:
         """Append qualifying live ids, optionally filtered by ``membership``.
 
         Starts at the impact-list offset; stops at the first entry whose
-        start exceeds ``q_end`` (entries are start-sorted).
+        start exceeds ``q_end`` (entries are start-sorted).  Returns the
+        number of entries examined (instrumentation: entries scanned).
         """
         ids, sts, ends, alive = self.ids, self.sts, self.ends, self.alive
-        i = self.scan_start(q_st)
+        start = self.scan_start(q_st)
+        i = start
         n = len(ids)
         while i < n:
             st = sts[i]
@@ -141,6 +144,7 @@ class _Shard:
                 if membership is None or object_id in membership:
                     out.append(object_id)
             i += 1
+        return i - start
 
 
 def _build_ideal_shards(entries: List[tuple]) -> List[_Shard]:
@@ -330,24 +334,53 @@ class TIFSharding(TemporalIRIndex):
 
     # ------------------------------------------------------------------ query
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         ordered = self.order_query_elements(q)
+        if trace is not None:
+            trace.add("impact_list_skips", 0)
         shards = self._shards.get(ordered[0])
         if not shards:
+            if trace is not None:
+                trace.phase(f"scan shards of I[{ordered[0]}] (absent)")
             return []
         candidates: List[int] = []
+        scanned = 0
         for shard in shards:
-            shard.scan(q.st, q.end, candidates)
+            examined = shard.scan(q.st, q.end, candidates)
+            if trace is not None:
+                scanned += examined
+                trace.add("impact_list_skips", shard.scan_start(q.st))
+        if trace is not None:
+            trace.phase(
+                f"scan shards of I[{ordered[0]}]",
+                entries_scanned=scanned,
+                candidates_after=len(candidates),
+                structures_touched=len(shards),
+            )
         for element in ordered[1:]:
             if not candidates:
                 return []
             shards = self._shards.get(element)
             if not shards:
+                if trace is not None:
+                    trace.phase(f"∩ shards of I[{element}] (absent)")
                 return []
             membership = set(candidates)
             matched: List[int] = []
+            scanned = 0
             for shard in shards:
-                shard.scan(q.st, q.end, matched, membership)
+                examined = shard.scan(q.st, q.end, matched, membership)
+                if trace is not None:
+                    scanned += examined
+                    trace.add("impact_list_skips", shard.scan_start(q.st))
             candidates = matched
+            if trace is not None:
+                trace.phase(
+                    f"∩ shards of I[{element}]",
+                    entries_scanned=scanned,
+                    candidates_after=len(candidates),
+                    structures_touched=len(shards),
+                )
         candidates.sort()
         return candidates
 

@@ -23,6 +23,7 @@ from repro.core.interval import Timestamp
 from repro.core.model import Element, TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
 from repro.intervals.grid1d import GridLayout
+from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
 
 #: How much head-room beyond the built domain the slicing grid keeps, so
@@ -133,24 +134,35 @@ class TIFSlicing(TemporalIRIndex):
 
     # ------------------------------------------------------------------ query
     def _query_impl(self, q: TimeTravelQuery) -> List[int]:
+        trace = OBS.trace
         layout = self._layout
         if layout is None:
+            if trace is not None:
+                trace.phase("empty index")
             return []
         ordered = self.order_query_elements(q)
         first_slice, last_slice = layout.slice_range(q.st, q.end)
+        if trace is not None:
+            trace.note("relevant_slices", last_slice - first_slice + 1)
 
         # Phase 1 (Algorithm 1 lines 3-6): temporally filter the least
         # frequent element's relevant sub-lists; reference-value dedup.
         sliced = self._lists.get(ordered[0])
         if sliced is None:
+            if trace is not None:
+                trace.phase(f"filter+dedup I[{ordered[0]}] (absent)")
             return []
         candidates: List[int] = []
         q_st, q_end = q.st, q.end
+        scanned = touched = 0
         for slice_index in range(first_slice, last_slice + 1):
             columns = sliced.slices.get(slice_index)
             if columns is None:
                 continue
             ids, sts, ends, alive = columns
+            if trace is not None:
+                scanned += len(ids)
+                touched += 1
             slice_lo, slice_hi = layout.slice_bounds(slice_index)
             for i in range(len(ids)):
                 if not alive[i]:
@@ -161,6 +173,13 @@ class TIFSlicing(TemporalIRIndex):
                     if slice_lo <= ref < slice_hi or (slice_index == first_slice and ref < slice_lo):
                         candidates.append(ids[i])
         candidates.sort()
+        if trace is not None:
+            trace.phase(
+                f"filter+dedup I[{ordered[0]}]",
+                entries_scanned=scanned,
+                candidates_after=len(candidates),
+                structures_touched=touched,
+            )
 
         # Phase 2 (lines 7-8): intersect with each remaining element's
         # relevant sub-lists (id-sorted merge per slice, reference dedup).
@@ -169,13 +188,19 @@ class TIFSlicing(TemporalIRIndex):
                 return []
             sliced = self._lists.get(element)
             if sliced is None:
+                if trace is not None:
+                    trace.phase(f"∩ sub-lists of I[{element}] (absent)")
                 return []
             matched: List[int] = []
+            scanned = touched = 0
             for slice_index in range(first_slice, last_slice + 1):
                 columns = sliced.slices.get(slice_index)
                 if columns is None:
                     continue
                 ids, sts, _ends, alive = columns
+                if trace is not None:
+                    scanned += len(ids)
+                    touched += 1
                 slice_lo, slice_hi = layout.slice_bounds(slice_index)
                 i = j = 0
                 n_c, n_e = len(candidates), len(ids)
@@ -197,6 +222,13 @@ class TIFSlicing(TemporalIRIndex):
                         j += 1
             matched.sort()
             candidates = matched
+            if trace is not None:
+                trace.phase(
+                    f"∩ sub-lists of I[{element}]",
+                    entries_scanned=scanned,
+                    candidates_after=len(candidates),
+                    structures_touched=touched,
+                )
         return candidates
 
     # -------------------------------------------------------------- inspection

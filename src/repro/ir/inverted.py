@@ -124,6 +124,7 @@ class TemporalInvertedFile:
         q_end: Timestamp,
         ordered_elements: Sequence[Element],
         check: TemporalCheck = TemporalCheck.BOTH,
+        trace=None,
     ) -> List[int]:
         """Algorithm 1 with a configurable temporal predicate (Alg. 5 cases).
 
@@ -131,24 +132,54 @@ class TemporalInvertedFile:
         (global or local — the caller decides which applies).  Returns live
         object ids sorted ascending.  An empty ``ordered_elements`` answers
         the pure-temporal query over all entries of this tIF.
+
+        ``trace`` is an optional :class:`repro.obs.tracing.QueryTrace`; when
+        given, each Algorithm 1 phase is recorded on it.  Per-division calls
+        (irHINT) pass no trace — the traversal accounts for them wholesale.
         """
         if not ordered_elements:
-            return sorted(
+            result = sorted(
                 entry[0]
                 for entry in self.iter_all_entries()
                 if _passes(entry[1], entry[2], q_st, q_end, check)
             )
+            if trace is not None:
+                trace.phase(
+                    "scan all lists",
+                    entries_scanned=self.n_entries(),
+                    candidates_after=len(result),
+                    structures_touched=len(self._lists),
+                )
+            return result
         first = self._lists.get(ordered_elements[0])
         if first is None:
+            if trace is not None:
+                trace.phase(f"scan I[{ordered_elements[0]}] (absent)")
             return []
         candidates = _filtered_ids(first, q_st, q_end, check)
+        if trace is not None:
+            trace.phase(
+                f"scan I[{ordered_elements[0]}]",
+                entries_scanned=len(first),
+                candidates_after=len(candidates),
+                structures_touched=1,
+            )
         for element in ordered_elements[1:]:
             if not candidates:
                 return []
             postings = self._lists.get(element)
             if postings is None:
+                if trace is not None:
+                    trace.phase(f"∩ I[{element}] (absent)")
                 return []
             candidates = postings.intersect_sorted(candidates)
+            if trace is not None:
+                trace.phase(
+                    f"∩ I[{element}]",
+                    entries_scanned=len(postings),
+                    candidates_after=len(candidates),
+                    structures_touched=1,
+                )
         return candidates
 
     # ------------------------------------------------------------------ sizes

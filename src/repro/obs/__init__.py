@@ -1,0 +1,64 @@
+"""repro.obs — end-to-end observability: metrics, tracing, exposition.
+
+Three cooperating layers:
+
+* a zero-dependency **metrics core** (:mod:`repro.obs.metrics`,
+  :mod:`repro.obs.registry`) — counters, gauges, log-bucket histograms,
+  labelled families with a cardinality guard, and a process-wide registry
+  that defaults to *disabled* (null mode) so instrumented code costs one
+  attribute load and a branch until someone opts in;
+* **query tracing** (:mod:`repro.obs.tracing`) — nestable spans and the
+  per-phase cost records (`entries scanned`, `candidates after`,
+  `structures touched`) the paper's evaluation reasons about; the
+  ``explain()`` renderer in :mod:`repro.indexes.explain` is a thin view
+  over these traces;
+* **exposition** (:mod:`repro.obs.exposition`) — Prometheus text format
+  and JSON, plus a parser that round-trips the text back into a registry.
+
+See ``docs/observability.md`` for the metric catalog and usage.
+"""
+
+from repro.obs.exposition import (
+    load_into_registry,
+    parse_prometheus_text,
+    registry_from_prometheus,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+)
+from repro.obs.registry import (
+    OBS,
+    MetricsRegistry,
+    get_registry,
+    isolated_registry,
+    set_registry,
+)
+from repro.obs.tracing import QueryTrace, Span, active_trace, query_trace
+
+__all__ = [
+    "OBS",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "QueryTrace",
+    "Span",
+    "active_trace",
+    "get_registry",
+    "isolated_registry",
+    "load_into_registry",
+    "parse_prometheus_text",
+    "query_trace",
+    "registry_from_prometheus",
+    "render_json",
+    "render_prometheus",
+    "set_registry",
+]

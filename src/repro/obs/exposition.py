@@ -1,0 +1,326 @@
+"""Metric exposition: Prometheus text format, JSON, and a text parser.
+
+The text renderer follows the Prometheus exposition format (version 0.0.4):
+``# HELP`` / ``# TYPE`` comment lines per family, one sample line per
+child, histogram children expanded into cumulative ``_bucket`` samples plus
+``_sum`` and ``_count``.  Help text escapes ``\\`` and newlines; label
+values additionally escape ``"``.
+
+:func:`parse_prometheus_text` is the inverse — enough of a scrape parser to
+round-trip everything this module renders (the round-trip test in
+``tests/obs`` loads the rendered text back into a fresh registry and
+asserts value equality).  It is also what ``repro stats --metrics-file``
+uses to render a served process' exported metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import MetricError
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.registry import MetricsRegistry
+
+
+# ------------------------------------------------------------------ rendering
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_text(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(
+    names: Sequence[str], values: Sequence[str], extra: Tuple[str, str]
+) -> str:
+    inner = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    inner.append(f'{extra[0]}="{_escape_label_value(extra[1])}"')
+    return "{" + ",".join(inner) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, family in registry.families().items():
+        if not family.children():
+            # A labelled family with no children yet has no samples; emitting
+            # metadata alone would make the text non-round-trippable.
+            continue
+        lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {family.type}")
+        for key, child in family.children().items():
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    labels = _merge_labels(family.label_names, key, ("le", le))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                base = _label_text(family.label_names, key)
+                lines.append(f"{name}_sum{base} {_format_value(child.sum)}")
+                lines.append(f"{name}_count{base} {child.count}")
+            else:
+                labels = _label_text(family.label_names, key)
+                lines.append(f"{name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """The same data as :func:`render_prometheus`, as a JSON document."""
+    doc: List[Dict[str, object]] = []
+    for name, family in registry.families().items():
+        if not family.children():
+            continue
+        samples: List[Dict[str, object]] = []
+        for key, child in family.children().items():
+            labels = dict(zip(family.label_names, key))
+            if isinstance(child, Histogram):
+                samples.append(
+                    {
+                        "labels": labels,
+                        "buckets": [
+                            {"le": bound, "count": cumulative}
+                            for bound, cumulative in child.cumulative()
+                        ],
+                        "sum": child.sum,
+                        "count": child.count,
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        doc.append(
+            {
+                "name": name,
+                "type": family.type,
+                "help": family.help,
+                "label_names": list(family.label_names),
+                "samples": samples,
+            }
+        )
+    # +Inf is not valid JSON; the bucket list encodes it as the string "+Inf".
+    def _default_safe(obj: object) -> object:
+        raise MetricError(f"unserialisable metric value: {obj!r}")
+
+    def _sanitise(value: object) -> object:
+        if isinstance(value, float) and math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if isinstance(value, dict):
+            return {k: _sanitise(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [_sanitise(v) for v in value]
+        return value
+
+    return json.dumps(_sanitise(doc), indent=indent, default=_default_safe)
+
+
+# -------------------------------------------------------------------- parsing
+def _unescape_label_value(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if c == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(c)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _parse_sample_line(line: str) -> Tuple[str, Dict[str, str], float]:
+    """``name{labels} value`` → (name, labels, value)."""
+    brace = line.find("{")
+    if brace == -1:
+        name, _, value_text = line.partition(" ")
+        return name.strip(), {}, _parse_value(value_text.strip())
+    name = line[:brace]
+    end = line.rfind("}")
+    if end == -1:
+        raise MetricError(f"malformed sample line: {line!r}")
+    labels = _parse_labels(line[brace + 1 : end])
+    return name, labels, _parse_value(line[end + 1 :].strip())
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq == -1:
+            break
+        name = body[i:eq].strip().lstrip(",").strip()
+        if body[eq + 1] != '"':
+            raise MetricError(f"unquoted label value in {body!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(body):
+            c = body[j]
+            if c == "\\" and j + 1 < len(body):
+                raw.append(body[j : j + 2])
+                j += 2
+                continue
+            if c == '"':
+                break
+            raw.append(c)
+            j += 1
+        labels[name] = _unescape_label_value("".join(raw))
+        i = j + 1
+    return labels
+
+
+class ParsedMetrics:
+    """Families and samples recovered from Prometheus text."""
+
+    def __init__(self) -> None:
+        self.types: Dict[str, str] = {}
+        self.helps: Dict[str, str] = {}
+        #: (name, sorted label items) → value, for plain samples; histogram
+        #: series keep their ``_bucket``/``_sum``/``_count`` suffixed names.
+        self.samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    def value(self, name: str, **labels: str) -> float:
+        return self.samples[(name, tuple(sorted(labels.items())))]
+
+
+def parse_prometheus_text(text: str) -> ParsedMetrics:
+    """Parse exposition text (as rendered by :func:`render_prometheus`)."""
+    parsed = ParsedMetrics()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_ = rest.partition(" ")
+            parsed.helps[name] = help_.replace("\\n", "\n").replace("\\\\", "\\")
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_ = rest.partition(" ")
+            parsed.types[name] = type_.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample_line(line)
+        parsed.samples[(name, tuple(sorted(labels.items())))] = value
+    return parsed
+
+
+def _base_name(sample_name: str, types: Dict[str, str]) -> Tuple[str, str]:
+    """Resolve a sample name to ``(family, series_kind)``."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base, suffix
+    return sample_name, ""
+
+
+def load_into_registry(text: str, registry: MetricsRegistry) -> MetricsRegistry:
+    """Reconstruct parsed metrics as live instruments in ``registry``.
+
+    Counters and gauges restore their values; histograms restore their
+    bucket counts, sum, and count (bucket bounds are taken from the parsed
+    ``le`` series).  Used by ``repro stats --metrics-file`` and the
+    round-trip test.
+    """
+    parsed = parse_prometheus_text(text)
+    histogram_series: Dict[
+        Tuple[str, Tuple[Tuple[str, str], ...]], Dict[str, object]
+    ] = {}
+    for (sample_name, labels), value in parsed.samples.items():
+        base, kind = _base_name(sample_name, parsed.types)
+        type_ = parsed.types.get(base)
+        if type_ is None:
+            raise MetricError(f"sample {sample_name!r} has no # TYPE line")
+        help_ = parsed.helps.get(base, "")
+        if type_ == "histogram":
+            plain = tuple(item for item in labels if item[0] != "le")
+            series = histogram_series.setdefault(
+                (base, plain), {"buckets": {}, "sum": 0.0, "count": 0, "help": help_}
+            )
+            if kind == "_bucket":
+                le = dict(labels)["le"]
+                series["buckets"][_parse_value(le)] = value  # type: ignore[index]
+            elif kind == "_sum":
+                series["sum"] = value
+            elif kind == "_count":
+                series["count"] = value
+            continue
+        label_names = tuple(name for name, _v in labels)
+        family = registry._family(base, type_, help_, label_names)
+        child = family.labels(*(v for _n, v in labels)) if label_names else family.solo
+        assert isinstance(child, (Counter, Gauge))
+        child._restore(value)
+    for (base, plain), series in histogram_series.items():
+        bounds = sorted(b for b in series["buckets"] if not math.isinf(b))  # type: ignore[union-attr]
+        label_names = tuple(name for name, _v in plain)
+        family = registry._family(
+            base, "histogram", str(series["help"]), label_names, buckets=bounds
+        )
+        child = family.labels(*(v for _n, v in plain)) if label_names else family.solo
+        assert isinstance(child, Histogram)
+        cumulative = [series["buckets"][b] for b in bounds]  # type: ignore[index]
+        cumulative.append(series["buckets"].get(float("inf"), series["count"]))  # type: ignore[union-attr]
+        counts = [cumulative[0]] + [
+            cumulative[i] - cumulative[i - 1] for i in range(1, len(cumulative))
+        ]
+        child._restore(counts, float(series["sum"]), int(series["count"]))  # type: ignore[arg-type]
+    return registry
+
+
+def registry_from_prometheus(text: str) -> MetricsRegistry:
+    """A fresh enabled registry reconstructed from exposition text."""
+    return load_into_registry(text, MetricsRegistry(enabled=True))
+
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "parse_prometheus_text",
+    "load_into_registry",
+    "registry_from_prometheus",
+    "ParsedMetrics",
+]

@@ -1,0 +1,163 @@
+"""The repository's metric catalog: every instrument name in one place.
+
+Instrumentation sites fetch their bundle through
+:meth:`~repro.obs.registry.MetricsRegistry.bundle`, so construction happens
+once per registry and the names below are the single source of truth for
+``docs/observability.md``.  Buckets: latency histograms use the default
+log-scale bounds; the byte-size histogram uses log-scale byte bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.obs.registry import MetricsRegistry
+
+#: Log-scale byte buckets: 64 B … 4 GiB, ×4 steps.
+BYTE_BUCKETS: Tuple[float, ...] = tuple(64.0 * 4.0**i for i in range(14))
+
+
+class QueryInstruments:
+    """Aggregate query-path accounting (labelled by index method name)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.queries = registry.counter(
+            "repro_queries_total", "Time-travel IR queries answered.", ("index",)
+        )
+        self.seconds = registry.histogram(
+            "repro_query_seconds", "Query latency in seconds.", ("index",)
+        )
+        self.results = registry.counter(
+            "repro_query_results_total",
+            "Result object ids returned across all queries.",
+            ("index",),
+        )
+        self.pure_temporal = registry.counter(
+            "repro_pure_temporal_queries_total",
+            "Queries with an empty element set (q.d = ∅).",
+            ("index",),
+        )
+
+
+def query_instruments(registry: MetricsRegistry) -> QueryInstruments:
+    return registry.bundle("query", QueryInstruments)  # type: ignore[return-value]
+
+
+class WalInstruments:
+    """Write-ahead-log durability accounting."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.appends = registry.counter(
+            "repro_wal_appends_total", "WAL records appended."
+        )
+        self.bytes_written = registry.counter(
+            "repro_wal_bytes_written_total", "Framed WAL bytes written."
+        )
+        self.append_seconds = registry.histogram(
+            "repro_wal_append_seconds",
+            "Latency of one durable WAL append (write + flush/fsync).",
+        )
+        self.fsync_seconds = registry.histogram(
+            "repro_wal_fsync_seconds", "Latency of the per-record fsync alone."
+        )
+
+
+def wal_instruments(registry: MetricsRegistry) -> WalInstruments:
+    return registry.bundle("wal", WalInstruments)  # type: ignore[return-value]
+
+
+class SnapshotInstruments:
+    """Checkpoint/snapshot accounting."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.written = registry.counter(
+            "repro_snapshots_written_total", "Snapshots atomically installed."
+        )
+        self.pruned = registry.counter(
+            "repro_snapshot_files_pruned_total",
+            "Snapshot/WAL files removed by retention pruning.",
+        )
+        self.write_seconds = registry.histogram(
+            "repro_snapshot_write_seconds",
+            "Latency of one snapshot write (serialise + fsync + rename).",
+        )
+        self.bytes = registry.gauge(
+            "repro_snapshot_bytes", "Size of the most recent snapshot blob."
+        )
+
+
+def snapshot_instruments(registry: MetricsRegistry) -> SnapshotInstruments:
+    return registry.bundle("snapshot", SnapshotInstruments)  # type: ignore[return-value]
+
+
+class RecoveryInstruments:
+    """Recovery-ladder step counters (see docs/operations.md)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.runs = registry.counter(
+            "repro_recovery_runs_total", "Recovery procedures executed."
+        )
+        self.snapshots_corrupt = registry.counter(
+            "repro_recovery_corrupt_snapshots_total",
+            "Snapshot generations skipped because verification failed.",
+        )
+        self.records_replayed = registry.counter(
+            "repro_recovery_records_replayed_total",
+            "WAL records applied during replay.",
+        )
+        self.records_skipped = registry.counter(
+            "repro_recovery_records_skipped_total",
+            "WAL records skipped as already applied (LSN-covered or no-op).",
+        )
+        self.torn_tails = registry.counter(
+            "repro_recovery_torn_tails_total",
+            "Recoveries that dropped a damaged WAL tail.",
+        )
+        self.degraded = registry.counter(
+            "repro_recovery_degraded_total",
+            "Recoveries that fell back to the BruteForce rebuild.",
+        )
+
+
+def recovery_instruments(registry: MetricsRegistry) -> RecoveryInstruments:
+    return registry.bundle("recovery", RecoveryInstruments)  # type: ignore[return-value]
+
+
+class StoreInstruments:
+    """Durable-store serving accounting."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.mutations = registry.counter(
+            "repro_store_mutations_total",
+            "Durable mutations applied, by kind.",
+            ("kind",),
+        )
+        self.checkpoints = registry.counter(
+            "repro_store_checkpoints_total", "Checkpoints taken."
+        )
+        self.checkpoint_seconds = registry.histogram(
+            "repro_store_checkpoint_seconds",
+            "Latency of one checkpoint (snapshot + WAL rotation + prune).",
+        )
+        self.mutations_since_checkpoint = registry.gauge(
+            "repro_store_mutations_since_checkpoint",
+            "Mutations accumulated since the last checkpoint.",
+        )
+
+
+def store_instruments(registry: MetricsRegistry) -> StoreInstruments:
+    return registry.bundle("store", StoreInstruments)  # type: ignore[return-value]
+
+
+def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
+    """Materialise every family of the catalog (zero-valued).
+
+    ``repro stats --metrics`` uses this so a fresh dump is a complete,
+    scrape-parseable document rather than an empty string.
+    """
+    query_instruments(registry)
+    wal_instruments(registry)
+    snapshot_instruments(registry)
+    recovery_instruments(registry)
+    store_instruments(registry)
+    return registry

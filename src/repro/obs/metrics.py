@@ -1,0 +1,290 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The paper's evaluation is an exercise in cost accounting — postings scanned,
+partitions visited, candidates surviving each phase — and a live index needs
+the same accounting while it serves.  This module provides the three classic
+instrument types with Prometheus-compatible semantics and nothing else:
+
+* :class:`Counter` — monotonically increasing ``float``;
+* :class:`Gauge` — a settable value (sizes, cadences, last-run stamps);
+* :class:`Histogram` — fixed-bucket distribution with cumulative
+  (``le``-style) exposition; the default buckets are log-scale latency
+  bounds.  **Exact boundary values land in the lower bucket** (``value <=
+  bound``), matching Prometheus' ``le`` convention.
+
+Instruments belong to a :class:`MetricFamily` (one per metric *name*),
+which owns the label schema and the children keyed by label values.  A
+configurable cardinality guard raises
+:class:`~repro.core.errors.LabelCardinalityError` before an unbounded label
+(object ids, raw timestamps, …) can turn the registry into a memory leak.
+
+Every mutator checks its family's ``enabled`` flag first, so a *disabled*
+registry (the default — see :mod:`repro.obs.registry`) reduces each update
+to one attribute load and a branch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import LabelCardinalityError, MetricError
+
+#: Log-scale latency bounds (seconds): 1 µs … ~67 s, doubling.  The upper
+#: bound of each bucket is inclusive; values above the last bound fall into
+#: the implicit ``+Inf`` bucket.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    1e-6 * 2.0**i for i in range(27)
+)
+
+#: Default ceiling on distinct label sets per family.
+DEFAULT_MAX_LABEL_SETS = 256
+
+_VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_family", "_value")
+
+    def __init__(self, family: "MetricFamily") -> None:
+        self._family = family
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._family.enabled:
+            return
+        if amount < 0:
+            raise MetricError(
+                f"{self._family.name}: counters only go up (got {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _restore(self, value: float) -> None:
+        self._value = float(value)
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("_family", "_value")
+
+    def __init__(self, family: "MetricFamily") -> None:
+        self._family = family
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._family.enabled:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._family.enabled:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        if self._family.enabled:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _restore(self, value: float) -> None:
+        self._value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution with Prometheus ``le`` semantics.
+
+    ``bounds`` are the inclusive upper bounds of the finite buckets, in
+    strictly increasing order; one implicit ``+Inf`` bucket catches the
+    rest.  A value exactly equal to a bound is counted in that bound's
+    bucket (the *lower* of the two buckets it borders).
+    """
+
+    __slots__ = ("_family", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, family: "MetricFamily", bounds: Sequence[float]) -> None:
+        self._family = family
+        self._bounds: Tuple[float, ...] = tuple(bounds)
+        self._counts = [0] * (len(self._bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        if not self._family.enabled:
+            return
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        return self._bounds
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket (non-cumulative) counts, ``+Inf`` bucket last."""
+        return list(self._counts)
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``(inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self._bounds, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), self._count))
+        return out
+
+    def _restore(self, counts: Sequence[int], total: float, count: int) -> None:
+        if len(counts) != len(self._counts):
+            raise MetricError(
+                f"{self._family.name}: bucket count mismatch on restore"
+            )
+        self._counts = [int(c) for c in counts]
+        self._sum = float(total)
+        self._count = int(count)
+
+
+#: Label values key: a tuple of strings, positionally matching the family's
+#: label names.
+LabelValues = Tuple[str, ...]
+
+
+class MetricFamily:
+    """One metric name: type, help text, label schema, children.
+
+    A label-less family has exactly one child under the empty label tuple
+    (created eagerly), so ``registry.counter(...)`` can hand back a usable
+    instrument directly.
+    """
+
+    __slots__ = (
+        "name",
+        "type",
+        "help",
+        "label_names",
+        "enabled",
+        "max_label_sets",
+        "_buckets",
+        "_children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        type_: str,
+        help_: str,
+        label_names: Sequence[str] = (),
+        *,
+        enabled: bool = True,
+        max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if type_ not in _VALID_TYPES:
+            raise MetricError(f"unknown metric type {type_!r}")
+        if not _valid_metric_name(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _valid_label_name(label):
+                raise MetricError(f"{name}: invalid label name {label!r}")
+        self.name = name
+        self.type = type_
+        self.help = help_
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self.enabled = enabled
+        self.max_label_sets = max_label_sets
+        self._buckets = (
+            tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        )
+        self._children: Dict[LabelValues, object] = {}
+        if not self.label_names:
+            self._make_child(())
+
+    # ------------------------------------------------------------- children
+    def labels(self, *values: object) -> object:
+        """The child instrument for the given label values (created lazily).
+
+        Values are stringified, positionally matching ``label_names``.
+        """
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is not None:
+            return child
+        if len(key) != len(self.label_names):
+            raise MetricError(
+                f"{self.name}: expected {len(self.label_names)} label value(s) "
+                f"({', '.join(self.label_names)}), got {len(key)}"
+            )
+        if len(self._children) >= self.max_label_sets:
+            raise LabelCardinalityError(
+                f"{self.name}: more than {self.max_label_sets} distinct label "
+                f"sets; refusing {dict(zip(self.label_names, key))!r} — "
+                "label values must be low-cardinality (raise max_label_sets "
+                "only if this growth is truly bounded)"
+            )
+        return self._make_child(key)
+
+    def _make_child(self, key: LabelValues) -> object:
+        if self.type == "counter":
+            child: object = Counter(self)
+        elif self.type == "gauge":
+            child = Gauge(self)
+        else:
+            child = Histogram(self, self._buckets)
+        self._children[key] = child
+        return child
+
+    @property
+    def solo(self) -> object:
+        """The single child of a label-less family."""
+        if self.label_names:
+            raise MetricError(
+                f"{self.name}: family is labelled by {self.label_names}; "
+                "use .labels(...)"
+            )
+        return self._children[()]
+
+    def children(self) -> Dict[LabelValues, object]:
+        """Label values → child instrument (exposition order: sorted keys)."""
+        return dict(sorted(self._children.items()))
+
+    def compatible_with(
+        self, type_: str, label_names: Sequence[str], buckets: Optional[Sequence[float]]
+    ) -> bool:
+        """Whether a re-registration request matches this family's schema."""
+        if self.type != type_ or self.label_names != tuple(label_names):
+            return False
+        if type_ == "histogram" and buckets is not None:
+            return self._buckets == tuple(buckets)
+        return True
+
+
+def _valid_metric_name(name: str) -> bool:
+    if not name:
+        return False
+    head = name[0]
+    if not (head.isalpha() or head in "_:"):
+        return False
+    return all(c.isalnum() or c in "_:" for c in name)
+
+
+def _valid_label_name(name: str) -> bool:
+    if not name or name.startswith("__"):
+        return False
+    if not (name[0].isalpha() or name[0] == "_"):
+        return False
+    return all(c.isalnum() or c == "_" for c in name)

@@ -1,0 +1,140 @@
+"""Lightweight query tracing: spans and phase records.
+
+A **span** is a named, timed region (:meth:`QueryTrace.span` — a context
+manager; spans nest).  A **phase** is an instantaneous record carrying the
+paper's cost-accounting counts — entries scanned, candidates surviving,
+structures touched — exactly the fields of
+:class:`repro.indexes.explain.PhaseTrace`.  Indexes emit phases from their
+*real* query paths when a trace is active; ``explain()`` is a thin renderer
+over the collected trace, so the numbers a trace reports and the numbers an
+explanation reports are the same numbers by construction.
+
+Activation mirrors the metrics registry: a module-level current trace
+(held by :data:`repro.obs.registry.OBS`) that :func:`query_trace` installs
+and restores.  When no trace is active, instrumentation sites pay one
+attribute load and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.registry import OBS
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class Span:
+    """One named region or phase of a traced query."""
+
+    name: str
+    #: Wall-clock seconds (0.0 for instantaneous phase records).
+    seconds: float = 0.0
+    #: Cost counts; phase records use the explain() keys
+    #: (``entries_scanned``, ``candidates_after``, ``structures_touched``).
+    counts: Dict[str, float] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def count(self, key: str, default: float = 0.0) -> float:
+        return self.counts.get(key, default)
+
+
+class QueryTrace:
+    """Collector for one query's spans, phases, and detail annotations."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self.detail: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------ spans
+    def _attach(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    @contextmanager
+    def span(self, name: str, **counts: float) -> Iterator[Span]:
+        """A timed, nestable region; ``counts`` may be amended on the span."""
+        record = Span(name, counts=dict(counts))
+        self._attach(record)
+        self._stack.append(record)
+        watch = Stopwatch()
+        watch.start()
+        try:
+            yield record
+        finally:
+            record.seconds = watch.stop()
+            self._stack.pop()
+
+    def phase(
+        self,
+        name: str,
+        entries_scanned: int = 0,
+        candidates_after: int = 0,
+        structures_touched: int = 0,
+        seconds: float = 0.0,
+        **extra: float,
+    ) -> Span:
+        """Record one evaluation phase (the explain() unit of account)."""
+        record = Span(
+            name,
+            seconds=seconds,
+            counts={
+                "entries_scanned": entries_scanned,
+                "candidates_after": candidates_after,
+                "structures_touched": structures_touched,
+                **extra,
+            },
+        )
+        self._attach(record)
+        return record
+
+    # ----------------------------------------------------------------- detail
+    def note(self, key: str, value: object) -> None:
+        """Attach a free-form annotation (explain()'s ``detail`` entries)."""
+        self.detail[key] = value
+
+    def add(self, key: str, amount: float) -> None:
+        """Accumulate into a numeric annotation."""
+        self.detail[key] = self.detail.get(key, 0) + amount  # type: ignore[operator]
+
+    # ------------------------------------------------------------- inspection
+    def phases(self) -> List[Span]:
+        """Phase records in emission order (depth-first over the tree)."""
+        out: List[Span] = []
+
+        def walk(spans: List[Span]) -> None:
+            for span in spans:
+                if "candidates_after" in span.counts:
+                    out.append(span)
+                walk(span.children)
+
+        walk(self.roots)
+        return out
+
+
+def active_trace() -> Optional[QueryTrace]:
+    """The trace currently collecting, or ``None`` (the common case)."""
+    return OBS.trace
+
+
+@contextmanager
+def query_trace() -> Iterator[QueryTrace]:
+    """Install a fresh trace for the block; restores the previous one.
+
+    Queries executed inside the block emit their phases into the yielded
+    :class:`QueryTrace`; nesting is allowed (the inner block shadows).
+    """
+    trace = QueryTrace()
+    previous = OBS.trace
+    OBS.trace = trace
+    OBS.refresh()
+    try:
+        yield trace
+    finally:
+        OBS.trace = previous
+        OBS.refresh()

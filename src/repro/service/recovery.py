@@ -35,6 +35,8 @@ from repro.indexes.base import TemporalIRIndex
 from repro.indexes.brute import BruteForce
 from repro.indexes.persistence import load_index, read_header
 from repro.indexes.registry import index_class
+from repro.obs.instruments import recovery_instruments
+from repro.obs.registry import OBS
 from repro.service import layout
 from repro.service.fsio import REAL_FS, FileSystem
 from repro.service.wal import WalOp, op_lsn, read_wal
@@ -193,8 +195,33 @@ def recover(
 
     ``index_key``/``index_params`` apply only when the directory has no
     manifest (a store that never finished initialising); a manifest on
-    disk wins.
+    disk wins.  When a metrics registry is enabled, each ladder step is
+    counted (``repro_recovery_*`` — see docs/observability.md).
     """
+    report = _recover(directory, fs, index_key, index_params)
+    registry = OBS.registry
+    if registry.enabled:
+        instruments = recovery_instruments(registry)
+        instruments.runs.inc()
+        if report.corrupt_snapshots:
+            instruments.snapshots_corrupt.inc(len(report.corrupt_snapshots))
+        if report.records_replayed:
+            instruments.records_replayed.inc(report.records_replayed)
+        if report.records_skipped:
+            instruments.records_skipped.inc(report.records_skipped)
+        if report.torn_tail:
+            instruments.torn_tails.inc()
+        if report.degraded:
+            instruments.degraded.inc()
+    return report
+
+
+def _recover(
+    directory: PathLike,
+    fs: FileSystem,
+    index_key: Optional[str],
+    index_params: Optional[Dict[str, object]],
+) -> RecoveryReport:
     directory = layout.require_directory(directory)
     manifest = layout.read_manifest(directory)
     if manifest is not None:

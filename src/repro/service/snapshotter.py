@@ -15,12 +15,15 @@ exists, so snapshots and segments are pruned together).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 from repro.indexes.base import TemporalIRIndex
 from repro.indexes.persistence import dumps_index
+from repro.obs.instruments import snapshot_instruments
+from repro.obs.registry import OBS
 from repro.service import layout
 from repro.service.fsio import REAL_FS, FileSystem
+from repro.utils.timing import Stopwatch
 
 PathLike = Union[str, Path]
 
@@ -53,6 +56,11 @@ class Snapshotter:
         ``last_lsn`` is stamped into the header so recovery can skip WAL
         records the snapshot already captures (exactly-once replay).
         """
+        registry = OBS.registry
+        watch: Optional[Stopwatch] = None
+        if registry.enabled:
+            watch = Stopwatch()
+            watch.start()
         final = layout.snapshot_path(self._directory, seq)
         tmp = final.with_name(final.name + ".tmp")
         blob = dumps_index(index, extra_header={"last_lsn": last_lsn})
@@ -61,6 +69,11 @@ class Snapshotter:
             self._fs.fsync(handle)
         self._fs.replace(tmp, final)
         self._fs.fsync_dir(self._directory)
+        if watch is not None:
+            instruments = snapshot_instruments(registry)
+            instruments.write_seconds.observe(watch.stop())
+            instruments.written.inc()
+            instruments.bytes.set(len(blob))
         return final
 
     def prune(self, current_seq: int) -> List[Path]:
@@ -89,6 +102,9 @@ class Snapshotter:
                 removed.append(path)
         if removed:
             self._fs.fsync_dir(self._directory)
+        registry = OBS.registry
+        if removed and registry.enabled:
+            snapshot_instruments(registry).pruned.inc(len(removed))
         return removed
 
     def clean_orphans(self) -> List[Path]:

@@ -30,11 +30,14 @@ from repro.core.errors import (
 from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
 from repro.indexes.registry import build_index
+from repro.obs.instruments import store_instruments
+from repro.obs.registry import OBS
 from repro.service import layout
 from repro.service.fsio import REAL_FS, FileSystem
 from repro.service.recovery import DEFAULT_INDEX_KEY, RecoveryReport, recover
 from repro.service.snapshotter import DEFAULT_RETAIN, Snapshotter
 from repro.service.wal import WriteAheadLog, delete_op, insert_op
+from repro.utils.timing import Stopwatch
 
 PathLike = Union[str, Path]
 
@@ -160,7 +163,7 @@ class DurableIndexStore:
         self._lsn += 1
         wal.append(insert_op(obj, self._lsn))
         self._index.insert(obj)
-        self._after_mutation()
+        self._after_mutation("insert")
 
     def delete(self, obj: Union[TemporalObject, int]) -> None:
         """Durably tombstone one object (by object or id)."""
@@ -171,15 +174,22 @@ class DurableIndexStore:
         self._lsn += 1
         wal.append(delete_op(object_id, self._lsn))
         self._index.delete(object_id)
-        self._after_mutation()
+        self._after_mutation("delete")
 
     def query(self, q: TimeTravelQuery) -> List[int]:
         """Answer a time-travel IR query from the live index."""
         self._require_open()
         return self._index.query(q)
 
-    def _after_mutation(self) -> None:
+    def _after_mutation(self, kind: str) -> None:
         self._mutations_since_checkpoint += 1
+        registry = OBS.registry
+        if registry.enabled:
+            instruments = store_instruments(registry)
+            instruments.mutations.labels(kind).inc()
+            instruments.mutations_since_checkpoint.set(
+                self._mutations_since_checkpoint
+            )
         if (
             self._checkpoint_every is not None
             and self._mutations_since_checkpoint >= self._checkpoint_every
@@ -190,6 +200,11 @@ class DurableIndexStore:
     def checkpoint(self) -> Path:
         """Snapshot the live index, rotate the WAL, prune old generations."""
         wal = self._require_open()
+        registry = OBS.registry
+        watch: Optional[Stopwatch] = None
+        if registry.enabled:
+            watch = Stopwatch()
+            watch.start()
         new_seq = self._seq + 1
         path = self._snapshotter.write(self._index, new_seq, last_lsn=self._lsn)
         wal.close()
@@ -199,6 +214,11 @@ class DurableIndexStore:
         self._seq = new_seq
         self._mutations_since_checkpoint = 0
         self._snapshotter.prune(new_seq)
+        if watch is not None:
+            instruments = store_instruments(registry)
+            instruments.checkpoints.inc()
+            instruments.checkpoint_seconds.observe(watch.stop())
+            instruments.mutations_since_checkpoint.set(0)
         return path
 
     def bootstrap(self, collection: Collection, index_key: str = DEFAULT_INDEX_KEY,

@@ -32,7 +32,10 @@ from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.core.errors import ReproError
 from repro.core.model import TemporalObject
+from repro.obs.instruments import wal_instruments
+from repro.obs.registry import OBS
 from repro.service.fsio import REAL_FS, FileSystem
+from repro.utils.timing import Stopwatch
 
 PathLike = Union[str, Path]
 
@@ -95,11 +98,30 @@ class WriteAheadLog:
                 payload,
             )
         )
+        registry = OBS.registry
+        if not registry.enabled:
+            self._handle.write(frame)
+            if self._fsync:
+                self._fs.fsync(self._handle)
+            else:
+                self._handle.flush()
+            self._appended += 1
+            return
+        # Metered twin of the exact write path above.
+        instruments = wal_instruments(registry)
+        watch = Stopwatch()
+        watch.start()
         self._handle.write(frame)
         if self._fsync:
+            fsync_watch = Stopwatch()
+            fsync_watch.start()
             self._fs.fsync(self._handle)
+            instruments.fsync_seconds.observe(fsync_watch.stop())
         else:
             self._handle.flush()
+        instruments.append_seconds.observe(watch.stop())
+        instruments.appends.inc()
+        instruments.bytes_written.inc(len(frame))
         self._appended += 1
 
     def close(self) -> None:

@@ -1,9 +1,13 @@
-"""Timing and throughput helpers for the benchmark harness.
+"""Timing and throughput helpers shared by the bench harness and ``repro.obs``.
 
 The paper reports *query throughput* (queries/second, footnote 11) rather
 than per-query latency, plus indexing and update times in seconds.  These
-helpers wrap :func:`time.perf_counter` with a tiny amount of structure so
-experiments stay declarative.
+helpers wrap :func:`time.perf_counter` — a **monotonic** clock, immune to
+wall-clock adjustments — with a tiny amount of structure so experiments
+stay declarative.  :class:`Stopwatch` is the single timing primitive of
+the repository: observability spans (:mod:`repro.obs.tracing`), the
+latency histograms of the serving layer, the bench runner and the CLI all
+accumulate through it rather than calling ``perf_counter`` pairs by hand.
 """
 
 from __future__ import annotations
@@ -16,7 +20,11 @@ from typing import Callable, Iterator, List
 
 @dataclass
 class Stopwatch:
-    """Accumulating stopwatch; ``elapsed`` sums every start/stop span."""
+    """Accumulating monotonic stopwatch; ``elapsed`` sums every start/stop span.
+
+    Misuse (double start, stop without start) raises rather than producing
+    silently-wrong timings.
+    """
 
     elapsed: float = 0.0
     _started_at: float | None = field(default=None, repr=False)

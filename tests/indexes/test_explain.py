@@ -103,6 +103,93 @@ class TestPaperClaims:
         )
 
 
+class TestTraceParity:
+    """explain() is a renderer over the same trace the live path emits."""
+
+    QUERIES = [
+        make_query(2000, 6000, {"e0", "e1"}),
+        make_query(0, 20_000, {"e0"}),
+        make_query(2000, 6000, frozenset()),  # pure temporal
+        make_query(5000, 5100, {"e39", "e38"}),  # rare elements, often empty
+    ]
+
+    @pytest.mark.parametrize("key", EXPLAINABLE)
+    def test_trace_matches_explain(self, built, key):
+        from repro.obs.tracing import query_trace
+
+        _collection, indexes = built
+        index = indexes[key]
+        for q in self.QUERIES:
+            with query_trace() as trace:
+                result = index.query(q)
+            explanation = explain(index, q)
+            assert explanation.result_size == len(result)
+            traced = [
+                (
+                    span.name,
+                    span.count("entries_scanned"),
+                    span.count("candidates_after"),
+                    span.count("structures_touched"),
+                )
+                for span in trace.phases()
+            ]
+            explained = [
+                (p.label, p.entries_scanned, p.candidates_after, p.structures_touched)
+                for p in explanation.phases
+            ]
+            assert traced == explained, (key, q)
+
+    @pytest.mark.parametrize("key", EXPLAINABLE)
+    def test_every_query_path_emits_phases(self, built, key):
+        """Even pure-temporal and empty-result paths record ≥ 1 phase."""
+        _collection, indexes = built
+        for q in self.QUERIES:
+            explanation = explain(indexes[key], q)
+            assert len(explanation.phases) >= 1, (key, q)
+            assert explanation.candidate_trajectory()[-1] >= explanation.result_size
+
+    @pytest.mark.parametrize("key", EXPLAINABLE)
+    def test_empty_index_emits_a_phase(self, key):
+        from repro.core.collection import Collection
+
+        index = build_index(key, Collection([]))
+        explanation = explain(index, make_query(0, 100, {"e0"}))
+        assert len(explanation.phases) >= 1
+        assert explanation.result_size == 0
+
+
+class TestMissingPhases:
+    """Aggregates refuse to render a phaseless explanation as silent zeros."""
+
+    def _empty_explanation(self):
+        from repro.indexes.explain import QueryExplanation
+
+        return QueryExplanation("tif", make_query(0, 1, {"e0"}), 0)
+
+    def test_total_entries_scanned_raises(self):
+        with pytest.raises(ConfigurationError, match="no phases"):
+            self._empty_explanation().total_entries_scanned
+
+    def test_total_structures_touched_raises(self):
+        with pytest.raises(ConfigurationError, match="no phases"):
+            self._empty_explanation().total_structures_touched
+
+    def test_candidate_trajectory_raises(self):
+        with pytest.raises(ConfigurationError, match="no phases"):
+            self._empty_explanation().candidate_trajectory()
+
+    def test_render_still_works_without_phases(self):
+        text = self._empty_explanation().render()
+        assert "explain tif" in text
+
+    @pytest.mark.parametrize("key", EXPLAINABLE)
+    def test_no_registry_index_hits_the_guard(self, built, key):
+        """The guard is a tripwire: no real query path should trigger it."""
+        _collection, indexes = built
+        explanation = explain(indexes[key], make_query(1000, 9000, frozenset()))
+        assert explanation.total_entries_scanned >= 0
+
+
 class TestContainmentExplainers:
     def test_signature_file(self, built):
         collection, _indexes = built

@@ -1,0 +1,132 @@
+"""Prometheus text / JSON exposition and the round-trip parser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    parse_prometheus_text,
+    registry_from_prometheus,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.instruments import register_catalog
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", "Queries answered.", ("index",)).labels(
+        "tIF"
+    ).inc(3)
+    registry.counter("repro_wal_appends_total", "WAL appends.").inc(7)
+    registry.gauge("repro_snapshot_bytes", "Last snapshot size.").set(4096)
+    histogram = registry.histogram(
+        "repro_query_seconds", "Query latency.", buckets=(0.001, 0.01, 0.1)
+    )
+    histogram.observe(0.0005)
+    histogram.observe(0.05)
+    histogram.observe(3.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_and_type_lines_per_family(self):
+        text = render_prometheus(populated_registry())
+        assert "# HELP repro_queries_total Queries answered." in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_snapshot_bytes gauge" in text
+        assert "# TYPE repro_query_seconds histogram" in text
+
+    def test_sample_lines(self):
+        text = render_prometheus(populated_registry())
+        assert 'repro_queries_total{index="tIF"} 3' in text
+        assert "repro_wal_appends_total 7" in text
+        assert "repro_snapshot_bytes 4096" in text
+
+    def test_histogram_series_are_cumulative_with_inf(self):
+        text = render_prometheus(populated_registry())
+        assert 'repro_query_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_query_seconds_bucket{le="0.01"} 1' in text
+        assert 'repro_query_seconds_bucket{le="0.1"} 2' in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_query_seconds_count 3" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "help", ("path",))
+        family.labels('a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        parsed = parse_prometheus_text(text)
+        assert parsed.value("c_total", path='a"b\\c\nd') == 1.0
+
+    def test_help_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline two \\ slash").inc()
+        text = render_prometheus(registry)
+        assert "# HELP c_total line one\\nline two \\\\ slash" in text
+
+    def test_childless_labelled_family_is_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("no_children_total", "help", ("index",))
+        assert render_prometheus(registry) == ""
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestJson:
+    def test_document_is_valid_json(self):
+        doc = json.loads(render_json(populated_registry()))
+        names = {family["name"] for family in doc}
+        assert "repro_queries_total" in names
+        assert "repro_query_seconds" in names
+
+    def test_infinity_encoded_as_string(self):
+        doc = json.loads(render_json(populated_registry()))
+        histogram = next(f for f in doc if f["name"] == "repro_query_seconds")
+        buckets = histogram["samples"][0]["buckets"]
+        assert buckets[-1]["le"] == "+Inf"
+        assert buckets[-1]["count"] == 3
+
+    def test_counter_sample_shape(self):
+        doc = json.loads(render_json(populated_registry()))
+        family = next(f for f in doc if f["name"] == "repro_queries_total")
+        assert family["type"] == "counter"
+        assert family["samples"] == [{"labels": {"index": "tIF"}, "value": 3.0}]
+
+
+class TestRoundTrip:
+    def test_render_parse_render_is_identity(self):
+        original = render_prometheus(populated_registry())
+        rebuilt = registry_from_prometheus(original)
+        assert render_prometheus(rebuilt) == original
+
+    def test_values_survive_the_round_trip(self):
+        rebuilt = registry_from_prometheus(render_prometheus(populated_registry()))
+        assert rebuilt.sample_value("repro_queries_total", ["tIF"]) == 3.0
+        assert rebuilt.sample_value("repro_wal_appends_total") == 7.0
+        assert rebuilt.sample_value("repro_snapshot_bytes") == 4096.0
+        histogram = rebuilt.families()["repro_query_seconds"].solo
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(0.0005 + 0.05 + 3.0)
+        assert histogram.bucket_counts() == [1, 0, 1, 1]
+
+    def test_full_catalog_round_trips(self):
+        registry = register_catalog(MetricsRegistry())
+        original = render_prometheus(registry)
+        assert render_prometheus(registry_from_prometheus(original)) == original
+
+    def test_parse_skips_comments_and_blanks(self):
+        parsed = parse_prometheus_text(
+            "\n# a stray comment\n# TYPE x counter\n# HELP x help text\nx 5\n"
+        )
+        assert parsed.value("x") == 5.0
+        assert parsed.types["x"] == "counter"
+        assert parsed.helps["x"] == "help text"
+
+    def test_inf_values_parse(self):
+        parsed = parse_prometheus_text("# TYPE x gauge\n# HELP x h\nx +Inf\n")
+        assert math.isinf(parsed.value("x"))

@@ -1,0 +1,150 @@
+"""Tests for the zero-dependency metrics primitives."""
+
+import pytest
+
+from repro.core.errors import LabelCardinalityError, MetricError
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricFamily
+from repro.obs.registry import MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c_total", "help")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_disabled_registry_is_a_null_sink(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        assert counter.value == 0.0
+        registry.enable()
+        counter.inc()
+        assert counter.value == 1.0
+        registry.disable()
+        counter.inc()
+        assert counter.value == 1.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_exact_boundary_lands_in_lower_bucket(self):
+        """Prometheus ``le`` semantics: value == bound → that bound's bucket."""
+        histogram = MetricsRegistry().histogram(
+            "h_seconds", "help", buckets=(1.0, 2.0, 4.0)
+        )
+        histogram.observe(1.0)  # exactly the first bound
+        histogram.observe(2.0)  # exactly the second bound
+        histogram.observe(1.5)  # strictly between the first and second
+        histogram.observe(9.0)  # beyond the last bound → +Inf
+        assert histogram.bucket_counts() == [1, 2, 0, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(13.5)
+
+    def test_cumulative_ends_with_inf(self):
+        histogram = MetricsRegistry().histogram("h_seconds", "help", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        cumulative = histogram.cumulative()
+        assert cumulative == [(1.0, 1), (2.0, 1), (float("inf"), 2)]
+
+    def test_default_buckets_are_log_scale_latencies(self):
+        histogram = MetricsRegistry().histogram("h_seconds", "help")
+        assert histogram.bounds == DEFAULT_LATENCY_BUCKETS
+        assert histogram.bounds[0] == pytest.approx(1e-6)
+        assert list(histogram.bounds) == sorted(histogram.bounds)
+
+
+class TestLabels:
+    def test_children_keyed_by_label_values(self):
+        family = MetricsRegistry().counter("c_total", "help", ("index",))
+        family.labels("tif").inc()
+        family.labels("tif").inc()
+        family.labels("hint").inc()
+        assert family.labels("tif").value == 2.0
+        assert family.labels("hint").value == 1.0
+
+    def test_label_count_mismatch_raises(self):
+        family = MetricsRegistry().counter("c_total", "help", ("a", "b"))
+        with pytest.raises(MetricError, match="expected 2 label value"):
+            family.labels("only-one")
+
+    def test_cardinality_guard_raises_with_clear_error(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        family = registry.counter("c_total", "help", ("object_id",))
+        for i in range(3):
+            family.labels(i).inc()
+        with pytest.raises(LabelCardinalityError, match="low-cardinality"):
+            family.labels(999)
+        # The existing children keep working after the refusal.
+        family.labels(0).inc()
+        assert family.labels(0).value == 2.0
+
+    def test_solo_on_labelled_family_raises(self):
+        family = MetricsRegistry().counter("c_total", "help", ("index",))
+        with pytest.raises(MetricError, match="labelled"):
+            family.solo
+
+
+class TestRegistry:
+    def test_re_registration_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "help")
+        assert first is second
+
+    def test_schema_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help")
+        with pytest.raises(MetricError, match="re-registered"):
+            registry.gauge("c_total", "help")
+        with pytest.raises(MetricError, match="re-registered"):
+            registry.counter("c_total", "help", ("index",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("7starts_with_digit", "help")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", "help", ("bad-label",))
+        with pytest.raises(MetricError):
+            MetricFamily("ok_total", "not-a-type", "help")
+
+    def test_sample_value_defaults_to_zero(self):
+        registry = MetricsRegistry()
+        assert registry.sample_value("never_registered") == 0.0
+        family = registry.counter("c_total", "help", ("index",))
+        assert registry.sample_value("c_total", ["absent"]) == 0.0
+        family.labels("tif").inc(4)
+        assert registry.sample_value("c_total", ["tif"]) == 4.0
+
+    def test_bundle_is_memoised(self):
+        registry = MetricsRegistry()
+        a = registry.bundle("k", lambda r: object())
+        b = registry.bundle("k", lambda r: object())
+        assert a is b
+
+    def test_counter_snapshot_lists_every_counter_child(self):
+        registry = MetricsRegistry()
+        registry.counter("plain_total", "help").inc(2)
+        registry.counter("by_index_total", "help", ("index",)).labels("tif").inc()
+        registry.gauge("a_gauge", "help").set(9)
+        snapshot = registry.counter_snapshot()
+        assert snapshot["plain_total{}"] == 2.0
+        assert snapshot["by_index_total{index=tif}"] == 1.0
+        assert not any("a_gauge" in key for key in snapshot)

@@ -1,0 +1,81 @@
+"""Disabled-observability overhead must stay negligible.
+
+The hard constraint of the observability subsystem: when no registry is
+enabled and no trace is active, the query path pays one attribute load and
+a branch.  This smoke check measures an instrumented index against a
+baseline closure that replicates the pre-instrumentation dispatch, and
+asserts the ratio stays within the CI budget (≤ 10%, with a little slack
+built in via best-of-N timing).
+"""
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.model import make_query
+from repro.indexes.registry import build_index
+from repro.obs.registry import OBS, isolated_registry
+from repro.utils.timing import Stopwatch
+from tests.conftest import random_objects, random_queries
+
+#: CI budget: instrumented-but-disabled may cost at most 10% over baseline.
+MAX_DISABLED_OVERHEAD = 1.10
+
+_PASSES = 7
+
+
+def _best_of(run_batch, passes: int = _PASSES) -> float:
+    best = float("inf")
+    for _ in range(passes):
+        watch = Stopwatch()
+        watch.start()
+        run_batch()
+        best = min(best, watch.stop())
+    return best
+
+
+@pytest.fixture(scope="module")
+def workload():
+    collection = Collection(random_objects(800, seed=5))
+    index = build_index("tif", collection)
+    queries = random_queries(collection, 60, seed=9) * 3
+    return index, queries
+
+
+def test_disabled_overhead_within_budget(workload):
+    index, queries = workload
+    assert OBS.active is False, "overhead smoke requires the default disabled state"
+
+    def baseline_batch():
+        # The pre-observability dispatch, verbatim: no OBS check at all.
+        pure = index._pure_temporal_query
+        impl = index._query_impl
+        for q in queries:
+            if q.is_pure_temporal:
+                pure(q)
+            else:
+                impl(q)
+
+    def instrumented_batch():
+        query = index.query
+        for q in queries:
+            query(q)
+
+    # Warm both paths (allocator, caches) before timing.
+    baseline_batch()
+    instrumented_batch()
+    baseline = _best_of(baseline_batch)
+    instrumented = _best_of(instrumented_batch)
+    ratio = instrumented / baseline
+    assert ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled-observability overhead {ratio:.3f}x exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.2f}x (baseline {baseline * 1e3:.2f} ms, "
+        f"instrumented {instrumented * 1e3:.2f} ms)"
+    )
+
+
+def test_enabled_path_returns_identical_results(workload):
+    index, queries = workload
+    expected = [index.query(q) for q in queries[:40]]
+    with isolated_registry():
+        got = [index.query(q) for q in queries[:40]]
+    assert got == expected
