@@ -16,10 +16,11 @@ from repro.bench.experiments import (
     table5,
     table6,
     table7,
+    throughput,
 )
 
 #: Paper order: setup stats, tuning, variant comparison, main comparison,
-#: updates.
+#: updates — then the beyond-paper batched-execution sweep.
 SEQUENCE = [
     ("table3", table3),
     ("fig7", fig7),
@@ -31,6 +32,7 @@ SEQUENCE = [
     ("fig12", fig12),
     ("table6", table6),
     ("table7", table7),
+    ("throughput", throughput),
 ]
 
 

@@ -23,6 +23,8 @@ Examples
     python -m repro build /tmp/ec.bin --index irhint-perf
     python -m repro query /tmp/ec.bin --index irhint-perf \
         --start 100000 --end 500000 --elements /uri/3,/uri/9
+    python -m repro query /tmp/ec.bin --index irhint-perf \
+        --batch-file /tmp/workload.jsonl --strategy process --cache-size 1024
     python -m repro serve /tmp/store --metrics-file /tmp/store.prom
     python -m repro bench fig8 --scale tiny
 """
@@ -48,7 +50,7 @@ from repro.utils.timing import timed
 
 _EXPERIMENTS = [
     "table3", "fig7", "fig8", "fig9", "fig10",
-    "table5", "fig11", "fig12", "table6", "table7", "all",
+    "table5", "fig11", "fig12", "table6", "table7", "throughput", "all",
 ]
 
 
@@ -138,12 +140,22 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _exec_strategies() -> List[str]:
+    from repro.exec.strategies import available_strategies
+
+    return available_strategies()
+
+
 def _make_query_from_args(args: argparse.Namespace):
+    if args.start is None or args.end is None:
+        raise SystemExit("error: --start and --end are required (unless --batch-file)")
     elements = [e for e in (args.elements or "").split(",") if e]
     return make_query(_parse_number(args.start), _parse_number(args.end), set(elements))
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.batch_file:
+        return _cmd_query_batch(args)
     _collection, index, _seconds = _build(args)
     q = _make_query_from_args(args)
     with timed() as watch:
@@ -152,6 +164,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
     print(f"{len(result)} results in {ms:.2f} ms")
     limit = args.limit if args.limit > 0 else len(result)
     print(result[:limit])
+    return 0
+
+
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    """Run a saved workload as one batch through the executor."""
+    from repro.exec import QueryExecutor
+    from repro.queries.io import load_queries
+
+    queries = load_queries(args.batch_file)
+    if not queries:
+        print(f"error: {args.batch_file} holds no queries", file=sys.stderr)
+        return 2
+    _collection, index, _seconds = _build(args)
+    executor = QueryExecutor(
+        index,
+        strategy=args.strategy,
+        workers=args.workers,
+        cache_size=args.cache_size,
+    )
+    results = executor.run(queries)
+    report = executor.last_report
+    assert report is not None
+    print(report.summary())
+    total_ids = sum(len(r) for r in results)
+    print(f"{total_ids} result ids across the batch")
+    if executor.cache is not None:
+        cache = executor.cache.stats()
+        print(
+            f"cache: {cache['entries']}/{cache['capacity']} entries, "
+            f"{cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['evictions']} evictions"
+        )
+    limit = args.limit if args.limit > 0 else len(results)
+    for q, result in list(zip(queries, results))[:limit]:
+        elements = ",".join(sorted(str(e) for e in q.d))
+        print(f"  [{q.st}, {q.end}] {{{elements}}}: {len(result)} ids")
     return 0
 
 
@@ -368,11 +416,31 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name, help=help_)
         add_index_args(p)
-        p.add_argument("--start", required=True, help="query interval start")
-        p.add_argument("--end", required=True, help="query interval end")
-        p.add_argument("--elements", default="", help="comma-separated q.d")
+        single = p.add_argument_group("single query")
+        single.add_argument("--start", help="query interval start")
+        single.add_argument("--end", help="query interval end")
+        single.add_argument("--elements", default="", help="comma-separated q.d")
         if name == "query":
             p.add_argument("--limit", type=int, default=20, help="ids to print (0 = all)")
+            batch = p.add_argument_group("batched execution (repro.exec)")
+            batch.add_argument(
+                "--batch-file",
+                help="JSONL query workload (repro.queries.io) to run as one batch",
+            )
+            batch.add_argument(
+                "--strategy",
+                choices=_exec_strategies(),
+                default="serial",
+                help="batch execution strategy (default: serial)",
+            )
+            batch.add_argument(
+                "--workers", type=int, default=None,
+                help="worker count for threaded/process strategies",
+            )
+            batch.add_argument(
+                "--cache-size", type=int, default=0,
+                help="attach an invalidating LRU result cache of this capacity",
+            )
         p.set_defaults(func=func)
 
     p = sub.add_parser("serve", help="run a crash-safe durable store (commands on stdin)")

@@ -1,0 +1,154 @@
+"""A size-bounded, invalidating LRU cache for query result sets.
+
+Keys are ``(q.st, q.end, q.d)`` — the full identity of a
+:class:`~repro.core.model.TimeTravelQuery` (``q.d`` is already a
+``frozenset``), so two queries collide exactly when every index would
+answer them identically.  Values are the sorted id lists the indexes
+return; the cache stores and hands out *copies*, so callers may mutate
+results without corrupting later hits.
+
+Invalidation is whole-cache: any mutation of the backing index clears
+every entry.  Partial invalidation (only entries overlapping the mutated
+object) was considered and rejected — it saves little on the workloads we
+serve (popular queries are re-answered in microseconds) and its bookkeeping
+is precisely the kind of subtle code the differential harness exists to
+distrust.  The guarantee is therefore simple: **a cache attached to an
+index can never serve a result computed before the index's most recent
+mutation** (see ``docs/execution.md``).
+
+Thread safety: all operations take an internal lock, so a cache may be
+shared by concurrent readers while an owning thread applies invalidating
+updates.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.model import TimeTravelQuery
+from repro.obs.registry import OBS
+
+#: The cache identity of a query: interval endpoints plus the element set.
+CacheKey = Tuple[object, object, frozenset]
+
+
+def cache_key(q: TimeTravelQuery) -> CacheKey:
+    """The cache key of a query — ``(interval, frozenset(q.d))`` flattened."""
+    return (q.st, q.end, q.d)
+
+
+class ResultCache:
+    """LRU map from query identity to its sorted result-id list.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached result sets (>= 1).  Bounding by entry
+        count rather than bytes keeps eviction O(1); result lists on the
+        paper's workloads are small compared to the index itself.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[CacheKey, List[int]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------ access
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, q: TimeTravelQuery) -> Optional[List[int]]:
+        """The cached result for ``q`` (a copy), or ``None`` on a miss."""
+        key = cache_key(q)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                result = list(result)
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import cache_instruments
+
+            instruments = cache_instruments(registry)
+            if result is None:
+                instruments.misses.inc()
+            else:
+                instruments.hits.inc()
+        return result
+
+    def put(self, q: TimeTravelQuery, result: List[int]) -> None:
+        """Store (a copy of) ``result``, evicting the LRU entry if full."""
+        key = cache_key(q)
+        evicted = 0
+        with self._lock:
+            self._entries[key] = list(result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            size = len(self._entries)
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import cache_instruments
+
+            instruments = cache_instruments(registry)
+            if evicted:
+                instruments.evictions.inc(evicted)
+            instruments.entries.set(size)
+
+    # ------------------------------------------------------------ invalidation
+    def invalidate(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        Called by :meth:`repro.indexes.base.TemporalIRIndex.attach_cache`
+        (so a freshly attached cache starts empty) and on every
+        ``insert``/``delete`` of an index this cache is attached to.
+        """
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += 1
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import cache_instruments
+
+            instruments = cache_instruments(registry)
+            instruments.invalidations.inc()
+            instruments.entries.set(0)
+        return dropped
+
+    # -------------------------------------------------------------- inspection
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot: sizes, hits, misses, evictions, invalidations."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(capacity={self._capacity}, entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

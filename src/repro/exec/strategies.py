@@ -1,0 +1,158 @@
+"""Pluggable batch-execution strategies: serial, threaded, process.
+
+Every strategy has the same contract: given a read-only index and a list
+of queries, return ``[index.query(q) for q in queries]`` — one sorted id
+list per query, in submission order.  The parallel strategies split the
+batch into contiguous chunks (several per worker, so an unlucky chunk of
+expensive queries does not serialise the whole batch behind one worker).
+
+``threaded``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` fan-out.  Pure-Python
+    query evaluation holds the GIL, so threads only pay off where queries
+    release it (NumPy-backed traversals) or on free-threaded builds; the
+    strategy exists because it is the cheap one to try first — no pickling,
+    no process start-up.  The index must not be mutated during a batch.
+
+``process``
+    A :class:`multiprocessing.pool.Pool` whose workers receive the pickled
+    index once, at pool start-up (the *index handoff*), then stream query
+    chunks.  This sidesteps the GIL for CPU-bound pure-Python scans at the
+    cost of one index serialisation plus per-chunk query/result pickling;
+    profitable when ``n_queries × per-query-cost`` dwarfs the handoff (see
+    ``docs/execution.md`` for the break-even discussion).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.model import TimeTravelQuery
+from repro.indexes.base import TemporalIRIndex
+
+#: How many chunks each worker gets on average — >1 so stragglers rebalance.
+CHUNKS_PER_WORKER = 4
+
+StrategyFn = Callable[..., List[List[int]]]
+
+
+def default_workers() -> int:
+    """A conservative worker count: the CPU count, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def chunked(queries: Sequence[TimeTravelQuery], n_chunks: int) -> List[List[TimeTravelQuery]]:
+    """Split ``queries`` into up to ``n_chunks`` contiguous, order-preserving
+    chunks whose sizes differ by at most one."""
+    n = len(queries)
+    n_chunks = max(1, min(n_chunks, n))
+    size, extra = divmod(n, n_chunks)
+    out: List[List[TimeTravelQuery]] = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + size + (1 if i < extra else 0)
+        out.append(list(queries[start:stop]))
+        start = stop
+    return out
+
+
+# -------------------------------------------------------------------- serial
+def run_serial(
+    index: TemporalIRIndex,
+    queries: Sequence[TimeTravelQuery],
+    workers: Optional[int] = None,
+) -> List[List[int]]:
+    """The baseline: one query after another on the calling thread."""
+    return [index.query(q) for q in queries]
+
+
+# ------------------------------------------------------------------ threaded
+def run_threaded(
+    index: TemporalIRIndex,
+    queries: Sequence[TimeTravelQuery],
+    workers: Optional[int] = None,
+) -> List[List[int]]:
+    """Chunked thread-pool fan-out over a read-only index."""
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(queries) <= 1:
+        return run_serial(index, queries)
+    chunks = chunked(queries, workers * CHUNKS_PER_WORKER)
+
+    def run_chunk(chunk: List[TimeTravelQuery]) -> List[List[int]]:
+        return [index.query(q) for q in chunk]
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        mapped = list(pool.map(run_chunk, chunks))
+    return [result for chunk in mapped for result in chunk]
+
+
+# ------------------------------------------------------------------- process
+#: The unpickled index living in each pool worker (set by the initializer).
+_WORKER_INDEX: Optional[TemporalIRIndex] = None
+
+
+def _process_init(blob: bytes) -> None:
+    """Pool initializer: install the handed-off index, silence metrics.
+
+    Workers get a fresh disabled registry — counters bumped in a child
+    process would be invisible to the parent anyway, so recording them
+    there would only cost time and mislead anyone inspecting a core dump.
+    """
+    global _WORKER_INDEX
+    from repro.obs.registry import MetricsRegistry, set_registry
+
+    set_registry(MetricsRegistry(enabled=False))
+    _WORKER_INDEX = pickle.loads(blob)
+
+
+def _process_chunk(chunk: List[TimeTravelQuery]) -> List[List[int]]:
+    """Evaluate one chunk against the worker's index."""
+    assert _WORKER_INDEX is not None, "pool worker used before initialisation"
+    return [_WORKER_INDEX.query(q) for q in chunk]
+
+
+def run_process(
+    index: TemporalIRIndex,
+    queries: Sequence[TimeTravelQuery],
+    workers: Optional[int] = None,
+) -> List[List[int]]:
+    """Multiprocessing fan-out with a one-time picklable index handoff."""
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(queries) <= 1:
+        return run_serial(index, queries)
+    import multiprocessing
+
+    blob = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+    chunks = chunked(queries, workers * CHUNKS_PER_WORKER)
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=workers, initializer=_process_init, initargs=(blob,)
+    ) as pool:
+        mapped = pool.map(_process_chunk, chunks)
+    return [result for chunk in mapped for result in chunk]
+
+
+# ------------------------------------------------------------------ registry
+STRATEGIES: Dict[str, StrategyFn] = {
+    "serial": run_serial,
+    "threaded": run_threaded,
+    "process": run_process,
+}
+
+
+def available_strategies() -> List[str]:
+    """All strategy names, sorted."""
+    return sorted(STRATEGIES)
+
+
+def strategy_fn(name: str) -> StrategyFn:
+    """Resolve a strategy by name."""
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from None

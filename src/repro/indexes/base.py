@@ -20,6 +20,7 @@ The base class centralises the bookkeeping all methods share:
 from __future__ import annotations
 
 import abc
+import weakref
 from typing import ClassVar, Dict, List, Optional, Union
 
 from repro.core.collection import Collection
@@ -66,6 +67,7 @@ class TemporalIRIndex(abc.ABC):
         self._insert_impl(obj)
         self._catalog[obj.id] = obj
         self._dictionary.add_description(obj.d)
+        self._invalidate_caches()
 
     def delete(self, obj: Union[TemporalObject, int]) -> None:
         """Tombstone one object, given the object or its id.
@@ -83,6 +85,7 @@ class TemporalIRIndex(abc.ABC):
         self._delete_impl(found)
         del self._catalog[object_id]
         self._dictionary.remove_description(found.d)
+        self._invalidate_caches()
 
     @abc.abstractmethod
     def _insert_impl(self, obj: TemporalObject) -> None:
@@ -91,6 +94,53 @@ class TemporalIRIndex(abc.ABC):
     @abc.abstractmethod
     def _delete_impl(self, obj: TemporalObject) -> None:
         """Index-specific tombstone deletion."""
+
+    # ------------------------------------------------------- result caches
+    def attach_cache(self, cache) -> None:
+        """Register a result cache to invalidate on every mutation.
+
+        ``cache`` is anything exposing ``invalidate()`` — in practice a
+        :class:`repro.exec.cache.ResultCache`.  The cache is invalidated
+        *at attach time*, so a cache carried over from another index (or
+        an earlier state of this one, e.g. across crash recovery) can
+        never serve stale results.  The index holds only a weak
+        reference: dropping the executor that owns the cache frees it.
+
+        The registration list lives outside pickled state (see
+        :meth:`__getstate__`) — snapshots and the ``process`` execution
+        strategy transfer the index alone, never its observers.
+        """
+        cache.invalidate()
+        refs = self.__dict__.setdefault("_cache_refs", [])
+        refs[:] = [r for r in refs if r() is not None and r() is not cache]
+        refs.append(weakref.ref(cache))
+
+    def detach_cache(self, cache) -> None:
+        """Stop invalidating ``cache`` on this index's mutations."""
+        refs = self.__dict__.get("_cache_refs")
+        if refs:
+            refs[:] = [r for r in refs if r() is not None and r() is not cache]
+
+    def _invalidate_caches(self) -> None:
+        """Invalidate every attached cache (called after each mutation)."""
+        refs = self.__dict__.get("_cache_refs")
+        if not refs:
+            return
+        live = []
+        for ref in refs:
+            cache = ref()
+            if cache is not None:
+                cache.invalidate()
+                live.append(ref)
+        refs[:] = live
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickled state excludes cache registrations (weakrefs don't
+        pickle, and a snapshot or process-pool copy must not invalidate —
+        or be invalidated through — the original's caches)."""
+        state = self.__dict__.copy()
+        state.pop("_cache_refs", None)
+        return state
 
     # ------------------------------------------------------------------ query
     def query(self, q: TimeTravelQuery) -> List[int]:

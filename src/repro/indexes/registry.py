@@ -79,8 +79,30 @@ def build_index(key: str, collection: Collection, **params: object) -> TemporalI
     return index_class(key).build(collection, **params)
 
 
-def register_index(key: str, cls: Type[TemporalIRIndex]) -> None:
-    """Register a custom index class (extension point)."""
-    if key in INDEX_CLASSES:
-        raise ConfigurationError(f"index key {key!r} already registered")
+def register_index(
+    key: str, cls: Type[TemporalIRIndex], *, override: bool = False
+) -> None:
+    """Register a custom index class (extension point).
+
+    Re-registering an existing key raises :class:`ConfigurationError`
+    unless ``override=True`` — the escape hatch tests and plugins use to
+    install throwaway classes without tripping on a previous run's
+    registration.  Pair with :func:`unregister_index` to restore the
+    registry afterwards.
+    """
+    if key in INDEX_CLASSES and not override:
+        raise ConfigurationError(
+            f"index key {key!r} already registered "
+            "(pass override=True to replace it)"
+        )
     INDEX_CLASSES[key] = cls
+
+
+def unregister_index(key: str) -> Type[TemporalIRIndex]:
+    """Remove a registered index class; returns it (unknown keys raise)."""
+    try:
+        return INDEX_CLASSES.pop(key)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown index {key!r}; available: {', '.join(available_indexes())}"
+        ) from None

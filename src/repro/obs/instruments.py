@@ -16,6 +16,9 @@ from repro.obs.registry import MetricsRegistry
 #: Log-scale byte buckets: 64 B … 4 GiB, ×4 steps.
 BYTE_BUCKETS: Tuple[float, ...] = tuple(64.0 * 4.0**i for i in range(14))
 
+#: Log-scale batch-size buckets: 1 … 262 144 queries, ×4 steps.
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = tuple(4.0**i for i in range(10))
+
 
 class QueryInstruments:
     """Aggregate query-path accounting (labelled by index method name)."""
@@ -149,6 +152,67 @@ def store_instruments(registry: MetricsRegistry) -> StoreInstruments:
     return registry.bundle("store", StoreInstruments)  # type: ignore[return-value]
 
 
+class ExecInstruments:
+    """Batch-executor accounting (labelled by execution strategy)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.batches = registry.counter(
+            "repro_exec_batches_total",
+            "Query batches executed, by strategy.",
+            ("strategy",),
+        )
+        self.queries = registry.counter(
+            "repro_exec_queries_total",
+            "Queries submitted through the batch executor, by strategy.",
+            ("strategy",),
+        )
+        self.deduped = registry.counter(
+            "repro_exec_deduped_queries_total",
+            "Duplicate queries answered by batch-level deduplication.",
+        )
+        self.batch_seconds = registry.histogram(
+            "repro_exec_batch_seconds",
+            "Wall-clock latency of one executed batch, by strategy.",
+            ("strategy",),
+        )
+        self.batch_size = registry.histogram(
+            "repro_exec_batch_size",
+            "Queries per submitted batch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+
+
+def exec_instruments(registry: MetricsRegistry) -> ExecInstruments:
+    return registry.bundle("exec", ExecInstruments)  # type: ignore[return-value]
+
+
+class CacheInstruments:
+    """Result-cache accounting (hits/misses/evictions/invalidations)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.hits = registry.counter(
+            "repro_cache_hits_total", "Result-cache lookups served from cache."
+        )
+        self.misses = registry.counter(
+            "repro_cache_misses_total", "Result-cache lookups that missed."
+        )
+        self.evictions = registry.counter(
+            "repro_cache_evictions_total",
+            "Entries evicted by the LRU capacity bound.",
+        )
+        self.invalidations = registry.counter(
+            "repro_cache_invalidations_total",
+            "Whole-cache invalidations (index mutations and attachments).",
+        )
+        self.entries = registry.gauge(
+            "repro_cache_entries", "Live entries in the most recently touched cache."
+        )
+
+
+def cache_instruments(registry: MetricsRegistry) -> CacheInstruments:
+    return registry.bundle("cache", CacheInstruments)  # type: ignore[return-value]
+
+
 def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     """Materialise every family of the catalog (zero-valued).
 
@@ -160,4 +224,6 @@ def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     snapshot_instruments(registry)
     recovery_instruments(registry)
     store_instruments(registry)
+    exec_instruments(registry)
+    cache_instruments(registry)
     return registry

@@ -1,0 +1,224 @@
+"""Result-cache semantics: LRU behaviour and — above all — invalidation.
+
+The contract under test: **a cache attached to an index (directly or via
+a DurableIndexStore) never serves a result computed before the most
+recent mutation**, including mutations applied by WAL replay during crash
+recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.model import make_object, make_query
+from repro.exec import QueryExecutor, ResultCache
+from repro.indexes.registry import build_index
+from repro.service.faults import FaultPlan, FaultyFileSystem, SimulatedCrash
+from repro.service.store import DurableIndexStore
+from tests.conftest import random_objects
+from tests.service.conftest import apply_ops, make_ops, oracle_index, probe_queries
+
+
+# ------------------------------------------------------------------------- LRU
+def test_lru_eviction_order():
+    cache = ResultCache(2)
+    q1, q2, q3 = make_query(0, 1), make_query(0, 2), make_query(0, 3)
+    cache.put(q1, [1])
+    cache.put(q2, [2])
+    cache.get(q1)  # q1 becomes most-recent; q2 is now LRU
+    cache.put(q3, [3])
+    assert cache.get(q2) is None  # evicted
+    assert cache.get(q1) == [1]
+    assert cache.get(q3) == [3]
+    assert cache.evictions == 1
+    assert len(cache) == 2
+
+
+def test_capacity_bound_holds():
+    cache = ResultCache(4)
+    for i in range(50):
+        cache.put(make_query(i, i + 1), [i])
+    assert len(cache) == 4
+    assert cache.evictions == 46
+
+
+def test_key_includes_elements():
+    cache = ResultCache(8)
+    cache.put(make_query(0, 10, {"a"}), [1])
+    assert cache.get(make_query(0, 10, {"b"})) is None
+    assert cache.get(make_query(0, 10)) is None
+    assert cache.get(make_query(0, 10, {"a"})) == [1]
+
+
+def test_cache_stores_and_serves_copies():
+    cache = ResultCache(2)
+    original = [1, 2, 3]
+    q = make_query(0, 5)
+    cache.put(q, original)
+    original.append(99)  # caller mutates after put
+    served = cache.get(q)
+    assert served == [1, 2, 3]
+    served.append(-1)  # caller mutates a hit
+    assert cache.get(q) == [1, 2, 3]
+
+
+def test_stats_snapshot():
+    cache = ResultCache(3)
+    q = make_query(1, 2)
+    cache.get(q)
+    cache.put(q, [])
+    cache.get(q)
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1 and stats["capacity"] == 3
+
+
+# -------------------------------------------------------- direct invalidation
+@pytest.mark.parametrize("key", ["brute", "tif-slicing", "irhint-perf"])
+def test_insert_and_delete_invalidate_attached_cache(key):
+    collection = Collection(random_objects(120, seed=31))
+    index = build_index(key, collection)
+    executor = QueryExecutor(index, cache_size=32)
+    q = make_query(0, 25_000)  # matches everything
+    before = executor.run_one(q)
+    assert executor.run_one(q) == before  # second hit is served from cache
+    assert executor.cache is not None and executor.cache.hits == 1
+
+    extra = make_object(9_999, 0, 25_000, {"e0"})
+    index.insert(extra)
+    after_insert = executor.run_one(q)
+    assert 9_999 in after_insert  # stale answer was NOT served
+    assert after_insert == index.query(q)
+
+    index.delete(9_999)
+    after_delete = executor.run_one(q)
+    assert 9_999 not in after_delete
+    assert after_delete == before
+
+
+def test_attach_invalidates_preexisting_entries():
+    collection = Collection(random_objects(50, seed=32))
+    index_a = build_index("brute", collection)
+    index_b = build_index("brute", Collection(random_objects(50, seed=33)))
+    cache = ResultCache(8)
+    q = make_query(0, 25_000)
+    index_a.attach_cache(cache)
+    cache.put(q, index_a.query(q))
+    # Re-attaching to a different index must wipe the old answers.
+    index_b.attach_cache(cache)
+    assert len(cache) == 0
+
+
+def test_detach_stops_invalidation():
+    collection = Collection(random_objects(50, seed=34))
+    index = build_index("brute", collection)
+    cache = ResultCache(8)
+    index.attach_cache(cache)
+    q = make_query(0, 25_000)
+    cache.put(q, index.query(q))
+    index.detach_cache(cache)
+    index.insert(make_object(7_777, 0, 10, {"e1"}))
+    assert len(cache) == 1  # no longer invalidated (caller's responsibility)
+
+
+def test_dropping_the_executor_releases_the_cache():
+    import weakref
+
+    collection = Collection(random_objects(30, seed=35))
+    index = build_index("brute", collection)
+    executor = QueryExecutor(index, cache_size=4)
+    ref = weakref.ref(executor.cache)
+    del executor
+    assert ref() is None  # the index's weak registration did not pin it
+
+
+def test_index_pickles_without_cache_registrations():
+    import pickle
+
+    collection = Collection(random_objects(40, seed=36))
+    index = build_index("irhint-perf", collection)
+    executor = QueryExecutor(index, cache_size=4)
+    executor.run_one(make_query(0, 25_000))
+    clone = pickle.loads(pickle.dumps(index))
+    assert "_cache_refs" not in clone.__dict__
+    # Mutating the clone must not invalidate the original's cache ...
+    clone.insert(make_object(5_555, 0, 10, {"e0"}))
+    assert executor.cache is not None and len(executor.cache) == 1
+    # ... and the clone still answers correctly.
+    assert 5_555 in clone.query(make_query(0, 25_000))
+
+
+# ------------------------------------------------------ DurableIndexStore path
+def test_store_mutations_invalidate_executor_cache(tmp_path):
+    with DurableIndexStore.open(tmp_path, index_key="brute") as store:
+        executor = QueryExecutor(store, strategy="serial", cache_size=16)
+        q = make_query(0, 11_000)
+        ops = make_ops(30)
+        apply_ops(store, ops)
+        first = executor.run_one(q)
+        assert executor.run_one(q) == first
+        store.insert(make_object(10_000, 0, 11_000, {"e0"}))
+        got = executor.run_one(q)
+        assert 10_000 in got  # WAL-first store write invalidated the cache
+        store.delete(10_000)
+        assert executor.run_one(q) == first
+
+
+def test_bootstrap_swap_invalidates_store_attached_cache(tmp_path):
+    collection = Collection(random_objects(60, seed=37))
+    with DurableIndexStore.open(tmp_path, index_key="brute") as store:
+        executor = QueryExecutor(store, cache_size=16)
+        q = make_query(0, 25_000)
+        assert executor.run_one(q) == []  # empty store, cached
+        store.bootstrap(collection, "brute")
+        got = executor.run_one(q)
+        assert got == store.index.query(q)
+        assert len(got) == len(collection)  # not the stale empty answer
+
+
+def test_wal_replay_recovery_then_fresh_executor_matches_oracle(tmp_path):
+    ops = make_ops(60)
+    with DurableIndexStore.open(tmp_path, index_key="irhint-perf") as store:
+        apply_ops(store, ops)
+    # Reopen: state is rebuilt via snapshot + WAL replay through
+    # index.insert/delete — the same choke points that invalidate caches.
+    with DurableIndexStore.open(tmp_path) as recovered:
+        executor = QueryExecutor(recovered, cache_size=16)
+        oracle = oracle_index(ops)
+        for q in probe_queries():
+            assert executor.run_one(q) == oracle.query(q)
+            assert executor.run_one(q) == oracle.query(q)  # cached pass
+
+
+def test_crash_recovery_cache_never_serves_pre_crash_state(tmp_path):
+    """Fault-injected crash mid-WAL-append, then a caching executor.
+
+    The recovered store's executor must answer for the durable prefix of
+    the ops — not for the pre-crash in-memory state a stale cache would
+    remember.
+    """
+    ops = make_ops(80)
+    crash_at = 41
+    fs = FaultyFileSystem(FaultPlan(match="wal-", crash_after_writes=crash_at))
+    store = DurableIndexStore.open(tmp_path, index_key="brute", fs=fs)
+    executor = QueryExecutor(store, cache_size=16)
+    applied = 0
+    with pytest.raises(SimulatedCrash):
+        for op in ops:
+            apply_ops(store, [op])
+            applied += 1
+            # Keep the cache hot across the whole pre-crash run.
+            executor.run(probe_queries())
+    assert applied == crash_at - 1
+    # "Reboot": recover from disk; only the durable prefix survived.
+    with DurableIndexStore.open(tmp_path) as recovered:
+        fresh = QueryExecutor(recovered, cache_size=16)
+        oracle = oracle_index(ops[: crash_at - 1])
+        for q in probe_queries():
+            assert fresh.run_one(q) == oracle.query(q)
+        # Re-attaching the pre-crash cache wipes it before first use.
+        assert executor.cache is not None
+        executor.cache.put(make_query(0, 1), [123])
+        recovered.attach_cache(executor.cache)
+        assert len(executor.cache) == 0

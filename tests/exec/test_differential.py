@@ -1,0 +1,227 @@
+"""Seeded randomized differential testing: every index vs BruteForce.
+
+The harness interleaves queries, inserts and deletes — the workload an
+execution layer that reorders, caches and parallelises queries is most
+likely to break — and cross-checks every answer against the
+:class:`~repro.indexes.brute.BruteForce` oracle, both on the direct
+``index.query`` path and through a caching :class:`QueryExecutor`.
+
+Determinism: no wall-clock, no unseeded RNG.  Every trace derives from an
+explicit integer seed; on a mismatch the failure message prints that seed
+and the full operation trace up to (and including) the failing step, so
+the run reproduces with::
+
+    REPRO_DIFF_OPS=<n> pytest tests/exec/test_differential.py -k <key>
+
+CI caps the per-trace operation budget with the ``REPRO_DIFF_OPS``
+environment variable (see .github/workflows/ci.yml); the default budget
+spreads 240+ interleavings across the seeds below for every registry key.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.model import TemporalObject, TimeTravelQuery, make_object, make_query
+from repro.datasets.synthetic import generate_synthetic
+from repro.exec import QueryExecutor
+from repro.indexes.brute import BruteForce
+from repro.indexes.registry import INDEX_CLASSES, build_index
+
+ALL_KEYS = sorted(INDEX_CLASSES)
+
+#: Operations per (key, seed) trace; CI pins this via REPRO_DIFF_OPS.
+N_OPS = int(os.environ.get("REPRO_DIFF_OPS", "120"))
+
+#: Two independent traces per key — with N_OPS=120 that is 240 interleaved
+#: operations per index, per executor mode.
+SEEDS = (2025, 8061)
+
+#: Element universe matching the synthetic generator's ``e<i>`` naming.
+DICT_SIZE = 24
+
+#: An element no object ever carries (exercises unknown-element queries).
+UNKNOWN_ELEMENT = "never-indexed"
+
+Op = Tuple  # ("query", q) | ("insert", obj) | ("delete", object_id)
+
+
+def small_collection(seed: int) -> Collection:
+    """A small synthetic base collection (repro.datasets.synthetic)."""
+    return generate_synthetic(
+        cardinality=48,
+        domain_size=2_000,
+        sigma=400.0,
+        dict_size=DICT_SIZE,
+        desc_size=3,
+        seed=seed,
+    )
+
+
+def _random_query(rng: random.Random) -> TimeTravelQuery:
+    st = rng.randint(-50, 2_050)
+    extent = rng.choice([0, 0, 1, 5, 40, 200, 1_000])  # points are common
+    roll = rng.random()
+    if roll < 0.15:
+        d: frozenset = frozenset()  # pure temporal
+    elif roll < 0.25:
+        d = frozenset({UNKNOWN_ELEMENT})
+    else:
+        k = rng.randint(1, 3)
+        d = frozenset(f"e{rng.randrange(DICT_SIZE)}" for _ in range(k))
+    return make_query(st, st + extent, d)
+
+
+def _random_object(rng: random.Random, object_id: int) -> TemporalObject:
+    st = rng.randint(0, 2_000)
+    end = st + rng.choice([0, 1, 10, 100, 600])
+    k = rng.randint(1, 4)
+    d = frozenset(f"e{rng.randrange(DICT_SIZE)}" for _ in range(k))
+    return make_object(object_id, st, end, d)
+
+
+def make_trace(seed: int, n_ops: int, live: List[int], next_id: int) -> List[Op]:
+    """A deterministic interleaving of queries, inserts and deletes."""
+    rng = random.Random(seed * 7919 + 13)
+    live = list(live)
+    ops: List[Op] = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.55:
+            ops.append(("query", _random_query(rng)))
+        elif roll < 0.80 or not live:
+            ops.append(("insert", _random_object(rng, next_id)))
+            live.append(next_id)
+            next_id += 1
+        else:
+            victim = live.pop(rng.randrange(len(live)))
+            ops.append(("delete", victim))
+    return ops
+
+
+def format_trace(ops: List[Op]) -> str:
+    lines = []
+    for i, op in enumerate(ops):
+        if op[0] == "query":
+            q = op[1]
+            lines.append(f"  {i:3d} query  [{q.st}, {q.end}] d={sorted(map(str, q.d))}")
+        elif op[0] == "insert":
+            o = op[1]
+            lines.append(
+                f"  {i:3d} insert id={o.id} [{o.st}, {o.end}] d={sorted(map(str, o.d))}"
+            )
+        else:
+            lines.append(f"  {i:3d} delete id={op[1]}")
+    return "\n".join(lines)
+
+
+def run_differential(
+    key: str,
+    seed: int,
+    executor_config: Optional[dict],
+    n_ops: int = N_OPS,
+) -> None:
+    """Replay one trace against ``key`` and the oracle; fail on mismatch."""
+    collection = small_collection(seed)
+    index = build_index(key, collection)
+    oracle = BruteForce.build(collection)
+    executor = (
+        QueryExecutor(index, **executor_config) if executor_config is not None else None
+    )
+    live = collection.ids()
+    ops = make_trace(seed, n_ops, live, max(live) + 1 if live else 0)
+    for step, op in enumerate(ops):
+        if op[0] == "query":
+            expected = oracle.query(op[1])
+            got = executor.run_one(op[1]) if executor is not None else index.query(op[1])
+            if got != expected:
+                pytest.fail(
+                    f"{key}: differential mismatch at step {step} "
+                    f"(seed={seed}, n_ops={n_ops}, "
+                    f"executor={executor_config!r}):\n"
+                    f"  got      {got}\n"
+                    f"  expected {expected}\n"
+                    f"reproducing trace (base collection = "
+                    f"small_collection({seed})):\n"
+                    f"{format_trace(ops[: step + 1])}"
+                )
+        elif op[0] == "insert":
+            index.insert(op[1])
+            oracle.insert(op[1])
+        else:
+            index.delete(op[1])
+            oracle.delete(op[1])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("key", ALL_KEYS)
+def test_differential_direct(key, seed):
+    """Interleaved query/insert/delete: bare index vs the oracle."""
+    run_differential(key, seed, executor_config=None)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("key", ALL_KEYS)
+def test_differential_with_executor_and_cache(key, seed):
+    """Same traces through a caching executor: invalidation under fire.
+
+    The cache is deliberately large enough to survive between mutations
+    and small enough to evict — both the stale-entry and the LRU paths
+    are continuously exercised.
+    """
+    run_differential(
+        key, seed, executor_config={"strategy": "serial", "cache_size": 8}
+    )
+
+
+@pytest.mark.parametrize("strategy", ["threaded", "process"])
+def test_differential_batched_parallel(strategy):
+    """Batched parallel execution between mutation bursts.
+
+    Batches carry duplicates (dedup path) and are answered by a
+    2-worker parallel strategy; the oracle answers each query
+    individually.  Mutations between batches must invalidate the cache.
+    """
+    seed = 424242
+    collection = small_collection(seed)
+    index = build_index("irhint-perf", collection)
+    oracle = BruteForce.build(collection)
+    executor = QueryExecutor(index, strategy=strategy, workers=2, cache_size=64)
+    rng = random.Random(seed)
+    live = collection.ids()
+    next_id = max(live) + 1
+    for round_number in range(4):
+        batch = [_random_query(rng) for _ in range(20)]
+        batch += [batch[i] for i in range(0, len(batch), 3)]  # duplicates
+        expected = [oracle.query(q) for q in batch]
+        got = executor.run(batch)
+        assert got == expected, (
+            f"round {round_number} (seed={seed}, strategy={strategy}): "
+            "batched answers diverge from oracle"
+        )
+        for _ in range(8):
+            if live and rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                index.delete(victim)
+                oracle.delete(victim)
+            else:
+                obj = _random_object(rng, next_id)
+                next_id += 1
+                live.append(obj.id)
+                index.insert(obj)
+                oracle.insert(obj)
+
+
+def test_trace_generation_is_deterministic():
+    """Identical seeds yield identical traces — the reproducibility
+    contract the failure message relies on."""
+    a = make_trace(99, 40, [1, 2, 3], 4)
+    b = make_trace(99, 40, [1, 2, 3], 4)
+    assert a == b
+    assert any(op[0] == "query" for op in a)
+    assert any(op[0] == "insert" for op in a)

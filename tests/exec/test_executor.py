@@ -1,0 +1,178 @@
+"""Unit tests for the batch executor: strategies, dedup, sort, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collection import Collection
+from repro.core.errors import ConfigurationError
+from repro.exec import QueryExecutor, ResultCache, available_strategies
+from repro.exec.strategies import chunked, run_process, run_serial, run_threaded
+from repro.indexes.registry import build_index
+from repro.obs.registry import isolated_registry
+from tests.conftest import random_objects, random_queries
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    collection = Collection(random_objects(300, seed=21))
+    index = build_index("irhint-perf", collection)
+    queries = random_queries(collection, 40, seed=22)
+    queries += queries[:10]  # guaranteed duplicates
+    expected = [index.query(q) for q in queries]
+    return collection, index, queries, expected
+
+
+# -------------------------------------------------------------------- chunking
+def test_chunked_partitions_preserve_order():
+    items = list(range(10))
+    for n in (1, 2, 3, 7, 10, 25):
+        chunks = chunked(items, n)
+        assert [x for c in chunks for x in c] == items
+        assert len(chunks) <= max(1, min(n, len(items)))
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_chunked_single_item():
+    assert chunked([1], 8) == [[1]]
+
+
+# ------------------------------------------------------------------ strategies
+def test_all_strategies_agree_with_direct_queries(corpus):
+    _collection, index, queries, expected = corpus
+    assert run_serial(index, queries) == expected
+    assert run_threaded(index, queries, workers=3) == expected
+    assert run_process(index, queries, workers=2) == expected
+
+
+def test_parallel_strategies_fall_back_to_serial_on_one_worker(corpus):
+    _collection, index, queries, expected = corpus
+    assert run_threaded(index, queries, workers=1) == expected
+    assert run_process(index, queries, workers=1) == expected
+
+
+def test_unknown_strategy_rejected(corpus):
+    _collection, index, _queries, _expected = corpus
+    with pytest.raises(ConfigurationError):
+        QueryExecutor(index, strategy="warp-drive")
+
+
+def test_available_strategies():
+    assert available_strategies() == ["process", "serial", "threaded"]
+
+
+# -------------------------------------------------------------------- executor
+@pytest.mark.parametrize("strategy", ["serial", "threaded", "process"])
+def test_executor_matches_direct_path(corpus, strategy):
+    _collection, index, queries, expected = corpus
+    executor = QueryExecutor(index, strategy=strategy, workers=2)
+    assert executor.run(queries) == expected
+
+
+@pytest.mark.parametrize("dedupe", [True, False])
+@pytest.mark.parametrize("sort", [True, False])
+def test_optimisation_switches_do_not_change_answers(corpus, dedupe, sort):
+    _collection, index, queries, expected = corpus
+    executor = QueryExecutor(index, dedupe=dedupe, sort=sort)
+    assert executor.run(queries) == expected
+
+
+def test_empty_batch(corpus):
+    _collection, index, _queries, _expected = corpus
+    executor = QueryExecutor(index)
+    assert executor.run([]) == []
+    assert executor.last_report is not None
+    assert executor.last_report.queries == 0
+
+
+def test_result_lists_are_independent(corpus):
+    _collection, index, queries, expected = corpus
+    executor = QueryExecutor(index, cache_size=64)
+    first = executor.run(queries)
+    first[0].append(-1)  # vandalise one returned list
+    for a, b in zip(first[1:], expected[1:]):
+        assert a == b
+    # Neither the cache nor a rerun sees the vandalism.
+    second = executor.run(queries)
+    assert second == expected
+
+
+def test_duplicates_resolved_once(corpus):
+    _collection, index, queries, expected = corpus
+    executor = QueryExecutor(index)
+    results = executor.run(queries)
+    assert results == expected
+    report = executor.last_report
+    assert report is not None
+    assert report.queries == len(queries)
+    assert report.unique == len({(q.st, q.end, q.d) for q in queries})
+    assert report.duplicates == report.queries - report.unique
+    assert report.executed == report.unique  # no cache in play
+
+
+def test_cache_hits_across_batches(corpus):
+    _collection, index, queries, expected = corpus
+    executor = QueryExecutor(index, cache_size=256)
+    executor.run(queries)
+    assert executor.run(queries) == expected
+    report = executor.last_report
+    assert report is not None
+    assert report.cache_hits == report.unique
+    assert report.executed == 0
+
+
+def test_invalid_workers_rejected(corpus):
+    _collection, index, _queries, _expected = corpus
+    with pytest.raises(ConfigurationError):
+        QueryExecutor(index, workers=0)
+
+
+def test_invalid_cache_capacity_rejected(corpus):
+    _collection, index, _queries, _expected = corpus
+    with pytest.raises(ConfigurationError):
+        QueryExecutor(index, cache_size=-1)
+    with pytest.raises(ConfigurationError):
+        ResultCache(0)
+
+
+def test_executor_rejects_non_index_target():
+    with pytest.raises(ConfigurationError):
+        QueryExecutor(object())
+
+
+def test_report_summary_and_throughput(corpus):
+    _collection, index, queries, _expected = corpus
+    executor = QueryExecutor(index, cache_size=16)
+    executor.run(queries)
+    report = executor.last_report
+    assert report is not None
+    assert report.queries_per_second > 0
+    text = report.summary()
+    assert "unique" in text and "q/s" in text
+    stats = executor.stats()
+    assert stats["strategy"] == "serial"
+    assert "cache" in stats
+
+
+def test_run_one(corpus):
+    _collection, index, queries, expected = corpus
+    executor = QueryExecutor(index, cache_size=4)
+    assert executor.run_one(queries[0]) == expected[0]
+    assert executor.run_one(queries[0]) == expected[0]  # cached now
+    assert executor.cache is not None and executor.cache.hits == 1
+
+
+def test_executor_metrics(corpus):
+    _collection, index, queries, _expected = corpus
+    with isolated_registry() as registry:
+        executor = QueryExecutor(index, strategy="serial", cache_size=64)
+        executor.run(queries)
+        executor.run(queries)
+        assert registry.sample_value("repro_exec_batches_total", ["serial"]) == 2
+        assert registry.sample_value("repro_exec_queries_total", ["serial"]) == 2 * len(
+            queries
+        )
+        assert registry.sample_value("repro_exec_deduped_queries_total") > 0
+        assert registry.sample_value("repro_cache_hits_total") > 0
+        assert registry.sample_value("repro_cache_misses_total") > 0

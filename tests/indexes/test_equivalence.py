@@ -121,6 +121,78 @@ def test_insertion_order_invariance(key):
         assert index_shuf.query(q) == expected, key
 
 
+@pytest.mark.parametrize("key", ALL_KEYS)
+class TestEdgeCases:
+    """Boundary queries every registry index must answer identically.
+
+    Each case states its expected answer by construction (closed-interval
+    semantics of Definition 2.1), so a drift in any single index fails
+    loudly rather than averaging out in randomized runs.
+    """
+
+    def _build(self, key, objects):
+        return build_index(key, Collection(objects))
+
+    def test_point_interval_objects_and_stabbing_queries(self, key):
+        # Point-lifespan objects (t_st == t_end) hit only exact stabs.
+        objects = [
+            TemporalObject(id=1, st=5, end=5, d=frozenset({"a"})),
+            TemporalObject(id=2, st=5, end=9, d=frozenset({"a"})),
+            TemporalObject(id=3, st=0, end=4, d=frozenset({"a"})),
+        ]
+        index = self._build(key, objects)
+        assert index.query(TimeTravelQuery(5, 5, frozenset({"a"}))) == [1, 2]
+        assert index.query(TimeTravelQuery(4, 4, frozenset({"a"}))) == [3]
+        assert index.query(TimeTravelQuery(6, 6, frozenset({"a"}))) == [2]
+        assert index.query(TimeTravelQuery(0, 10, frozenset({"a"}))) == [1, 2, 3]
+
+    def test_query_touching_endpoints_exactly(self, key):
+        # Closed intervals: touching at a single point is an overlap.
+        objects = [TemporalObject(id=1, st=10, end=20, d=frozenset({"a"}))]
+        index = self._build(key, objects)
+        assert index.query(TimeTravelQuery(0, 10, frozenset({"a"}))) == [1]
+        assert index.query(TimeTravelQuery(20, 30, frozenset({"a"}))) == [1]
+        assert index.query(TimeTravelQuery(0, 9, frozenset({"a"}))) == []
+        assert index.query(TimeTravelQuery(21, 30, frozenset({"a"}))) == []
+
+    def test_empty_query_description(self, key):
+        # q.d = ∅ degrades to a pure temporal range query.
+        objects = [
+            TemporalObject(id=1, st=0, end=5, d=frozenset({"a"})),
+            TemporalObject(id=2, st=3, end=8, d=frozenset({"b"})),
+            TemporalObject(id=3, st=9, end=12, d=frozenset()),
+        ]
+        index = self._build(key, objects)
+        assert index.query(TimeTravelQuery(0, 100, frozenset())) == [1, 2, 3]
+        assert index.query(TimeTravelQuery(6, 9, frozenset())) == [2, 3]
+        assert index.query(TimeTravelQuery(13, 99, frozenset())) == []
+
+    def test_query_elements_absent_from_dictionary(self, key):
+        objects = [TemporalObject(id=1, st=0, end=10, d=frozenset({"a", "b"}))]
+        index = self._build(key, objects)
+        assert index.query(TimeTravelQuery(0, 10, frozenset({"zz-unknown"}))) == []
+        # Mixing a known and an unknown element still yields nothing.
+        assert (
+            index.query(TimeTravelQuery(0, 10, frozenset({"a", "zz-unknown"}))) == []
+        )
+
+    def test_empty_and_fully_deleted_index(self, key):
+        empty = build_index(key, Collection([]))
+        assert empty.query(TimeTravelQuery(0, 10, frozenset({"a"}))) == []
+        assert empty.query(TimeTravelQuery(0, 10, frozenset())) == []
+
+        objects = [
+            TemporalObject(id=1, st=0, end=5, d=frozenset({"a"})),
+            TemporalObject(id=2, st=2, end=9, d=frozenset({"a", "b"})),
+        ]
+        index = self._build(key, objects)
+        for object_id in (1, 2):
+            index.delete(object_id)
+        assert len(index) == 0
+        assert index.query(TimeTravelQuery(0, 100, frozenset({"a"}))) == []
+        assert index.query(TimeTravelQuery(0, 100, frozenset())) == []
+
+
 @pytest.mark.parametrize("key", ["tif-slicing", "irhint-perf"])
 def test_insert_then_delete_is_identity(key):
     """Inserting and tombstoning the same objects leaves answers unchanged."""

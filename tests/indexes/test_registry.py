@@ -12,6 +12,7 @@ from repro.indexes.registry import (
     build_index,
     index_class,
     register_index,
+    unregister_index,
 )
 
 
@@ -48,11 +49,47 @@ def test_register_custom_index(running_example):
         index = build_index("custom-test-key", running_example)
         assert isinstance(index, TemporalIRIndex)
     finally:
-        from repro.indexes.registry import INDEX_CLASSES
-
-        del INDEX_CLASSES["custom-test-key"]
+        unregister_index("custom-test-key")
 
 
 def test_register_duplicate_rejected():
     with pytest.raises(ConfigurationError):
         register_index("brute", BruteForce)
+
+
+def test_register_override_replaces_and_is_rerunnable():
+    """Regression: re-registering with override=True must not raise, so a
+    test module can install throwaway classes on every run."""
+
+    class CustomA(BruteForce):
+        name = "custom-a"
+
+    class CustomB(BruteForce):
+        name = "custom-b"
+
+    try:
+        for cls in (CustomA, CustomB, CustomA):  # simulate repeated runs
+            register_index("custom-override-key", cls, override=True)
+            assert index_class("custom-override-key") is cls
+    finally:
+        unregister_index("custom-override-key")
+    assert "custom-override-key" not in available_indexes()
+
+
+def test_override_does_not_mask_plain_duplicate_error():
+    register_index("custom-once-key", BruteForce)
+    try:
+        with pytest.raises(ConfigurationError):
+            register_index("custom-once-key", BruteForce)
+    finally:
+        unregister_index("custom-once-key")
+
+
+def test_unregister_unknown_key_raises():
+    with pytest.raises(ConfigurationError):
+        unregister_index("never-registered")
+
+
+def test_unregister_returns_the_class():
+    register_index("custom-return-key", BruteForce)
+    assert unregister_index("custom-return-key") is BruteForce

@@ -23,14 +23,40 @@ MAX_DISABLED_OVERHEAD = 1.10
 _PASSES = 7
 
 
-def _best_of(run_batch, passes: int = _PASSES) -> float:
-    best = float("inf")
-    for _ in range(passes):
-        watch = Stopwatch()
-        watch.start()
-        run_batch()
-        best = min(best, watch.stop())
-    return best
+def _time_once(run_batch) -> float:
+    watch = Stopwatch()
+    watch.start()
+    run_batch()
+    return watch.stop()
+
+
+def _best_of_interleaved(batches, passes: int = _PASSES):
+    """Best-of-N wall-clock for each batch, with the passes *interleaved*.
+
+    Timing every baseline pass and then every instrumented pass puts the
+    two measurement windows ~50 ms apart — far enough that a transient
+    slowdown of the host lands on one side only and shows up as phantom
+    overhead.  Interleaving (A, B, A, B, ...) exposes both closures to the
+    same conditions, so best-of-N compares like with like.  The GC is
+    paused during the timed region (the bench runner's idiom, see
+    insert_batch_time): batches are ~10 ms, so one cyclic pass triggered
+    by the surrounding suite's allocations would swamp the
+    single-digit-percent effect this smoke exists to bound.
+    """
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        best = [float("inf")] * len(batches)
+        for _ in range(passes):
+            for i, run_batch in enumerate(batches):
+                best[i] = min(best[i], _time_once(run_batch))
+        return best
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
 
 @pytest.fixture(scope="module")
@@ -63,8 +89,7 @@ def test_disabled_overhead_within_budget(workload):
     # Warm both paths (allocator, caches) before timing.
     baseline_batch()
     instrumented_batch()
-    baseline = _best_of(baseline_batch)
-    instrumented = _best_of(instrumented_batch)
+    baseline, instrumented = _best_of_interleaved([baseline_batch, instrumented_batch])
     ratio = instrumented / baseline
     assert ratio <= MAX_DISABLED_OVERHEAD, (
         f"disabled-observability overhead {ratio:.3f}x exceeds "
