@@ -6,6 +6,7 @@ from typing import Dict
 
 from repro.bench.cli import run_cli
 from repro.bench.experiments import (
+    cluster,
     fig7,
     fig8,
     fig9,
@@ -33,6 +34,7 @@ SEQUENCE = [
     ("table6", table6),
     ("table7", table7),
     ("throughput", throughput),
+    ("cluster", cluster),
 ]
 
 

@@ -1,0 +1,158 @@
+"""Scatter-gather throughput — the :mod:`repro.cluster` router under load.
+
+Not a paper figure.  The question this experiment answers: does routing
+queries by their interval (time-range partitioning) actually beat
+broadcasting every query to every shard (hash partitioning), on identical
+data and identical workloads?  Both clusters serve the same collection
+through the same :class:`~repro.service.DurableIndexStore` replicas; the
+only difference is the routing table.
+
+Workload: ``10 × scale.n_queries`` narrow interval queries (1 % extent) —
+the shape time-range routing exists for — plus a broad 50 %-extent tail
+so the router also pays for queries that genuinely span many shards.
+
+Reported per configuration: batch throughput and the *mean shards visited
+per query* read back from the ``repro_cluster_shards_visited`` histogram.
+
+Expected shape:
+
+* every cluster row answers identically to the single-index baseline,
+  with no duplicate ids (boundary straddlers dedup at merge);
+* the time-range router visits strictly fewer shards per query than the
+  hash broadcast (which always visits all of them);
+* fewer shards visited translates into higher batch throughput at equal
+  worker budget.
+
+``python -m repro bench cluster`` archives this dict (via the harness) —
+the repo keeps a reference run in ``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.cli import run_cli
+from repro.bench.config import get_scale, synthetic_collection
+from repro.bench.reporting import SeriesTable, banner, summarize_shape
+from repro.bench.runner import build_timed
+from repro.bench.tuned import tuned
+from repro.obs.registry import isolated_registry
+from repro.queries.generator import QueryWorkload
+from repro.utils.timing import Stopwatch
+
+#: Per-shard index the cluster stores build (the paper's overall winner).
+DEFAULT_METHOD = "irhint-perf"
+
+N_SHARDS = 4
+
+#: Fraction of the workload that is broad (50 % extent) rather than narrow.
+BROAD_FRACTION = 0.2
+
+
+def build_workload(collection, n_queries: int, seed: int) -> List:
+    """Mostly-narrow interval queries with a broad tail."""
+    workload = QueryWorkload(collection, seed=seed)
+    n_broad = int(n_queries * BROAD_FRACTION)
+    queries = workload.by_extent(0.01, n_queries - n_broad)
+    queries += workload.by_extent(0.5, n_broad)
+    return queries
+
+
+def _measure(cluster, queries, workers: int) -> Dict[str, float]:
+    """One cold-cache batch through the cluster; throughput + fan-out."""
+    from repro.obs.instruments import cluster_instruments
+
+    with isolated_registry() as registry:
+        watch = Stopwatch()
+        watch.start()
+        results = cluster.run_batch(queries, strategy="serial", workers=workers)
+        seconds = watch.stop()
+        _ = sum(len(r) for r in results)
+        visited = cluster_instruments(registry).shards_visited
+        mean_visited = visited.sum / visited.count if visited.count else 0.0
+    return {
+        "qps": len(queries) / seconds if seconds > 0 else float("inf"),
+        "mean_shards_visited": mean_visited,
+    }
+
+
+def run(
+    scale: str = "small", seed: int = 0, method: Optional[str] = None
+) -> Dict[str, object]:
+    """Routed vs broadcast scatter-gather on one synthetic load."""
+    method = method or DEFAULT_METHOD
+    cfg = get_scale(scale)
+    n_queries = cfg.n_queries * 10
+    banner(
+        f"Cluster: routed vs broadcast scatter-gather, {N_SHARDS} shards, "
+        f"{n_queries} queries (scale={scale})"
+    )
+    collection = synthetic_collection(scale)
+    params = tuned(method)
+    built = build_timed(method, collection, **params)
+    queries = build_workload(collection, n_queries, seed)
+    expected = [sorted(built.index.query(q)) for q in queries]
+
+    from repro.cluster import TemporalCluster
+    from repro.exec.strategies import default_workers
+
+    workers = default_workers()
+    rows: Dict[str, Dict[str, float]] = {}
+    scratch = Path(tempfile.mkdtemp(prefix="repro-cluster-bench-"))
+    try:
+        for label, partitioner in (
+            ("time-range routed", "time-range"),
+            ("hash broadcast", "hash"),
+        ):
+            with TemporalCluster.create(
+                scratch / partitioner,
+                collection,
+                index_key=method,
+                index_params=params,
+                partitioner=partitioner,
+                n_shards=N_SHARDS,
+                wal_fsync=False,
+                cache_size=0,
+            ) as cluster:
+                got = cluster.run_batch(queries, workers=1)
+                if got != expected:
+                    raise AssertionError(
+                        f"{label}: cluster answers diverge from the "
+                        f"single-index baseline"
+                    )
+                rows[label] = _measure(cluster, queries, workers)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    table = SeriesTable(
+        f"Scatter-gather [{method}, {len(collection)} objects, "
+        f"{N_SHARDS} shards, {n_queries} queries, {workers} workers]",
+        "configuration",
+        ["q/s", "shards/query"],
+    )
+    for label, row in rows.items():
+        table.add_point(label, [row["qps"], row["mean_shards_visited"]])
+    table.print()
+    summarize_shape(
+        "Cluster",
+        [
+            "both clusters answer identically to the single index (validated)",
+            "the router visits fewer shards per query than the broadcast",
+            "smaller fan-out buys throughput at an equal worker budget",
+        ],
+    )
+    return {
+        "method": method,
+        "objects": len(collection),
+        "n_shards": N_SHARDS,
+        "n_queries": n_queries,
+        "workers": workers,
+        "configurations": rows,
+    }
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "cluster scatter-gather throughput")

@@ -12,6 +12,8 @@ Commands
 ``bench``     run one of the paper's experiments (or ``all``)
 ``serve``     run a crash-safe durable store, commands on stdin
 ``recover``   replay a store directory's snapshots + WAL; print a report
+``cluster``   shard-cluster operations: build / serve / query /
+              rebalance / status (see ``docs/cluster.md``)
 
 Examples
 --------
@@ -26,6 +28,9 @@ Examples
     python -m repro query /tmp/ec.bin --index irhint-perf \
         --batch-file /tmp/workload.jsonl --strategy process --cache-size 1024
     python -m repro serve /tmp/store --metrics-file /tmp/store.prom
+    python -m repro cluster build /tmp/cluster --data /tmp/ec.bin --shards 4
+    python -m repro cluster query /tmp/cluster --start 100000 --end 500000
+    python -m repro cluster rebalance /tmp/cluster --dry-run
     python -m repro bench fig8 --scale tiny
 """
 
@@ -50,7 +55,8 @@ from repro.utils.timing import timed
 
 _EXPERIMENTS = [
     "table3", "fig7", "fig8", "fig9", "fig10",
-    "table5", "fig11", "fig12", "table6", "table7", "throughput", "all",
+    "table5", "fig11", "fig12", "table6", "table7", "throughput",
+    "cluster", "all",
 ]
 
 
@@ -350,6 +356,223 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_build(args: argparse.Namespace) -> int:
+    from repro.cluster import TemporalCluster
+
+    collection = load(args.data)
+    params = tuned(args.index) if args.tuned else {}
+    with timed() as watch:
+        cluster = TemporalCluster.create(
+            args.directory,
+            collection,
+            index_key=args.index,
+            index_params=params,
+            partitioner=args.partitioner,
+            n_shards=args.shards,
+            n_replicas=args.replicas,
+            wal_fsync=not args.no_fsync,
+        )
+    with cluster:
+        print(
+            f"built {args.shards}-shard {args.partitioner} cluster "
+            f"({args.replicas} replicas) over {len(collection)} objects "
+            f"in {watch.elapsed:.3f}s"
+        )
+        for line in cluster.status_lines():
+            print(line)
+    return 0
+
+
+def _cmd_cluster_query(args: argparse.Namespace) -> int:
+    from repro.cluster import TemporalCluster
+
+    with TemporalCluster.open(
+        args.directory, wal_fsync=not args.no_fsync
+    ) as cluster:
+        if args.batch_file:
+            from repro.queries.io import load_queries
+
+            queries = load_queries(args.batch_file)
+            if not queries:
+                print(f"error: {args.batch_file} holds no queries", file=sys.stderr)
+                return 2
+            with timed() as watch:
+                results = cluster.run_batch(
+                    queries, strategy=args.strategy, workers=args.workers
+                )
+            total = sum(len(r) for r in results)
+            print(
+                f"{len(queries)} queries via {args.strategy} in "
+                f"{watch.elapsed * 1000:.2f} ms; {total} result ids"
+            )
+            limit = args.limit if args.limit > 0 else len(results)
+            for q, result in list(zip(queries, results))[:limit]:
+                elements = ",".join(sorted(str(e) for e in q.d))
+                print(f"  [{q.st}, {q.end}] {{{elements}}}: {len(result)} ids")
+            return 0
+        q = _make_query_from_args(args)
+        planned = cluster.router.plan(q)
+        with timed() as watch:
+            result = cluster.query(q)
+        print(
+            f"{len(result)} results in {watch.elapsed * 1000:.2f} ms "
+            f"({len(planned)}/{len(cluster.table.shards)} shards: "
+            f"{', '.join(planned)})"
+        )
+        limit = args.limit if args.limit > 0 else len(result)
+        print(result[:limit])
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.cluster import TemporalCluster
+
+    with TemporalCluster.open(args.directory, wal_fsync=True) as cluster:
+        for line in cluster.status_lines():
+            print(line)
+    return 0
+
+
+def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
+    from repro.cluster import TemporalCluster
+
+    thresholds = {
+        "split_factor": args.split_factor,
+        "merge_factor": args.merge_factor,
+        "min_split_objects": args.min_split_objects,
+    }
+    with TemporalCluster.open(
+        args.directory, wal_fsync=not args.no_fsync
+    ) as cluster:
+        if args.dry_run:
+            plan = cluster.plan_rebalance(**thresholds)
+            print(f"plan: {plan.kind} ({plan.reason})")
+            if not plan.is_noop:
+                print(f"  shards: {', '.join(plan.shard_ids)}")
+                if plan.boundary is not None:
+                    print(f"  boundary: {plan.boundary}")
+            return 0
+        plan = cluster.rebalance(**thresholds)
+        if plan.is_noop:
+            print(f"nothing to do: {plan.reason}")
+        else:
+            print(
+                f"applied {plan.kind} of {', '.join(plan.shard_ids)} "
+                f"→ generation {cluster.table.generation} "
+                f"({len(cluster.table.shards)} shards)"
+            )
+            print(f"  reason: {plan.reason}")
+    return 0
+
+
+def _cluster_serve_line(cluster, line: str) -> Optional[str]:
+    """Execute one cluster-serve command; the reply text (None = quit)."""
+    from repro.core.model import make_object
+
+    parts = line.split()
+    if not parts:
+        return ""
+    cmd, rest = parts[0].lower(), parts[1:]
+    if cmd in ("quit", "exit"):
+        return None
+    if cmd == "insert":
+        if len(rest) < 3:
+            return "error: usage: insert <id> <start> <end> [e1,e2,...]"
+        elements = [e for e in (rest[3] if len(rest) > 3 else "").split(",") if e]
+        cluster.insert(
+            make_object(
+                int(rest[0]), _parse_number(rest[1]), _parse_number(rest[2]), elements
+            )
+        )
+        return f"ok: inserted {rest[0]}"
+    if cmd == "delete":
+        if len(rest) != 1:
+            return "error: usage: delete <id>"
+        cluster.delete(int(rest[0]))
+        return f"ok: deleted {rest[0]}"
+    if cmd == "query":
+        if len(rest) < 2:
+            return "error: usage: query <start> <end> [e1,e2,...]"
+        elements = [e for e in (rest[2] if len(rest) > 2 else "").split(",") if e]
+        q = make_query(_parse_number(rest[0]), _parse_number(rest[1]), set(elements))
+        planned = cluster.router.plan(q)
+        result = cluster.query(q)
+        return f"{len(result)} results from {len(planned)} shards: {result}"
+    if cmd == "rebalance":
+        plan = cluster.rebalance()
+        if plan.is_noop:
+            return f"ok: no-op ({plan.reason})"
+        return (
+            f"ok: {plan.kind} → generation {cluster.table.generation} "
+            f"({len(cluster.table.shards)} shards)"
+        )
+    if cmd == "status":
+        return "\n".join(cluster.status_lines())
+    if cmd == "metrics":
+        from repro.obs.exposition import render_prometheus
+        from repro.obs.registry import OBS
+
+        if not OBS.registry.enabled:
+            return "error: metrics are disabled (serve with --metrics-file)"
+        return render_prometheus(OBS.registry).rstrip("\n")
+    return (
+        f"error: unknown command {cmd!r} "
+        "(insert/delete/query/rebalance/status/metrics/quit)"
+    )
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    from repro.cluster import TemporalCluster
+    from repro.core.errors import ReproError
+    from repro.obs.exposition import render_prometheus
+    from repro.obs.instruments import register_catalog
+    from repro.obs.registry import OBS, MetricsRegistry, set_registry
+
+    metrics_file = args.metrics_file
+    previous_registry = None
+    if metrics_file:
+        previous_registry = set_registry(
+            register_catalog(MetricsRegistry(enabled=True))
+        )
+
+    def export_metrics() -> None:
+        if metrics_file:
+            Path(metrics_file).write_text(
+                render_prometheus(OBS.registry), encoding="utf-8"
+            )
+
+    try:
+        with TemporalCluster.open(
+            args.directory, wal_fsync=not args.no_fsync
+        ) as cluster:
+            for line in cluster.status_lines():
+                print(f"# {line}")
+            export_metrics()
+            print(
+                "# serving; commands: "
+                "insert/delete/query/rebalance/status/metrics/quit"
+            )
+            for line in sys.stdin:
+                try:
+                    reply = _cluster_serve_line(cluster, line)
+                except ReproError as exc:
+                    reply = f"error: {exc}"
+                except ValueError as exc:
+                    reply = f"error: {exc}"
+                if reply is None:
+                    break
+                if reply:
+                    print(reply, flush=True)
+                command = line.split()[:1]
+                if command and command[0].lower() in ("rebalance", "status", "metrics"):
+                    export_metrics()
+        export_metrics()
+    finally:
+        if previous_registry is not None:
+            set_registry(previous_registry)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import importlib
 
@@ -476,6 +699,76 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a fresh snapshot of the recovered state",
     )
     p.set_defaults(func=_cmd_recover)
+
+    p = sub.add_parser(
+        "cluster", help="shard-cluster operations (build/serve/query/rebalance/status)"
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def add_cluster_dir(cp: argparse.ArgumentParser) -> None:
+        cp.add_argument("directory", help="cluster directory")
+        cp.add_argument(
+            "--no-fsync", action="store_true",
+            help="skip per-record WAL fsync in the shard stores",
+        )
+
+    cp = cluster_sub.add_parser("build", help="partition a collection into shards")
+    add_cluster_dir(cp)
+    cp.add_argument("--data", required=True, help="collection file to partition")
+    cp.add_argument("--index", choices=available_indexes(), default="irhint-perf")
+    cp.add_argument(
+        "--tuned",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="apply the paper's tuned parameters (default: yes)",
+    )
+    cp.add_argument(
+        "--partitioner", choices=["time-range", "hash"], default="time-range"
+    )
+    cp.add_argument("--shards", type=int, default=4, help="number of shards")
+    cp.add_argument("--replicas", type=int, default=1, help="replicas per shard")
+    cp.set_defaults(func=_cmd_cluster_build)
+
+    cp = cluster_sub.add_parser("query", help="scatter-gather a query (or a batch)")
+    add_cluster_dir(cp)
+    cp.add_argument("--start", help="query interval start")
+    cp.add_argument("--end", help="query interval end")
+    cp.add_argument("--elements", default="", help="comma-separated q.d")
+    cp.add_argument("--limit", type=int, default=20, help="ids to print (0 = all)")
+    cp.add_argument(
+        "--batch-file", help="JSONL query workload to run as one batch"
+    )
+    cp.add_argument(
+        "--strategy", choices=_exec_strategies(), default="serial",
+        help="within-shard batch strategy (default: serial)",
+    )
+    cp.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the scatter/batch fan-out",
+    )
+    cp.set_defaults(func=_cmd_cluster_query)
+
+    cp = cluster_sub.add_parser("serve", help="serve a cluster, commands on stdin")
+    add_cluster_dir(cp)
+    cp.add_argument(
+        "--metrics-file",
+        help="enable metrics and export Prometheus text to this file",
+    )
+    cp.set_defaults(func=_cmd_cluster_serve)
+
+    cp = cluster_sub.add_parser(
+        "rebalance", help="split a hot shard or merge cold neighbours"
+    )
+    add_cluster_dir(cp)
+    cp.add_argument("--dry-run", action="store_true", help="plan only, do not apply")
+    cp.add_argument("--split-factor", type=float, default=2.0)
+    cp.add_argument("--merge-factor", type=float, default=0.5)
+    cp.add_argument("--min-split-objects", type=int, default=16)
+    cp.set_defaults(func=_cmd_cluster_rebalance)
+
+    cp = cluster_sub.add_parser("status", help="print routing table and shard health")
+    add_cluster_dir(cp)
+    cp.set_defaults(func=_cmd_cluster_status)
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment", choices=_EXPERIMENTS)

@@ -1,0 +1,45 @@
+"""Time-partitioned shard clusters: partitioning, routing, rebalancing.
+
+The :class:`TemporalCluster` façade is the entry point::
+
+    from repro.cluster import TemporalCluster
+
+    cluster = TemporalCluster.create(path, collection, n_shards=4)
+    ids = cluster.query(q)
+    cluster.rebalance()
+
+See ``docs/cluster.md`` for the architecture and the crash-consistency
+protocol behind routing-generation swaps.
+"""
+
+from repro.cluster.cluster import DEFAULT_CACHE_SIZE, TemporalCluster
+from repro.cluster.group import ReplicaSet, ShardGroup
+from repro.cluster.partitioners import (
+    HashPartitioner,
+    PARTITIONERS,
+    TimeRangePartitioner,
+    make_partitioner,
+)
+from repro.cluster.rebalance import RebalancePlan, next_table, plan_rebalance
+from repro.cluster.router import ClusterRouter, merge_shard_results
+from repro.cluster.routing import HASH, TIME_RANGE, RoutingTable, ShardSpec
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "HASH",
+    "HashPartitioner",
+    "PARTITIONERS",
+    "RebalancePlan",
+    "ReplicaSet",
+    "RoutingTable",
+    "ShardGroup",
+    "ShardSpec",
+    "TIME_RANGE",
+    "TemporalCluster",
+    "TimeRangePartitioner",
+    "ClusterRouter",
+    "make_partitioner",
+    "merge_shard_results",
+    "next_table",
+    "plan_rebalance",
+]

@@ -1,0 +1,388 @@
+"""The cluster façade: a durable, rebalancing group of index shards.
+
+:class:`TemporalCluster` composes the pieces of this package — a
+versioned :class:`~repro.cluster.routing.RoutingTable`, a
+:class:`~repro.cluster.group.ShardGroup` of durable replicas, and the
+:class:`~repro.cluster.router.ClusterRouter` — behind the same
+query/insert/delete surface a single index exposes, plus
+:meth:`rebalance`.
+
+Generation swaps are wait-free for readers: :meth:`query` grabs the
+current router once (one attribute read) and a query caught mid-swap on
+a just-closed store fails over and retries against the fresh router, so
+rebalancing never drops queries.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.collection import Collection
+from repro.core.errors import ClusterError, ReproError
+from repro.core.model import TemporalObject, TimeTravelQuery
+from repro.cluster import layout
+from repro.cluster.group import ReplicaSet, ShardGroup
+from repro.cluster.partitioners import make_partitioner
+from repro.cluster.rebalance import (
+    RebalancePlan,
+    next_table,
+    plan_rebalance,
+)
+from repro.cluster.router import ClusterRouter
+from repro.cluster.routing import TIME_RANGE, RoutingTable
+from repro.obs.registry import OBS
+from repro.service.fsio import REAL_FS, FileSystem
+from repro.service.store import DurableIndexStore
+
+PathLike = Union[str, Path]
+
+#: Default per-shard result-cache capacity.
+DEFAULT_CACHE_SIZE = 256
+
+
+class TemporalCluster:
+    """Time-partitioned shard groups with scatter-gather serving.
+
+    Use :meth:`create` to lay a new cluster down on disk or :meth:`open`
+    to recover an existing one; both return a serving cluster.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        router: ClusterRouter,
+        *,
+        index_key: str,
+        index_params: Dict[str, object],
+        cache_size: int,
+        wal_fsync: bool,
+        fs: FileSystem,
+    ) -> None:
+        self._directory = Path(directory)
+        self._router = router
+        self._index_key = index_key
+        self._index_params = index_params
+        self._cache_size = cache_size
+        self._wal_fsync = wal_fsync
+        self._fs = fs
+        self._swap_lock = threading.Lock()
+        self._closed = False
+        self._set_gauges()
+
+    # --------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(
+        cls,
+        directory: PathLike,
+        collection: Collection,
+        *,
+        index_key: str = "irhint-perf",
+        index_params: Optional[Dict[str, object]] = None,
+        partitioner: str = TIME_RANGE,
+        n_shards: int = 4,
+        n_replicas: int = 1,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        wal_fsync: bool = True,
+        fs: FileSystem = REAL_FS,
+    ) -> "TemporalCluster":
+        """Partition ``collection``, build every shard, commit generation 1."""
+        directory = Path(directory)
+        if layout.is_cluster_dir(directory):
+            raise ClusterError(f"{directory}: already a cluster directory")
+        directory.mkdir(parents=True, exist_ok=True)
+        params = dict(index_params or {})
+        table = make_partitioner(partitioner, n_shards, n_replicas).table(
+            collection, generation=1
+        )
+        _build_shards(
+            directory,
+            table,
+            table.shard_ids(),
+            collection.objects(),
+            index_key=index_key,
+            index_params=params,
+            wal_fsync=wal_fsync,
+            fs=fs,
+        )
+        layout.write_routing_table(directory, table, fs=fs)
+        layout.write_manifest(
+            directory, table.generation, index_key=index_key,
+            index_params=params, fs=fs,
+        )
+        return cls.open(
+            directory, cache_size=cache_size, wal_fsync=wal_fsync, fs=fs
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: PathLike,
+        *,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        wal_fsync: bool = True,
+        fs: FileSystem = REAL_FS,
+    ) -> "TemporalCluster":
+        """Recover the committed generation; sweep mid-rebalance leftovers."""
+        directory = Path(directory)
+        manifest = layout.read_manifest(directory)
+        table = layout.read_routing_table(directory, int(manifest["generation"]))  # type: ignore[arg-type]
+        layout.prune_orphans(directory, table)
+        index_key = str(manifest["index_key"])
+        index_params = dict(manifest.get("index_params") or {})  # type: ignore[arg-type]
+        group = ShardGroup.open(
+            directory,
+            table,
+            index_key=index_key,
+            index_params=index_params,
+            cache_size=cache_size,
+            wal_fsync=wal_fsync,
+            fs=fs,
+        )
+        return cls(
+            directory,
+            ClusterRouter(table, group),
+            index_key=index_key,
+            index_params=index_params,
+            cache_size=cache_size,
+            wal_fsync=wal_fsync,
+            fs=fs,
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self._router.group.close()
+            self._closed = True
+
+    def __enter__(self) -> "TemporalCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- serving
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def router(self) -> ClusterRouter:
+        """The current-generation router (atomic snapshot read)."""
+        return self._router
+
+    @property
+    def table(self) -> RoutingTable:
+        return self._router.table
+
+    @property
+    def group(self) -> ShardGroup:
+        return self._router.group
+
+    def query(self, q: TimeTravelQuery) -> List[int]:
+        """Scatter-gather one query; retries once across a generation swap."""
+        router = self._router
+        try:
+            return router.query(q)
+        except ReproError:
+            fresh = self._router
+            if fresh is router:
+                raise
+            return fresh.query(q)
+
+    def run_batch(
+        self,
+        queries: Sequence[TimeTravelQuery],
+        *,
+        strategy: str = "serial",
+        workers: Optional[int] = None,
+    ) -> List[List[int]]:
+        return self._router.run_batch(queries, strategy=strategy, workers=workers)
+
+    def insert(self, obj: TemporalObject) -> None:
+        self._router.insert(obj)
+
+    def delete(self, obj: Union[TemporalObject, int]) -> None:
+        self._router.delete(obj)
+
+    def __len__(self) -> int:
+        return len(self._router)
+
+    # -------------------------------------------------------------- rebalancing
+    def plan_rebalance(self, **thresholds: float) -> RebalancePlan:
+        """Inspect the current generation; propose (don't apply) one action."""
+        return plan_rebalance(self.table, self.group, **thresholds)
+
+    def rebalance(self, plan: Optional[RebalancePlan] = None, **thresholds: float) -> RebalancePlan:
+        """Apply ``plan`` (or plan one now); swap in the next generation.
+
+        Protocol — every step before the manifest write is invisible to a
+        crash-recovering :meth:`open`:
+
+        1. build + checkpoint the shards the plan creates (new dirs);
+        2. durably write ``routing-<gen+1>.json``;
+        3. **commit**: atomically replace ``cluster.json``;
+        4. swap the in-process router (readers retry across the swap);
+        5. close and remove the replaced shards' directories.
+        """
+        with self._swap_lock:
+            old_table, old_group = self._router.table, self._router.group
+            if plan is None:
+                plan = plan_rebalance(old_table, old_group, **thresholds)
+            if plan.is_noop:
+                return plan
+            new_table = next_table(old_table, plan)
+            survivors = {
+                spec.shard_id: old_group.replica_sets[spec.shard_id]
+                for spec in new_table.shards
+                if spec.shard_id in old_group.replica_sets
+            }
+            created = [
+                spec.shard_id
+                for spec in new_table.shards
+                if spec.shard_id not in survivors
+            ]
+            replaced = [
+                shard_id
+                for shard_id in old_table.shard_ids()
+                if shard_id not in survivors
+            ]
+            objects = _collect_objects(old_group, replaced)
+            new_sets = _build_shards(
+                self._directory,
+                new_table,
+                created,
+                objects,
+                index_key=self._index_key,
+                index_params=self._index_params,
+                wal_fsync=self._wal_fsync,
+                fs=self._fs,
+                cache_size=self._cache_size,
+            )
+            layout.write_routing_table(self._directory, new_table, fs=self._fs)
+            # The commit point: after this replace, open() recovers the new
+            # generation; before it, the old one.
+            layout.write_manifest(
+                self._directory,
+                new_table.generation,
+                index_key=self._index_key,
+                index_params=self._index_params,
+                fs=self._fs,
+            )
+            new_group = ShardGroup(
+                self._directory,
+                new_table,
+                {**survivors, **new_sets},
+                index_key=self._index_key,
+                index_params=self._index_params,
+                cache_size=self._cache_size,
+                wal_fsync=self._wal_fsync,
+                fs=self._fs,
+            )
+            self._router = ClusterRouter(new_table, new_group)
+            for shard_id in replaced:
+                old_group.replica_sets[shard_id].close()
+                shard_path = layout.shard_dir(self._directory, shard_id)
+                if shard_path.exists():
+                    shutil.rmtree(shard_path)
+            self._count_rebalance(plan)
+            self._set_gauges()
+            return plan
+
+    # ----------------------------------------------------------------- metrics
+    def _count_rebalance(self, plan: RebalancePlan) -> None:
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import cluster_instruments
+
+            cluster_instruments(registry).rebalances.labels(plan.kind).inc()
+
+    def _set_gauges(self) -> None:
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import cluster_instruments
+
+            instruments = cluster_instruments(registry)
+            instruments.routing_generation.set(self.table.generation)
+            instruments.shards.set(len(self.table.shards))
+
+    # -------------------------------------------------------------- inspection
+    def stats(self) -> Dict[str, object]:
+        """Cluster-level diagnostics plus one entry per shard."""
+        return {
+            "directory": str(self._directory),
+            "generation": self.table.generation,
+            "kind": self.table.kind,
+            "shards": len(self.table.shards),
+            "replicas_per_shard": self.table.n_replicas,
+            "objects": len(self),
+            "index_key": self._index_key,
+            "shard_stats": self.group.stats(),
+        }
+
+    def status_lines(self) -> List[str]:
+        """Human-readable ``cluster status`` output."""
+        out = [f"cluster at {self._directory} ({self._index_key})"]
+        out.extend(self.table.describe())
+        for stats in self.group.stats():
+            out.append(
+                f"  {stats['shard_id']}: {stats['objects']} objects, "
+                f"{stats['live_replicas']}/{stats['replicas']} replicas live"
+            )
+        return out
+
+
+def _collect_objects(
+    group: ShardGroup, shard_ids: List[str]
+) -> List[TemporalObject]:
+    """Distinct live objects held by ``shard_ids`` (boundary dedup)."""
+    seen: Dict[int, TemporalObject] = {}
+    for shard_id in shard_ids:
+        for obj in group.replica_set(shard_id).primary_index().objects():
+            seen[obj.id] = obj
+    return [seen[object_id] for object_id in sorted(seen)]
+
+
+def _build_shards(
+    directory: Path,
+    table: RoutingTable,
+    shard_ids: List[str],
+    objects: Sequence[TemporalObject],
+    *,
+    index_key: str,
+    index_params: Dict[str, object],
+    wal_fsync: bool,
+    fs: FileSystem,
+    cache_size: int = 0,
+) -> Dict[str, ReplicaSet]:
+    """Build + checkpoint replicas for ``shard_ids``; returns open sets.
+
+    Each shard receives the subset of ``objects`` its spec claims; every
+    replica is bootstrapped independently (own WAL/snapshot directory) so
+    it is crash-consistent from birth.
+    """
+    sets: Dict[str, ReplicaSet] = {}
+    for shard_id in shard_ids:
+        spec = table.spec(shard_id)
+        members = Collection(
+            obj for obj in objects if spec.overlaps(obj.st, obj.end)
+        ) if table.kind == TIME_RANGE else Collection(
+            obj for obj in objects if obj.id % len(table.shards) == spec.bucket
+        )
+        stores = []
+        for replica in range(table.n_replicas):
+            replica_path = layout.replica_dir(directory, shard_id, replica)
+            replica_path.mkdir(parents=True, exist_ok=True)
+            store = DurableIndexStore.open(
+                replica_path,
+                index_key=index_key,
+                index_params=index_params,
+                wal_fsync=wal_fsync,
+                fs=fs,
+            )
+            if len(members):
+                store.bootstrap(members, index_key, **index_params)
+            stores.append(store)
+        sets[shard_id] = ReplicaSet(shard_id, stores, cache_size=cache_size)
+    return sets

@@ -1,0 +1,215 @@
+"""The cluster router: plan → scatter → gather → merge/dedup.
+
+Reads
+-----
+A query interval is planned against the :class:`RoutingTable`: only the
+shards it overlaps are visited (``time-range``), or all of them
+(``hash``).  Sub-queries scatter to the planned shards — per shard with
+replica failover for single queries, or through the existing
+:mod:`repro.exec.strategies` fan-out for batches — and the sorted
+per-shard id lists are merged with de-duplication, because an object
+whose lifespan straddles a shard boundary is stored (and found) in more
+than one shard but must be returned exactly once.
+
+Writes
+------
+An insert lands on every shard whose range the object's lifespan
+overlaps (exactly one for ``hash``); a delete is routed to the shards
+that actually hold the id.  Only those shards' result caches are
+invalidated — untouched shards keep serving their cached answers, which
+is the point of partitioning the cache along with the data.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import DuplicateObjectError, UnknownObjectError
+from repro.core.model import TemporalObject, TimeTravelQuery
+from repro.cluster.group import ShardGroup
+from repro.cluster.routing import RoutingTable
+from repro.exec.strategies import default_workers, strategy_fn
+from repro.obs.registry import OBS
+
+
+def merge_shard_results(results: Sequence[List[int]]) -> Tuple[List[int], int]:
+    """Union the sorted per-shard id lists; returns (merged, duplicates).
+
+    ``duplicates`` counts ids seen in more than one shard — boundary
+    straddlers the caller reports to the cross-shard duplicate metric.
+    """
+    if len(results) == 1:
+        return list(results[0]), 0
+    seen: set = set()
+    duplicates = 0
+    for shard_ids in results:
+        for object_id in shard_ids:
+            if object_id in seen:
+                duplicates += 1
+            else:
+                seen.add(object_id)
+    return sorted(seen), duplicates
+
+
+class ClusterRouter:
+    """Routes queries and mutations for one routing-table generation."""
+
+    def __init__(self, table: RoutingTable, group: ShardGroup) -> None:
+        self.table = table
+        self.group = group
+
+    # ------------------------------------------------------------------- plans
+    def plan(self, q: TimeTravelQuery) -> List[str]:
+        """The shard ids this query must visit."""
+        return [spec.shard_id for spec in self.table.shards_for_query(q)]
+
+    # ------------------------------------------------------------------- reads
+    def query(self, q: TimeTravelQuery) -> List[int]:
+        """Scatter one query to its planned shards; gather, merge, dedup."""
+        planned = self.plan(q)
+        results = [
+            self.group.replica_set(shard_id).query(q) for shard_id in planned
+        ]
+        merged, duplicates = merge_shard_results(results)
+        self._count_query(planned, duplicates)
+        return merged
+
+    def run_batch(
+        self,
+        queries: Sequence[TimeTravelQuery],
+        *,
+        strategy: str = "serial",
+        workers: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Scatter-gather a whole batch; results in submission order.
+
+        The batch is scattered into one sub-batch per shard (each query
+        appears in every shard it overlaps).  Sub-batches run through the
+        chosen :mod:`repro.exec.strategies` fan-out against the shard's
+        primary replica, shards themselves running on a thread pool —
+        two-level parallelism whose total width is still bounded by
+        :func:`~repro.exec.strategies.default_workers` (and therefore by
+        ``REPRO_MAX_WORKERS``).
+        """
+        run = strategy_fn(strategy)  # validate before any work
+        workers = workers if workers is not None else default_workers()
+        sub_batches: Dict[str, List[int]] = {}  # shard → positions
+        plans: List[List[str]] = []
+        for position, q in enumerate(queries):
+            planned = self.plan(q)
+            plans.append(planned)
+            for shard_id in planned:
+                sub_batches.setdefault(shard_id, []).append(position)
+
+        shard_answers: Dict[str, Dict[int, List[int]]] = {}
+
+        def run_shard(item: Tuple[str, List[int]]) -> Tuple[str, Dict[int, List[int]]]:
+            shard_id, positions = item
+            replica_set = self.group.replica_set(shard_id)
+            cache = replica_set.cache
+            answers: Dict[int, List[int]] = {}
+            misses: List[int] = []
+            for position in positions:
+                hit = cache.get(queries[position]) if cache is not None else None
+                if hit is not None:
+                    answers[position] = hit
+                else:
+                    misses.append(position)
+            if misses:
+                try:
+                    results = run(
+                        replica_set.primary_index(),
+                        [queries[p] for p in misses],
+                        workers=workers,
+                    )
+                except Exception:
+                    # Primary died mid-batch: fall back to the failover
+                    # read path, one query at a time.
+                    results = [replica_set.query(queries[p]) for p in misses]
+                for position, result in zip(misses, results):
+                    answers[position] = result
+                    if cache is not None:
+                        cache.put(queries[position], result)
+            return shard_id, answers
+
+        items = list(sub_batches.items())
+        if len(items) > 1 and workers > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(items))
+            ) as pool:
+                for shard_id, answers in pool.map(run_shard, items):
+                    shard_answers[shard_id] = answers
+        else:
+            for item in items:
+                shard_id, answers = run_shard(item)
+                shard_answers[shard_id] = answers
+
+        out: List[List[int]] = []
+        for position, planned in enumerate(plans):
+            results = [shard_answers[shard_id][position] for shard_id in planned]
+            merged, duplicates = merge_shard_results(results) if results else ([], 0)
+            self._count_query(planned, duplicates)
+            out.append(merged)
+        return out
+
+    # ------------------------------------------------------------------ writes
+    def insert(self, obj: TemporalObject) -> None:
+        """Insert into every owning shard (one per boundary-free object)."""
+        if self._holding_shards(obj.id):
+            raise DuplicateObjectError(f"object id {obj.id} already indexed")
+        owners = self.table.shards_for_object(obj)
+        for spec in owners:
+            self.group.replica_set(spec.shard_id).insert(obj)
+        self._count_mutation("insert", len(owners))
+
+    def delete(self, obj: Union[TemporalObject, int]) -> None:
+        """Delete from the shards that actually hold the id."""
+        object_id = obj if isinstance(obj, int) else obj.id
+        holders = self._holding_shards(object_id)
+        if not holders:
+            raise UnknownObjectError(object_id)
+        for shard_id in holders:
+            self.group.replica_set(shard_id).delete(object_id)
+        self._count_mutation("delete", len(holders))
+
+    def _holding_shards(self, object_id: int) -> List[str]:
+        """Shards whose primary catalog contains ``object_id`` (dict probes)."""
+        return [
+            shard_id
+            for shard_id in self.table.shard_ids()
+            if object_id in self.group.replica_set(shard_id).primary_index()
+        ]
+
+    # ----------------------------------------------------------------- metrics
+    def _count_query(self, planned: List[str], duplicates: int) -> None:
+        registry = OBS.registry
+        if not registry.enabled:
+            return
+        from repro.obs.instruments import cluster_instruments
+
+        instruments = cluster_instruments(registry)
+        instruments.queries.inc()
+        instruments.shards_visited.observe(len(planned))
+        for shard_id in planned:
+            instruments.shard_queries.labels(shard_id).inc()
+        if duplicates:
+            instruments.cross_shard_duplicates.inc(duplicates)
+
+    def _count_mutation(self, kind: str, shards: int) -> None:
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import cluster_instruments
+
+            instruments = cluster_instruments(registry)
+            instruments.mutations.labels(kind).inc()
+            instruments.mutation_shards.observe(shards)
+
+    # -------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        """Distinct live objects across the cluster."""
+        ids: set = set()
+        for shard_id in self.table.shard_ids():
+            replica_set = self.group.replica_set(shard_id)
+            ids.update(obj.id for obj in replica_set.primary_index().objects())
+        return len(ids)

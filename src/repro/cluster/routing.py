@@ -1,0 +1,216 @@
+"""Routing tables: which shard serves which slice of the time domain.
+
+A :class:`RoutingTable` is an explicit, versioned value object — the
+whole cluster's data placement in one JSON-serialisable record.  Queries
+and mutations never consult anything else, so swapping in a new
+*generation* (a rebalance) is one atomic pointer update.
+
+Placement semantics:
+
+* ``time-range`` — every shard owns a half-open start-time range
+  ``[lo, hi)`` over the *whole object lifespan*: an object lives in every
+  shard whose range its ``[st, end]`` interval overlaps (objects that
+  straddle a boundary are stored twice and de-duplicated at read time);
+  a query visits exactly the shards its interval overlaps.  HINT-style
+  domain partitioning lifted to the shard level.
+* ``hash`` — objects hash to exactly one shard by id (no duplicates);
+  every query is a broadcast.  The fallback for id-centric workloads and
+  the baseline the scatter-gather bench routes against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ClusterError
+from repro.core.interval import Timestamp
+from repro.core.model import TemporalObject, TimeTravelQuery
+
+#: Routing-table file format version.
+ROUTING_VERSION = 1
+
+TIME_RANGE = "time-range"
+HASH = "hash"
+KINDS = (TIME_RANGE, HASH)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity and ownership claim.
+
+    ``lo``/``hi`` bound the owned start-time range for ``time-range``
+    tables (``None`` = unbounded on that side; ``hi`` exclusive);
+    ``bucket`` is the hash bucket for ``hash`` tables.
+    """
+
+    shard_id: str
+    lo: Optional[Timestamp] = None
+    hi: Optional[Timestamp] = None
+    bucket: Optional[int] = None
+
+    def overlaps(self, st: Timestamp, end: Timestamp) -> bool:
+        """Does ``[st, end]`` overlap this shard's ``[lo, hi)`` range?"""
+        if self.lo is not None and end < self.lo:
+            return False
+        if self.hi is not None and st >= self.hi:
+            return False
+        return True
+
+    def to_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"shard_id": self.shard_id}
+        for field in ("lo", "hi", "bucket"):
+            value = getattr(self, field)
+            if value is not None:
+                out[field] = value
+        return out
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ShardSpec":
+        return cls(
+            shard_id=str(data["shard_id"]),
+            lo=data.get("lo"),  # type: ignore[arg-type]
+            hi=data.get("hi"),  # type: ignore[arg-type]
+            bucket=data.get("bucket"),  # type: ignore[arg-type]
+        )
+
+
+class RoutingTable:
+    """An immutable, versioned shard map (one *generation* of placement)."""
+
+    def __init__(
+        self,
+        generation: int,
+        kind: str,
+        shards: Sequence[ShardSpec],
+        n_replicas: int = 1,
+    ) -> None:
+        if kind not in KINDS:
+            raise ClusterError(f"unknown routing kind {kind!r} (expected {KINDS})")
+        if generation < 1:
+            raise ClusterError(f"routing generation must be >= 1, got {generation}")
+        if not shards:
+            raise ClusterError("a routing table needs at least one shard")
+        if n_replicas < 1:
+            raise ClusterError(f"n_replicas must be >= 1, got {n_replicas}")
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"duplicate shard ids in routing table: {ids}")
+        self.generation = generation
+        self.kind = kind
+        self.shards: Tuple[ShardSpec, ...] = tuple(shards)
+        self.n_replicas = n_replicas
+        if kind == TIME_RANGE:
+            self._validate_ranges()
+
+    def _validate_ranges(self) -> None:
+        """Time-range shards must tile the line: contiguous, no overlap."""
+        ordered = sorted(
+            self.shards, key=lambda s: (s.lo is not None, s.lo)
+        )
+        if ordered[0].lo is not None or ordered[-1].hi is not None:
+            raise ClusterError("time-range shards must cover (-inf, +inf)")
+        for left, right in zip(ordered, ordered[1:]):
+            if left.hi != right.lo:
+                raise ClusterError(
+                    f"time-range shards must tile: {left.shard_id} ends at "
+                    f"{left.hi!r} but {right.shard_id} starts at {right.lo!r}"
+                )
+
+    # ------------------------------------------------------------------ routing
+    def shards_for_interval(self, st: Timestamp, end: Timestamp) -> List[ShardSpec]:
+        """Every shard a query over ``[st, end]`` must visit."""
+        if self.kind == HASH:
+            return list(self.shards)
+        return [s for s in self.shards if s.overlaps(st, end)]
+
+    def shards_for_query(self, q: TimeTravelQuery) -> List[ShardSpec]:
+        return self.shards_for_interval(q.st, q.end)
+
+    def shards_for_object(self, obj: TemporalObject) -> List[ShardSpec]:
+        """Every shard that stores ``obj`` (≥ 2 across range boundaries)."""
+        if self.kind == HASH:
+            return [self.shards[obj.id % len(self.shards)]]
+        owners = [s for s in self.shards if s.overlaps(obj.st, obj.end)]
+        if not owners:
+            raise ClusterError(
+                f"object {obj.id} [{obj.st}, {obj.end}] maps to no shard"
+            )
+        return owners
+
+    def shard_ids(self) -> List[str]:
+        return [s.shard_id for s in self.shards]
+
+    def spec(self, shard_id: str) -> ShardSpec:
+        for s in self.shards:
+            if s.shard_id == shard_id:
+                return s
+        raise ClusterError(f"unknown shard id {shard_id!r}")
+
+    # -------------------------------------------------------------- persistence
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": ROUTING_VERSION,
+                "generation": self.generation,
+                "kind": self.kind,
+                "n_replicas": self.n_replicas,
+                "shards": [s.to_json() for s in self.shards],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RoutingTable":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ClusterError(f"unreadable routing table: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != ROUTING_VERSION:
+            raise ClusterError(
+                f"unsupported routing table version {data.get('version')!r}"
+                if isinstance(data, dict)
+                else "routing table is not a JSON object"
+            )
+        return cls(
+            generation=int(data["generation"]),
+            kind=str(data["kind"]),
+            shards=[ShardSpec.from_json(s) for s in data["shards"]],
+            n_replicas=int(data.get("n_replicas", 1)),
+        )
+
+    def describe(self) -> List[str]:
+        """Human lines for ``cluster status``."""
+        out = [
+            f"generation {self.generation} ({self.kind}, "
+            f"{len(self.shards)} shards × {self.n_replicas} replicas)"
+        ]
+        for s in self.shards:
+            if self.kind == HASH:
+                out.append(f"  {s.shard_id}: bucket {s.bucket}")
+            else:
+                lo = "-inf" if s.lo is None else s.lo
+                hi = "+inf" if s.hi is None else s.hi
+                out.append(f"  {s.shard_id}: [{lo}, {hi})")
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RoutingTable):
+            return NotImplemented
+        return (
+            self.generation == other.generation
+            and self.kind == other.kind
+            and self.shards == other.shards
+            and self.n_replicas == other.n_replicas
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.generation, self.kind, self.shards, self.n_replicas))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutingTable(gen={self.generation}, kind={self.kind!r}, "
+            f"shards={len(self.shards)})"
+        )

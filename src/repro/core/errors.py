@@ -54,6 +54,14 @@ class StoreClosedError(ReproError):
     """A mutation or query was issued against a closed DurableIndexStore."""
 
 
+class ClusterError(ReproError):
+    """A shard-cluster operation failed (bad layout, routing mismatch)."""
+
+
+class ShardUnavailableError(ClusterError):
+    """Every replica of a shard refused to serve a read."""
+
+
 class MetricError(ReproError, ValueError):
     """A metric was registered or used inconsistently (name clash with a
     different type/labels, wrong label set, malformed exposition input)."""

@@ -36,12 +36,47 @@ from repro.indexes.base import TemporalIRIndex
 #: How many chunks each worker gets on average — >1 so stragglers rebalance.
 CHUNKS_PER_WORKER = 4
 
+#: Environment variable overriding the default worker cap (whole machine:
+#: set it to the core count; cluster scatter-gather reads it too).
+MAX_WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: The conservative built-in cap applied when the env var is unset.
+DEFAULT_WORKER_CAP = 8
+
 StrategyFn = Callable[..., List[List[int]]]
 
 
-def default_workers() -> int:
-    """A conservative worker count: the CPU count, capped at 8."""
-    return max(1, min(8, os.cpu_count() or 1))
+def worker_cap() -> int:
+    """The configured worker ceiling: ``REPRO_MAX_WORKERS`` or 8."""
+    raw = os.environ.get(MAX_WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_WORKER_CAP
+    try:
+        cap = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{MAX_WORKERS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if cap < 1:
+        raise ConfigurationError(
+            f"{MAX_WORKERS_ENV} must be a positive integer, got {raw!r}"
+        )
+    return cap
+
+
+def default_workers(cap: Optional[int] = None) -> int:
+    """The CPU count, capped at ``cap`` (default: :func:`worker_cap`).
+
+    Pass ``cap`` explicitly to ignore the environment; leave it ``None``
+    to let ``REPRO_MAX_WORKERS`` lift (or lower) the built-in cap of 8 —
+    the knob cluster scatter-gather uses to fan out across the whole
+    machine.
+    """
+    if cap is None:
+        cap = worker_cap()
+    elif cap < 1:
+        raise ConfigurationError(f"worker cap must be >= 1, got {cap}")
+    return max(1, min(cap, os.cpu_count() or 1))
 
 
 def chunked(queries: Sequence[TimeTravelQuery], n_chunks: int) -> List[List[TimeTravelQuery]]:

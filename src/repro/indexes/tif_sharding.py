@@ -36,6 +36,7 @@ from repro.core.model import Element, TemporalObject, TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
 from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES, ENTRY_ID_START_BYTES
+from repro.utils.partitioning import staircase_chain_assignment
 
 #: Impact-list sampling stride (entries per sampled offset).
 IMPACT_STRIDE = 64
@@ -150,29 +151,18 @@ class _Shard:
 def _build_ideal_shards(entries: List[tuple]) -> List[_Shard]:
     """Greedy first-fit chain decomposition into staircase shards.
 
-    ``entries`` must be sorted by ``(st, id)``.  The shards' last ends form a
-    strictly decreasing sequence, so the first shard able to take an entry is
-    found by binary search (classic patience sorting).
+    ``entries`` must be sorted by ``(st, id)``.  The chain assignment is the
+    shared patience pass of :func:`repro.utils.partitioning.
+    staircase_chain_assignment` (also consumed by the cluster layer's
+    time-range partitioner); here each chain becomes one ideal shard, in
+    first-seen chain order.
     """
+    assignment = staircase_chain_assignment([entry[2] for entry in entries])
     shards: List[_Shard] = []
-    tops: List[Timestamp] = []  # last end per shard, strictly decreasing
-    for object_id, st, end in entries:
-        # First index with tops[i] <= end, searched on the descending list.
-        lo, hi = 0, len(tops)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if tops[mid] > end:
-                lo = mid + 1
-            else:
-                hi = mid
-        if lo == len(tops):
-            shard = _Shard()
-            shards.append(shard)
-            tops.append(end)
-        else:
-            shard = shards[lo]
-            tops[lo] = end
-        shard.append(object_id, st, end)
+    for (object_id, st, end), chain in zip(entries, assignment):
+        if chain == len(shards):
+            shards.append(_Shard())
+        shards[chain].append(object_id, st, end)
     return shards
 
 

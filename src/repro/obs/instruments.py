@@ -213,6 +213,64 @@ def cache_instruments(registry: MetricsRegistry) -> CacheInstruments:
     return registry.bundle("cache", CacheInstruments)  # type: ignore[return-value]
 
 
+#: Linear shards-visited buckets: 1 … 16 shards per query.
+SHARD_COUNT_BUCKETS: Tuple[float, ...] = tuple(float(i) for i in range(1, 17))
+
+
+class ClusterInstruments:
+    """Shard-cluster accounting: routing, failover, rebalancing."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.queries = registry.counter(
+            "repro_cluster_queries_total",
+            "Queries routed through the cluster scatter-gather path.",
+        )
+        self.shards_visited = registry.histogram(
+            "repro_cluster_shards_visited",
+            "Shards visited per routed query (broadcast = shard count).",
+            buckets=SHARD_COUNT_BUCKETS,
+        )
+        self.shard_queries = registry.counter(
+            "repro_cluster_shard_queries_total",
+            "Sub-queries served, by shard (the rebalancer's heat signal).",
+            ("shard",),
+        )
+        self.cross_shard_duplicates = registry.counter(
+            "repro_cluster_cross_shard_duplicates_total",
+            "Boundary-straddling result ids deduplicated at merge time.",
+        )
+        self.replica_failovers = registry.counter(
+            "repro_cluster_replica_failovers_total",
+            "Reads that skipped a dead replica and failed over.",
+        )
+        self.mutations = registry.counter(
+            "repro_cluster_mutations_total",
+            "Mutations routed to owning shards, by kind.",
+            ("kind",),
+        )
+        self.mutation_shards = registry.histogram(
+            "repro_cluster_mutation_shards",
+            "Owning shards touched per routed mutation.",
+            buckets=SHARD_COUNT_BUCKETS,
+        )
+        self.rebalances = registry.counter(
+            "repro_cluster_rebalances_total",
+            "Routing-generation swaps applied, by kind (split/merge).",
+            ("kind",),
+        )
+        self.routing_generation = registry.gauge(
+            "repro_cluster_routing_generation",
+            "Committed routing-table generation of the serving cluster.",
+        )
+        self.shards = registry.gauge(
+            "repro_cluster_shards", "Shards in the serving routing table."
+        )
+
+
+def cluster_instruments(registry: MetricsRegistry) -> ClusterInstruments:
+    return registry.bundle("cluster", ClusterInstruments)  # type: ignore[return-value]
+
+
 def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     """Materialise every family of the catalog (zero-valued).
 
@@ -226,4 +284,5 @@ def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     store_instruments(registry)
     exec_instruments(registry)
     cache_instruments(registry)
+    cluster_instruments(registry)
     return registry

@@ -1,0 +1,162 @@
+"""Replica sets and shard groups: failover, revival, shared caches."""
+
+import pytest
+
+from repro.cluster import TemporalCluster
+from repro.core.collection import Collection
+from repro.core.errors import ShardUnavailableError
+from repro.core.model import make_object, make_query
+from repro.indexes.registry import build_index
+from repro.obs.registry import isolated_registry
+
+from tests.conftest import random_objects, random_queries
+
+
+@pytest.fixture()
+def collection():
+    return Collection(random_objects(250, seed=41))
+
+
+@pytest.fixture()
+def cluster(collection, tmp_path):
+    with TemporalCluster.create(
+        tmp_path / "cluster",
+        collection,
+        index_key="tif-slicing",
+        n_shards=3,
+        n_replicas=2,
+        wal_fsync=False,
+        cache_size=0,
+    ) as c:
+        yield c
+
+
+def oracle_answers(collection, queries):
+    oracle = build_index("brute", collection)
+    return [sorted(oracle.query(q)) for q in queries]
+
+
+class TestFailover:
+    def test_killed_replica_degrades_reads_without_errors(
+        self, cluster, collection
+    ):
+        queries = random_queries(collection, 25, seed=42)
+        expected = oracle_answers(collection, queries)
+        for spec in cluster.table.shards:
+            cluster.group.kill_replica(spec.shard_id, 0)
+        for q, want in zip(queries, expected):
+            assert cluster.query(q) == want
+
+    def test_failover_is_counted(self, cluster, collection):
+        with isolated_registry() as registry:
+            shard_id = cluster.table.shards[0].shard_id
+            cluster.group.kill_replica(shard_id, 0)
+            lo = cluster.table.shards[0].hi
+            q = make_query(lo - 1 if lo is not None else 0, lo or 10, set())
+            cluster.query(q)
+            assert (
+                registry.sample_value("repro_cluster_replica_failovers_total") >= 1
+            )
+
+    def test_all_replicas_dead_raises_shard_unavailable(self, cluster):
+        shard_id = cluster.table.shards[0].shard_id
+        cluster.group.kill_replica(shard_id, 0)
+        cluster.group.kill_replica(shard_id, 1)
+        replica_set = cluster.group.replica_set(shard_id)
+        with pytest.raises(ShardUnavailableError):
+            replica_set.query(make_query(0, 10, set()))
+
+    def test_writes_refused_with_no_live_replica(self, cluster):
+        shard_id = cluster.table.shards[0].shard_id
+        cluster.group.kill_replica(shard_id, 0)
+        cluster.group.kill_replica(shard_id, 1)
+        with pytest.raises(ShardUnavailableError):
+            cluster.group.replica_set(shard_id).insert(
+                make_object(99999, 0, 1, {"e0"})
+            )
+
+    def test_mutations_keep_flowing_to_survivors(self, cluster, collection):
+        shard_id = cluster.table.shards[-1].shard_id
+        cluster.group.kill_replica(shard_id, 1)
+        domain = collection.domain()
+        obj = make_object(99999, domain.end - 1, domain.end + 10, {"e0"})
+        cluster.insert(obj)
+        q = make_query(domain.end - 1, domain.end + 10, {"e0"})
+        assert 99999 in cluster.query(q)
+
+
+class TestRevive:
+    def test_revive_rebuilds_from_peer_and_rejoins(self, cluster, collection):
+        shard_id = cluster.table.shards[0].shard_id
+        replica_set = cluster.group.replica_set(shard_id)
+        cluster.group.kill_replica(shard_id, 0)
+        # Mutate while the replica is down: it misses this insert.
+        domain = collection.domain()
+        obj = make_object(88888, domain.st, domain.st + 1, {"e1"})
+        cluster.insert(obj)
+        cluster.group.revive_replica(shard_id, 0)
+        assert replica_set.live_replicas() == [0, 1]
+        # The revived replica answers first now and must include the
+        # mutation it was down for.
+        q = make_query(domain.st, domain.st + 1, {"e1"})
+        assert 88888 in replica_set.query(q)
+
+    def test_revive_without_live_peer_is_refused(self, cluster):
+        shard_id = cluster.table.shards[0].shard_id
+        cluster.group.kill_replica(shard_id, 0)
+        cluster.group.kill_replica(shard_id, 1)
+        with pytest.raises(ShardUnavailableError):
+            cluster.group.revive_replica(shard_id, 0)
+
+    def test_revive_of_live_replica_is_a_no_op(self, cluster):
+        shard_id = cluster.table.shards[0].shard_id
+        before = cluster.group.replica_set(shard_id).stores[0]
+        cluster.group.revive_replica(shard_id, 0)
+        assert cluster.group.replica_set(shard_id).stores[0] is before
+
+
+class TestSharedCache:
+    def test_mutation_on_any_replica_invalidates_shard_cache(
+        self, collection, tmp_path
+    ):
+        with TemporalCluster.create(
+            tmp_path / "cached",
+            collection,
+            index_key="tif-slicing",
+            n_shards=2,
+            n_replicas=2,
+            wal_fsync=False,
+            cache_size=64,
+        ) as cluster:
+            domain = collection.domain()
+            q = make_query(domain.st, domain.end, {"e0"})
+            first = cluster.query(q)
+            assert cluster.query(q) == first  # served from cache
+            obj = make_object(77777, domain.st, domain.end, {"e0"})
+            cluster.insert(obj)
+            assert 77777 in cluster.query(q)
+
+    def test_unaffected_shard_keeps_its_cache(self, collection, tmp_path):
+        with TemporalCluster.create(
+            tmp_path / "cached",
+            collection,
+            index_key="tif-slicing",
+            n_shards=2,
+            n_replicas=1,
+            wal_fsync=False,
+            cache_size=64,
+        ) as cluster:
+            first, last = cluster.table.shards[0], cluster.table.shards[-1]
+            q_first = make_query(first.hi - 2, first.hi - 1, set())
+            q_last = make_query(last.lo + 1, last.lo + 2, set())
+            cluster.query(q_first)
+            cluster.query(q_last)
+            hits_before = cluster.group.replica_set(first.shard_id).cache.stats()[
+                "hits"
+            ]
+            # Mutate only the last shard; the first shard's cache survives.
+            obj = make_object(66666, last.lo + 1, last.lo + 2, {"e0"})
+            cluster.insert(obj)
+            cluster.query(q_first)
+            stats = cluster.group.replica_set(first.shard_id).cache.stats()
+            assert stats["hits"] == hits_before + 1

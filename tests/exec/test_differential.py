@@ -3,8 +3,10 @@
 The harness interleaves queries, inserts and deletes — the workload an
 execution layer that reorders, caches and parallelises queries is most
 likely to break — and cross-checks every answer against the
-:class:`~repro.indexes.brute.BruteForce` oracle, both on the direct
-``index.query`` path and through a caching :class:`QueryExecutor`.
+:class:`~repro.indexes.brute.BruteForce` oracle, on the direct
+``index.query`` path, through a caching :class:`QueryExecutor`, and
+against a 4-shard replicated :class:`~repro.cluster.TemporalCluster`
+(scatter-gather, boundary dedup, per-shard cache invalidation).
 
 Determinism: no wall-clock, no unseeded RNG.  Every trace derives from an
 explicit integer seed; on a mismatch the failure message prints that seed
@@ -215,6 +217,66 @@ def test_differential_batched_parallel(strategy):
                 live.append(obj.id)
                 index.insert(obj)
                 oracle.insert(obj)
+
+
+#: Registry keys replayed against a shard cluster (≥ 3 index families).
+CLUSTER_KEYS = ("brute", "tif-slicing", "irhint-perf")
+
+
+def run_differential_cluster(
+    key: str, seed: int, directory, n_ops: int = N_OPS
+) -> None:
+    """Replay one trace against a 4-shard cluster and the oracle.
+
+    Same seeded interleavings as the single-index harness; answers must
+    match the oracle *as sets and carry no duplicates* — an object that
+    straddles a shard boundary is stored in several shards but must be
+    returned exactly once.
+    """
+    from repro.cluster import TemporalCluster
+
+    collection = small_collection(seed)
+    oracle = BruteForce.build(collection)
+    live = collection.ids()
+    ops = make_trace(seed, n_ops, live, max(live) + 1 if live else 0)
+    with TemporalCluster.create(
+        directory,
+        collection,
+        index_key=key,
+        n_shards=4,
+        n_replicas=2,
+        wal_fsync=False,
+        cache_size=8,
+    ) as cluster:
+        for step, op in enumerate(ops):
+            if op[0] == "query":
+                expected = sorted(oracle.query(op[1]))
+                got = cluster.query(op[1])
+                if got != expected or len(got) != len(set(got)):
+                    pytest.fail(
+                        f"{key}: cluster differential mismatch at step {step} "
+                        f"(seed={seed}, n_ops={n_ops}):\n"
+                        f"  got      {got}\n"
+                        f"  expected {expected}\n"
+                        f"reproducing trace (base collection = "
+                        f"small_collection({seed})):\n"
+                        f"{format_trace(ops[: step + 1])}"
+                    )
+            elif op[0] == "insert":
+                cluster.insert(op[1])
+                oracle.insert(op[1])
+            else:
+                cluster.delete(op[1])
+                oracle.delete(op[1])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("key", CLUSTER_KEYS)
+def test_differential_cluster(key, seed, tmp_path):
+    """Interleaved query/insert/delete against a 4-shard replicated
+    cluster: scatter-gather + dedup + per-shard cache invalidation vs the
+    oracle, on the same traces the single-index harness replays."""
+    run_differential_cluster(key, seed, tmp_path / "cluster")
 
 
 def test_trace_generation_is_deterministic():

@@ -176,3 +176,45 @@ def test_executor_metrics(corpus):
         assert registry.sample_value("repro_exec_deduped_queries_total") > 0
         assert registry.sample_value("repro_cache_hits_total") > 0
         assert registry.sample_value("repro_cache_misses_total") > 0
+
+
+# ------------------------------------------------------------- worker cap env
+def test_default_workers_honors_env(monkeypatch):
+    import os
+
+    from repro.exec.strategies import MAX_WORKERS_ENV, default_workers, worker_cap
+
+    monkeypatch.delenv(MAX_WORKERS_ENV, raising=False)
+    assert worker_cap() == 8
+    monkeypatch.setenv(MAX_WORKERS_ENV, "2")
+    assert worker_cap() == 2
+    assert default_workers() == max(1, min(2, os.cpu_count() or 1))
+    monkeypatch.setenv(MAX_WORKERS_ENV, "4096")
+    # The env var lifts the built-in cap of 8; cores still bound the result.
+    assert default_workers() == max(1, os.cpu_count() or 1)
+
+
+def test_default_workers_explicit_cap_ignores_env(monkeypatch):
+    from repro.exec.strategies import MAX_WORKERS_ENV, default_workers
+
+    monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+    assert default_workers(cap=3) == max(1, min(3, __import__("os").cpu_count() or 1))
+
+
+def test_default_workers_rejects_bad_env(monkeypatch):
+    from repro.exec.strategies import MAX_WORKERS_ENV, default_workers
+
+    for bad in ("zero", "-1", "0"):
+        monkeypatch.setenv(MAX_WORKERS_ENV, bad)
+        with pytest.raises(ConfigurationError):
+            default_workers()
+    with pytest.raises(ConfigurationError):
+        default_workers(cap=0)
+
+
+def test_executor_picks_up_env_workers(monkeypatch, corpus):
+    from repro.exec.strategies import MAX_WORKERS_ENV
+
+    _collection, index, _queries, _expected = corpus
+    monkeypatch.setenv(MAX_WORKERS_ENV, "1")
+    assert QueryExecutor(index).workers == 1

@@ -190,6 +190,107 @@ class TestRecover:
             main(["recover", str(tmp_path / "nope")])
 
 
+class TestCluster:
+    @pytest.fixture()
+    def cluster_dir(self, data_file, tmp_path, capsys):
+        directory = str(tmp_path / "cluster")
+        assert (
+            main(
+                [
+                    "cluster", "build", directory,
+                    "--data", data_file,
+                    "--index", "tif-slicing",
+                    "--shards", "2", "--replicas", "2",
+                    "--no-fsync",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return directory
+
+    def test_build_prints_routing(self, data_file, tmp_path, capsys):
+        directory = str(tmp_path / "cluster")
+        assert (
+            main(
+                [
+                    "cluster", "build", directory,
+                    "--data", data_file,
+                    "--shards", "3", "--no-fsync",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "built 3-shard time-range cluster" in out
+        assert "generation 1" in out
+
+    def test_query_matches_single_index(self, cluster_dir, capsys):
+        assert (
+            main(
+                [
+                    "cluster", "query", cluster_dir,
+                    "--start", "2", "--end", "4",
+                    "--elements", "a,c", "--no-fsync",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 results" in out
+        assert "[2, 4, 7]" in out
+
+    def test_status(self, cluster_dir, capsys):
+        assert main(["cluster", "status", cluster_dir]) == 0
+        out = capsys.readouterr().out
+        assert "generation 1 (time-range, 2 shards × 2 replicas)" in out
+        assert "2/2 replicas live" in out
+
+    def test_rebalance_dry_run_noop(self, cluster_dir, capsys):
+        assert (
+            main(["cluster", "rebalance", cluster_dir, "--dry-run", "--no-fsync"])
+            == 0
+        )
+        assert "plan:" in capsys.readouterr().out
+
+    def test_serve_loop(self, cluster_dir, monkeypatch, capsys):
+        commands = (
+            "query 2 4 a,c\n"
+            "insert 60 2 4 a,c\n"
+            "query 2 4 a,c\n"
+            "delete 60\n"
+            "status\n"
+            "quit\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(commands))
+        assert main(["cluster", "serve", cluster_dir, "--no-fsync"]) == 0
+        out = capsys.readouterr().out
+        assert "3 results from" in out
+        assert "[2, 4, 7, 60]" in out
+        assert "ok: deleted 60" in out
+
+    def test_batch_query(self, cluster_dir, tmp_path, capsys):
+        from repro.core.model import make_query
+        from repro.queries.io import save_queries
+
+        batch = str(tmp_path / "batch.jsonl")
+        save_queries([make_query(2, 4, {"a", "c"}), make_query(0, 7, set())], batch)
+        assert (
+            main(
+                [
+                    "cluster", "query", cluster_dir,
+                    "--batch-file", batch,
+                    "--strategy", "threaded", "--workers", "2",
+                    "--no-fsync",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 queries via threaded" in out
+        assert "3 ids" in out and "8 ids" in out
+
+
 class TestSnapshots:
     def test_build_save_then_query_snapshot(self, data_file, tmp_path, capsys):
         snap = str(tmp_path / "idx.snap")
