@@ -1,0 +1,64 @@
+"""Round-trip benchmarks of the query daemon (`repro.server`).
+
+Not a paper table — these price the network tier itself: one framed
+request/response cycle over a live asyncio daemon, against the same
+index the in-process benchmarks query directly.  The concurrent-load
+phases (8 clients at capacity, 2× overload, drain) live in
+``repro.bench.experiments.server`` and archive to ``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tuned import tuned
+from repro.queries.generator import QueryWorkload
+from repro.utils.retry import RetryPolicy
+
+from benchmarks.conftest import SCALE, N_QUERIES
+
+
+@pytest.fixture(scope="module")
+def daemon_handle(tmp_path_factory, synthetic):
+    from repro.server import ServerConfig, TenantRegistry, start_daemon_thread
+    from repro.service.store import DurableIndexStore
+
+    root = tmp_path_factory.mktemp("server-bench") / "tenants"
+    store = DurableIndexStore.open(
+        root / "docs",
+        index_key="irhint-perf",
+        index_params=tuned("irhint-perf"),
+        wal_fsync=False,
+    )
+    store.bootstrap(synthetic, "irhint-perf", **tuned("irhint-perf"))
+    store.close()
+    registry = TenantRegistry.open_root(root, wal_fsync=False)
+    handle = start_daemon_thread(registry, ServerConfig())
+    yield handle
+    handle.stop(30)
+
+
+@pytest.fixture(scope="module")
+def daemon_client(daemon_handle):
+    from repro.server import DaemonClient
+
+    with DaemonClient(
+        "127.0.0.1", daemon_handle.port, retry=RetryPolicy(max_attempts=1)
+    ) as client:
+        yield client
+
+
+def test_daemon_query_roundtrip(benchmark, daemon_client, synthetic):
+    queries = QueryWorkload(synthetic, seed=0).by_extent(0.01, N_QUERIES)
+
+    def body():
+        total = 0
+        for q in queries:
+            total += daemon_client.query("docs", q.st, q.end, sorted(q.d))["count"]
+        return total
+
+    benchmark(body)
+
+
+def test_daemon_ping_roundtrip(benchmark, daemon_client):
+    assert benchmark(daemon_client.ping) == {"pong": True}

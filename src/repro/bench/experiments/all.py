@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     fig10,
     fig11,
     fig12,
+    server,
     table3,
     table5,
     table6,
@@ -21,7 +22,8 @@ from repro.bench.experiments import (
 )
 
 #: Paper order: setup stats, tuning, variant comparison, main comparison,
-#: updates — then the beyond-paper batched-execution sweep.
+#: updates — then the beyond-paper batched-execution, cluster and serving
+#: sweeps.
 SEQUENCE = [
     ("table3", table3),
     ("fig7", fig7),
@@ -35,6 +37,7 @@ SEQUENCE = [
     ("table7", table7),
     ("throughput", throughput),
     ("cluster", cluster),
+    ("server", server),
 ]
 
 

@@ -1,0 +1,293 @@
+"""Daemon under concurrent load — throughput, tail latency, shedding, drain.
+
+Not a paper figure.  The question this experiment answers: does the
+:mod:`repro.server` daemon hold its service contract under concurrent
+clients — sustained throughput with bounded tails at capacity, *structured*
+shedding (not queue collapse) past capacity, and a graceful drain that
+abandons nothing?
+
+Three phases against one live daemon serving a populated durable-store
+tenant (``max_inflight=4``, ``max_queue=4`` — 8 admission slots total):
+
+* **sustained** — 8 closed-loop clients (exactly the slot count, so
+  admission control structurally never sheds); reports q/s and p50/p99
+  round-trip latency.
+* **overload** — 16 closed-loop clients (2× the slot count); the excess
+  must be refused with structured ``overloaded`` errors carrying a
+  retry-after hint, while admitted requests keep completing.
+* **drain** — 8 clients mid-flight when the daemon is told to stop:
+  every in-flight request is answered, the drain report shows zero
+  abandoned, and the WAL-backed tenant closes cleanly.
+
+Expected shape:
+
+* sustained phase sheds nothing (clients == admission slots);
+* overload phase sheds a meaningful fraction — fast structured refusals,
+  so its p50 *drops* while completed-request q/s holds near capacity;
+* drain abandons zero in-flight requests.
+
+``python -m repro bench server`` archives this dict (via the harness) —
+the repo keeps a reference run in ``BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.bench.cli import run_cli
+from repro.bench.config import get_scale, synthetic_collection
+from repro.bench.reporting import SeriesTable, banner, summarize_shape
+from repro.bench.tuned import tuned
+from repro.queries.generator import QueryWorkload
+from repro.utils.retry import RetryPolicy
+
+#: Tenant index — the paper's overall winner, same choice as the cluster bench.
+DEFAULT_METHOD = "irhint-perf"
+
+#: Admission geometry: 4 executing + 4 queued = 8 slots.
+MAX_INFLIGHT = 4
+MAX_QUEUE = 4
+
+#: Clients per phase.  Sustained matches the slot count exactly;
+#: overload doubles it, so half the offered concurrency must be shed.
+SUSTAINED_CLIENTS = MAX_INFLIGHT + MAX_QUEUE
+OVERLOAD_CLIENTS = SUSTAINED_CLIENTS * 2
+
+#: Raw semantics: the load generator never retries — a shed is a data point.
+_NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _load_phase(
+    port: int, queries, n_clients: int, per_client: int
+) -> Dict[str, float]:
+    """Closed-loop load: each client owns a connection, fires back-to-back."""
+    from repro.server import DaemonClient, ServerError
+
+    latencies: List[float] = []
+    sheds = [0]
+    errors: List[BaseException] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_loop(client_id: int) -> None:
+        try:
+            with DaemonClient("127.0.0.1", port, retry=_NO_RETRY) as client:
+                client.ping()  # connect before the clock starts
+                barrier.wait(30)
+                mine: List[float] = []
+                shed = 0
+                for i in range(per_client):
+                    q = queries[(client_id * per_client + i) % len(queries)]
+                    started = time.perf_counter()
+                    try:
+                        client.query("docs", q.st, q.end, sorted(q.d))
+                    except ServerError as exc:
+                        if exc.code != "overloaded":
+                            raise
+                        shed += 1
+                    else:
+                        mine.append(time.perf_counter() - started)
+                with lock:
+                    latencies.extend(mine)
+                    sheds[0] += shed
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=client_loop, args=(c,), daemon=True)
+        for c in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(30)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(120)
+        if thread.is_alive():
+            raise AssertionError("load client hung — no-hang contract broken")
+    seconds = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    latencies.sort()
+    total = n_clients * per_client
+    return {
+        "clients": n_clients,
+        "requests": total,
+        "completed": len(latencies),
+        "shed": sheds[0],
+        "shed_rate": sheds[0] / total if total else 0.0,
+        "qps": len(latencies) / seconds if seconds > 0 else float("inf"),
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def _drain_phase(handle, queries, n_clients: int) -> Dict[str, object]:
+    """Stop the daemon under live load; count answers vs. refusals."""
+    from repro.server import DaemonClient, ServerError, TransportError
+
+    answered = [0]
+    refused = [0]
+    lock = threading.Lock()
+    started = threading.Barrier(n_clients + 1)
+
+    def client_loop(client_id: int) -> None:
+        try:
+            with DaemonClient("127.0.0.1", handle.port, retry=_NO_RETRY) as client:
+                client.ping()
+                started.wait(30)
+                for i in range(10_000):  # bounded; the drain cuts us off
+                    q = queries[(client_id + i) % len(queries)]
+                    try:
+                        client.query("docs", q.st, q.end, sorted(q.d))
+                    except (ServerError, TransportError):
+                        # shutting_down / connection cut: the drain reached us.
+                        with lock:
+                            refused[0] += 1
+                        return
+                    with lock:
+                        answered[0] += 1
+        except threading.BrokenBarrierError:  # pragma: no cover
+            return
+
+    threads = [
+        threading.Thread(target=client_loop, args=(c,), daemon=True)
+        for c in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    started.wait(30)
+    time.sleep(0.2)  # let the storm establish itself
+    report = handle.stop(60)
+    for thread in threads:
+        thread.join(60)
+        if thread.is_alive():
+            raise AssertionError("client hung across the drain — contract broken")
+    return {
+        "clients": n_clients,
+        "answered_before_cutoff": answered[0],
+        "in_flight_at_drain": report["in_flight_at_drain"],
+        "abandoned": report["abandoned"],
+    }
+
+
+def run(scale: str = "small", seed: int = 0) -> Dict[str, object]:
+    """Three-phase daemon load test; returns the archived metrics dict."""
+    from repro.server import ServerConfig, TenantRegistry, start_daemon_thread
+    from repro.service.store import DurableIndexStore
+
+    cfg = get_scale(scale)
+    per_client = cfg.n_queries
+    banner(
+        f"Server: {SUSTAINED_CLIENTS} clients at capacity, "
+        f"{OVERLOAD_CLIENTS} at 2x, then a drain under load (scale={scale})"
+    )
+    collection = synthetic_collection(scale)
+    params = tuned(DEFAULT_METHOD)
+    workload = QueryWorkload(collection, seed=seed)
+    queries = workload.by_extent(0.01, per_client * 4)
+
+    phases: Dict[str, Dict[str, object]] = {}
+    scratch = Path(tempfile.mkdtemp(prefix="repro-server-bench-"))
+    try:
+        store = DurableIndexStore.open(
+            scratch / "tenants" / "docs",
+            index_key=DEFAULT_METHOD,
+            index_params=params,
+            wal_fsync=False,
+        )
+        store.bootstrap(collection, DEFAULT_METHOD, **params)
+        store.close()
+        registry = TenantRegistry.open_root(scratch / "tenants", wal_fsync=False)
+        handle = start_daemon_thread(
+            registry,
+            ServerConfig(max_inflight=MAX_INFLIGHT, max_queue=MAX_QUEUE),
+        )
+        try:
+            phases["sustained"] = _load_phase(
+                handle.port, queries, SUSTAINED_CLIENTS, per_client
+            )
+            phases["overload"] = _load_phase(
+                handle.port, queries, OVERLOAD_CLIENTS, per_client
+            )
+            phases["drain"] = _drain_phase(handle, queries, SUSTAINED_CLIENTS)
+        finally:
+            if handle.thread.is_alive():
+                handle.stop(60)
+        if phases["sustained"]["shed"] != 0:
+            raise AssertionError(
+                "sustained phase shed requests with clients == admission slots"
+            )
+        if phases["overload"]["shed"] == 0:
+            raise AssertionError("overload at 2x capacity never shed — "
+                                 "admission control did not engage")
+        if phases["drain"]["abandoned"] != 0:
+            raise AssertionError(
+                f"drain abandoned {phases['drain']['abandoned']} in-flight requests"
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    table = SeriesTable(
+        f"Daemon load [{DEFAULT_METHOD}, {len(collection)} objects, "
+        f"max_inflight={MAX_INFLIGHT}, max_queue={MAX_QUEUE}, "
+        f"{per_client} requests/client]",
+        "phase",
+        ["clients", "q/s", "p50 ms", "p99 ms", "shed %"],
+    )
+    for name in ("sustained", "overload"):
+        row = phases[name]
+        table.add_point(
+            name,
+            [
+                float(row["clients"]),
+                row["qps"],
+                row["p50_ms"],
+                row["p99_ms"],
+                row["shed_rate"] * 100.0,
+            ],
+        )
+    table.print()
+    drain = phases["drain"]
+    print(
+        f"  drain: {drain['answered_before_cutoff']} answered, "
+        f"{drain['in_flight_at_drain']} in flight at cutoff, "
+        f"{drain['abandoned']} abandoned\n"
+    )
+    summarize_shape(
+        "Server",
+        [
+            "at capacity (clients == slots) admission control sheds nothing",
+            "at 2x capacity the excess is refused with structured errors, "
+            "while completed-request throughput holds",
+            "a drain under live load abandons zero in-flight requests",
+        ],
+    )
+    return {
+        "method": DEFAULT_METHOD,
+        "objects": len(collection),
+        "max_inflight": MAX_INFLIGHT,
+        "max_queue": MAX_QUEUE,
+        "requests_per_client": per_client,
+        "phases": phases,
+    }
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "daemon concurrent-load benchmark")

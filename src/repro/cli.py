@@ -14,6 +14,9 @@ Commands
 ``recover``   replay a store directory's snapshots + WAL; print a report
 ``cluster``   shard-cluster operations: build / serve / query /
               rebalance / status (see ``docs/cluster.md``)
+``serve-net`` run the resilient asyncio network daemon over a
+              multi-tenant root (see ``docs/server.md``)
+``client``    talk to a running serve-net daemon
 
 Examples
 --------
@@ -56,7 +59,7 @@ from repro.utils.timing import timed
 _EXPERIMENTS = [
     "table3", "fig7", "fig8", "fig9", "fig10",
     "table5", "fig11", "fig12", "table6", "table7", "throughput",
-    "cluster", "all",
+    "cluster", "server", "all",
 ]
 
 
@@ -573,6 +576,117 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.exposition import render_prometheus
+    from repro.obs.instruments import register_catalog
+    from repro.obs.registry import OBS, MetricsRegistry, set_registry
+    from repro.server import QueryDaemon, ServerConfig, TenantRegistry
+
+    metrics_file = args.metrics_file
+    previous_registry = None
+    if metrics_file:
+        previous_registry = set_registry(
+            register_catalog(MetricsRegistry(enabled=True))
+        )
+    try:
+        registry = TenantRegistry.open_root(
+            args.root, wal_fsync=not args.no_fsync
+        )
+        for name in args.create or []:
+            if name not in registry:
+                registry.create_store_tenant(
+                    name, index_key=args.index, wal_fsync=not args.no_fsync
+                )
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline_ms=args.default_deadline_ms,
+            max_deadline_ms=args.max_deadline_ms,
+            write_timeout=args.write_timeout,
+            drain_timeout=args.drain_timeout,
+            retry_after_ms=args.retry_after_ms,
+        )
+
+        async def serve() -> dict:
+            daemon = QueryDaemon(registry, config)
+            await daemon.start()
+            # Parseable by harnesses driving an ephemeral port (--port 0).
+            print(
+                f"# serving {len(registry)} tenant(s) "
+                f"[{', '.join(registry.names()) or '(none)'}]"
+            )
+            print(f"# listening on {config.host}:{daemon.port}", flush=True)
+            report = await daemon.run_until_drained()
+            print(
+                f"# drained: {report['in_flight_at_drain']} in flight, "
+                f"{report['abandoned']} abandoned"
+            )
+            return report
+
+        asyncio.run(serve())
+        if metrics_file:
+            Path(metrics_file).write_text(
+                render_prometheus(OBS.registry), encoding="utf-8"
+            )
+    finally:
+        if previous_registry is not None:
+            set_registry(previous_registry)
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.server import DaemonClient, ServerError, TransportError
+    from repro.utils.retry import RetryPolicy
+
+    policy = RetryPolicy(max_attempts=max(1, args.retries + 1))
+    with DaemonClient(
+        args.host, args.port, timeout=args.timeout, retry=policy
+    ) as client:
+        try:
+            verb = args.client_verb
+            kwargs = {"deadline_ms": args.deadline_ms}
+            if verb == "query":
+                result = client.query(
+                    args.tenant, _parse_number(args.start), _parse_number(args.end),
+                    [e for e in args.elements.split(",") if e], **kwargs,
+                )
+            elif verb == "insert":
+                result = client.insert(
+                    args.tenant, args.object_id,
+                    _parse_number(args.start), _parse_number(args.end),
+                    [e for e in args.elements.split(",") if e], **kwargs,
+                )
+            elif verb == "delete":
+                result = client.delete(args.tenant, args.object_id, **kwargs)
+            elif verb == "status":
+                result = client.status()
+            elif verb == "metrics":
+                print(client.metrics()["body"], end="")
+                return 0
+            elif verb == "shutdown":
+                result = client.shutdown()
+            else:  # ping
+                result = client.ping()
+        except ServerError as exc:
+            print(
+                json.dumps({"error": {"code": exc.code, "message": str(exc)}}),
+                file=sys.stderr,
+            )
+            return 1
+        except TransportError as exc:
+            print(json.dumps({"error": {"code": "transport", "message": str(exc)}}),
+                  file=sys.stderr)
+            return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import importlib
 
@@ -769,6 +883,60 @@ def build_parser() -> argparse.ArgumentParser:
     cp = cluster_sub.add_parser("status", help="print routing table and shard health")
     add_cluster_dir(cp)
     cp.set_defaults(func=_cmd_cluster_status)
+
+    p = sub.add_parser(
+        "serve-net",
+        help="run the resilient asyncio network daemon over a tenant root",
+    )
+    p.add_argument("root", help="tenant root directory (created if missing)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421, help="0 = ephemeral")
+    p.add_argument(
+        "--create", action="append", metavar="NAME",
+        help="create this empty store tenant if missing (repeatable)",
+    )
+    p.add_argument("--index", choices=available_indexes(), default="irhint-perf")
+    p.add_argument("--max-inflight", type=int, default=8)
+    p.add_argument("--max-queue", type=int, default=16)
+    p.add_argument("--default-deadline-ms", type=int, default=2000)
+    p.add_argument("--max-deadline-ms", type=int, default=60000)
+    p.add_argument("--write-timeout", type=float, default=5.0)
+    p.add_argument("--drain-timeout", type=float, default=10.0)
+    p.add_argument("--retry-after-ms", type=int, default=50)
+    p.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip per-record WAL fsync in tenant stores",
+    )
+    p.add_argument(
+        "--metrics-file",
+        help="enable metrics; export Prometheus text here after the drain",
+    )
+    p.set_defaults(func=_cmd_serve_net)
+
+    p = sub.add_parser("client", help="talk to a serve-net daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.add_argument("--retries", type=int, default=3, help="retry attempts after the first")
+    p.add_argument("--deadline-ms", type=int, default=None)
+    client_sub = p.add_subparsers(dest="client_verb", required=True)
+    for verb in ("ping", "status", "metrics", "shutdown"):
+        client_sub.add_parser(verb)
+    cq = client_sub.add_parser("query")
+    cq.add_argument("--tenant", required=True)
+    cq.add_argument("--start", required=True)
+    cq.add_argument("--end", required=True)
+    cq.add_argument("--elements", default="", help="comma-separated q.d")
+    ci = client_sub.add_parser("insert")
+    ci.add_argument("--tenant", required=True)
+    ci.add_argument("--object-id", type=int, required=True)
+    ci.add_argument("--start", required=True)
+    ci.add_argument("--end", required=True)
+    ci.add_argument("--elements", default="", help="comma-separated elements")
+    cd = client_sub.add_parser("delete")
+    cd.add_argument("--tenant", required=True)
+    cd.add_argument("--object-id", type=int, required=True)
+    p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment", choices=_EXPERIMENTS)

@@ -21,7 +21,7 @@ from repro.cluster.partitioners import (
     make_partitioner,
 )
 from repro.cluster.rebalance import RebalancePlan, next_table, plan_rebalance
-from repro.cluster.router import ClusterRouter, merge_shard_results
+from repro.cluster.router import ClusterRouter, PartialResult, merge_shard_results
 from repro.cluster.routing import HASH, TIME_RANGE, RoutingTable, ShardSpec
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "HASH",
     "HashPartitioner",
     "PARTITIONERS",
+    "PartialResult",
     "RebalancePlan",
     "ReplicaSet",
     "RoutingTable",

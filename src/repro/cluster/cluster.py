@@ -31,7 +31,7 @@ from repro.cluster.rebalance import (
     next_table,
     plan_rebalance,
 )
-from repro.cluster.router import ClusterRouter
+from repro.cluster.router import ClusterRouter, PartialResult
 from repro.cluster.routing import TIME_RANGE, RoutingTable
 from repro.obs.registry import OBS
 from repro.service.fsio import REAL_FS, FileSystem
@@ -190,6 +190,21 @@ class TemporalCluster:
             if fresh is router:
                 raise
             return fresh.query(q)
+
+    def query_partial(
+        self, q: TimeTravelQuery, deadline: Optional[float] = None
+    ) -> "PartialResult":
+        """Deadline-aware scatter-gather (see :meth:`ClusterRouter.query_partial`).
+
+        An incomplete answer caught mid-generation-swap retries once
+        against the fresh router — swap-induced store closures must not
+        masquerade as dead shards.
+        """
+        router = self._router
+        result = router.query_partial(q, deadline)
+        if not result.complete and self._router is not router:
+            return self._router.query_partial(q, deadline)
+        return result
 
     def run_batch(
         self,

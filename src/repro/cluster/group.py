@@ -14,7 +14,9 @@ rebuilds it from a healthy peer before it rejoins the read set.
 
 from __future__ import annotations
 
+import random
 import shutil
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -27,6 +29,11 @@ from repro.exec.cache import ResultCache
 from repro.obs.registry import OBS
 from repro.service.fsio import REAL_FS, FileSystem
 from repro.service.store import DurableIndexStore
+from repro.utils.retry import RetryPolicy, retry_call
+
+#: Backoff for the revive rebuild-from-peer path: a peer that dies
+#: mid-copy is marked dead and the copy retries against the next one.
+REVIVE_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.1)
 
 
 class ReplicaSet:
@@ -39,10 +46,16 @@ class ReplicaSet:
         cache_size: int = 0,
     ) -> None:
         if not stores:
-            raise ShardUnavailableError(f"{shard_id}: no replicas")
+            raise ShardUnavailableError(
+                f"{shard_id}: no replicas", shard_id=shard_id
+            )
         self.shard_id = shard_id
         self.stores: List[DurableIndexStore] = list(stores)
         self._dead = [False] * len(self.stores)
+        # Serialises mutations against revival: an insert may not slip
+        # between "copy the peer's objects" and "rejoin the rebuilt
+        # replica", or the revived store would silently miss it.
+        self._write_lock = threading.Lock()
         self.cache: Optional[ResultCache] = None
         if cache_size:
             self.cache = ResultCache(cache_size)
@@ -83,17 +96,18 @@ class ReplicaSet:
             hit = cache.get(q)
             if hit is not None:
                 return hit
-        failures: List[str] = []
+        failures: Dict[int, str] = {}
         failovers = 0
         for replica in range(len(self.stores)):
             if self._dead[replica]:
+                failures[replica] = "replica marked dead (killed or failed earlier)"
                 failovers += 1
                 continue
             try:
                 result = self.stores[replica].query(q)
             except ReproError as exc:
                 self._dead[replica] = True
-                failures.append(f"replica-{replica}: {exc}")
+                failures[replica] = str(exc)
                 failovers += 1
                 continue
             if failovers:
@@ -103,8 +117,23 @@ class ReplicaSet:
             return result
         if failovers:
             self._count_failovers(failovers)
-        detail = "; ".join(failures) if failures else "all replicas are dead"
-        raise ShardUnavailableError(f"{self.shard_id}: {detail}")
+        raise self._unavailable(failures)
+
+    def _unavailable(self, failures: Dict[int, str]) -> ShardUnavailableError:
+        """A structured all-replicas-refused error for this shard."""
+        if failures:
+            detail = "; ".join(
+                f"replica-{replica}: {message}"
+                for replica, message in sorted(failures.items())
+            )
+        else:
+            detail = "all replicas are dead"
+        return ShardUnavailableError(
+            f"{self.shard_id}: {detail}",
+            shard_id=self.shard_id,
+            replica_count=len(self.stores),
+            failures=failures,
+        )
 
     def _count_failovers(self, n: int) -> None:
         registry = OBS.registry
@@ -126,17 +155,20 @@ class ReplicaSet:
         With zero live replicas the shard cannot accept writes — that is
         an error, not silent data loss.
         """
-        live = self.live_replicas()
-        if not live:
-            raise ShardUnavailableError(
-                f"{self.shard_id}: no live replica accepts writes"
-            )
-        for replica in live:
-            store = self.stores[replica]
-            if op == "insert":
-                store.insert(payload)
-            else:
-                store.delete(payload)
+        with self._write_lock:
+            live = self.live_replicas()
+            if not live:
+                raise ShardUnavailableError(
+                    f"{self.shard_id}: no live replica accepts writes",
+                    shard_id=self.shard_id,
+                    replica_count=len(self.stores),
+                )
+            for replica in live:
+                store = self.stores[replica]
+                if op == "insert":
+                    store.insert(payload)
+                else:
+                    store.delete(payload)
 
     # ---------------------------------------------------------------- recovery
     def revive(
@@ -148,38 +180,70 @@ class ReplicaSet:
         index_params: Dict[str, object],
         wal_fsync: bool,
         fs: FileSystem = REAL_FS,
+        retry_policy: RetryPolicy = REVIVE_RETRY,
+        rng: Optional[random.Random] = None,
     ) -> None:
         """Rebuild a dead replica from a healthy peer and rejoin it.
 
-        The stale directory is wiped and re-bootstrapped from the first
-        live replica's in-memory objects — replicas receive identical
-        mutation streams, so any live peer is authoritative.
+        The stale directory is wiped and re-bootstrapped from a live
+        replica's in-memory objects — replicas receive identical mutation
+        streams, so any live peer is authoritative.  A peer that raises
+        mid-copy is marked dead and the copy retries (bounded, with
+        backoff) against the next live peer; only when no live peer
+        remains does the revival fail.  The whole rebuild holds the
+        shard's write lock, so a concurrent mutation lands either before
+        the copy (and is included) or after the rejoin (and is applied to
+        the revived replica too) — never in between.
         """
-        live = self.live_replicas()
-        if not live:
-            raise ShardUnavailableError(
-                f"{self.shard_id}: no live replica to revive from"
+        with self._write_lock:
+            if not self._dead[replica]:
+                return
+
+            def copy_from_peer() -> Collection:
+                live = self.live_replicas()
+                if not live:
+                    raise ShardUnavailableError(
+                        f"{self.shard_id}: no live replica to revive from",
+                        shard_id=self.shard_id,
+                        replica_count=len(self.stores),
+                    )
+                peer_id = live[0]
+                try:
+                    return Collection(self.stores[peer_id].index.objects())
+                except ReproError as exc:
+                    # This peer is no good; take it out of the read set so
+                    # the retry targets the next one.
+                    self._dead[peer_id] = True
+                    raise ShardUnavailableError(
+                        f"{self.shard_id}: revive peer replica-{peer_id} "
+                        f"failed: {exc}",
+                        shard_id=self.shard_id,
+                        replica_count=len(self.stores),
+                        failures={peer_id: str(exc)},
+                    ) from exc
+
+            collection = retry_call(
+                copy_from_peer,
+                policy=retry_policy,
+                retry_on=(ShardUnavailableError,),
+                rng=rng,
             )
-        if not self._dead[replica]:
-            return
-        peer = self.stores[live[0]]
-        if directory.exists():
-            shutil.rmtree(directory)
-        directory.mkdir(parents=True)
-        store = DurableIndexStore.open(
-            directory,
-            index_key=index_key,
-            index_params=index_params,
-            wal_fsync=wal_fsync,
-            fs=fs,
-        )
-        collection = Collection(peer.index.objects())
-        if len(collection):
-            store.bootstrap(collection, index_key, **index_params)
-        if self.cache is not None:
-            store.attach_cache(self.cache)
-        self.stores[replica] = store
-        self._dead[replica] = False
+            if directory.exists():
+                shutil.rmtree(directory)
+            directory.mkdir(parents=True)
+            store = DurableIndexStore.open(
+                directory,
+                index_key=index_key,
+                index_params=index_params,
+                wal_fsync=wal_fsync,
+                fs=fs,
+            )
+            if len(collection):
+                store.bootstrap(collection, index_key, **index_params)
+            if self.cache is not None:
+                store.attach_cache(self.cache)
+            self.stores[replica] = store
+            self._dead[replica] = False
 
     def close(self) -> None:
         for store in self.stores:
@@ -191,7 +255,7 @@ class ReplicaSet:
         """The first live replica's in-memory index (membership probes)."""
         live = self.live_replicas()
         if not live:
-            raise ShardUnavailableError(f"{self.shard_id}: all replicas are dead")
+            raise self._unavailable({})
         return self.stores[live[0]].index
 
     def stats(self) -> Dict[str, object]:

@@ -22,10 +22,16 @@ is the point of partitioning the cache along with the data.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import DuplicateObjectError, UnknownObjectError
+from repro.core.errors import (
+    DuplicateObjectError,
+    ShardUnavailableError,
+    UnknownObjectError,
+)
 from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.cluster.group import ShardGroup
 from repro.cluster.routing import RoutingTable
@@ -52,6 +58,25 @@ def merge_shard_results(results: Sequence[List[int]]) -> Tuple[List[int], int]:
     return sorted(seen), duplicates
 
 
+@dataclass
+class PartialResult:
+    """A scatter-gather answer that names the shards it is missing.
+
+    ``complete`` is True only when every planned shard answered; failed
+    shards appear in ``shard_errors`` as ``{shard_id: {"code", "message",
+    "detail"?}}`` with code ``"shard_unavailable"`` or
+    ``"deadline_exceeded"``.  The ids gathered from the shards that *did*
+    answer are always returned — graceful degradation beats an empty
+    hand — and the caller decides whether a partial answer is usable.
+    """
+
+    ids: List[int]
+    complete: bool = True
+    shard_errors: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    shards_planned: int = 0
+    shards_answered: int = 0
+
+
 class ClusterRouter:
     """Routes queries and mutations for one routing-table generation."""
 
@@ -74,6 +99,50 @@ class ClusterRouter:
         merged, duplicates = merge_shard_results(results)
         self._count_query(planned, duplicates)
         return merged
+
+    def query_partial(
+        self, q: TimeTravelQuery, deadline: Optional[float] = None
+    ) -> PartialResult:
+        """Deadline-aware scatter-gather that degrades instead of raising.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant.  The
+        scatter visits planned shards in order, checking the clock before
+        each one; shards not reached in time are reported as
+        ``deadline_exceeded`` and a dead shard as ``shard_unavailable``
+        (with the replica-level detail from
+        :class:`~repro.core.errors.ShardUnavailableError`) — the caller
+        always gets an answer shaped like *something*, never a hang.
+        """
+        planned = self.plan(q)
+        answered: List[List[int]] = []
+        errors: Dict[str, Dict[str, object]] = {}
+        for position, shard_id in enumerate(planned):
+            if deadline is not None and time.monotonic() >= deadline:
+                for missed in planned[position:]:
+                    errors[missed] = {
+                        "code": "deadline_exceeded",
+                        "message": "deadline expired before this shard was visited",
+                    }
+                break
+            try:
+                answered.append(self.group.replica_set(shard_id).query(q))
+            except ShardUnavailableError as exc:
+                errors[shard_id] = {
+                    "code": "shard_unavailable",
+                    "message": str(exc),
+                    "detail": exc.detail(),
+                }
+        merged, duplicates = (
+            merge_shard_results(answered) if answered else ([], 0)
+        )
+        self._count_query(planned, duplicates)
+        return PartialResult(
+            ids=merged,
+            complete=not errors,
+            shard_errors=errors,
+            shards_planned=len(planned),
+            shards_answered=len(answered),
+        )
 
     def run_batch(
         self,

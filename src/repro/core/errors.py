@@ -59,7 +59,44 @@ class ClusterError(ReproError):
 
 
 class ShardUnavailableError(ClusterError):
-    """Every replica of a shard refused to serve a read."""
+    """Every replica of a shard refused to serve a read.
+
+    Carries structured failure detail so routers and the network daemon
+    can report *why* a shard is down instead of parsing a joined string:
+
+    ``shard_id``
+        The shard that refused, or ``None`` for pre-routing failures.
+    ``replica_count``
+        How many replicas the shard was configured with.
+    ``failures``
+        ``{replica_index: last exception message}`` for every replica
+        that raised (dead-on-arrival replicas are absent).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: "str | None" = None,
+        replica_count: int = 0,
+        failures: "dict[int, str] | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.replica_count = replica_count
+        self.failures = dict(failures or {})
+
+    def detail(self) -> "dict[str, object]":
+        """A JSON-ready description of the failure (daemon error payloads)."""
+        return {
+            "shard_id": self.shard_id,
+            "replica_count": self.replica_count,
+            "failures": {str(k): v for k, v in sorted(self.failures.items())},
+        }
+
+
+class DeadlineExceededError(ReproError):
+    """A request's deadline expired before the work could complete."""
 
 
 class MetricError(ReproError, ValueError):

@@ -271,6 +271,75 @@ def cluster_instruments(registry: MetricsRegistry) -> ClusterInstruments:
     return registry.bundle("cluster", ClusterInstruments)  # type: ignore[return-value]
 
 
+class ServerInstruments:
+    """Network daemon accounting: admission, deadlines, degradation."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.requests = registry.counter(
+            "repro_server_requests_total",
+            "Requests received by the network daemon, by verb.",
+            ("verb",),
+        )
+        self.request_seconds = registry.histogram(
+            "repro_server_request_seconds",
+            "End-to-end request latency (admission + execution), by verb.",
+            ("verb",),
+        )
+        self.errors = registry.counter(
+            "repro_server_errors_total",
+            "Error responses sent, by structured error code.",
+            ("code",),
+        )
+        self.shed = registry.counter(
+            "repro_server_shed_total",
+            "Requests shed by admission control (queue at capacity).",
+        )
+        self.deadline_exceeded = registry.counter(
+            "repro_server_deadline_exceeded_total",
+            "Requests that hit their deadline before completing.",
+        )
+        self.partial_results = registry.counter(
+            "repro_server_partial_results_total",
+            "Query responses returned with complete=false.",
+        )
+        self.connections = registry.counter(
+            "repro_server_connections_total", "Client connections accepted."
+        )
+        self.open_connections = registry.gauge(
+            "repro_server_open_connections", "Currently open client connections."
+        )
+        self.slow_client_closes = registry.counter(
+            "repro_server_slow_client_closes_total",
+            "Connections closed because a response write timed out.",
+        )
+        self.inflight = registry.gauge(
+            "repro_server_inflight_requests", "Requests currently executing."
+        )
+        self.queued = registry.gauge(
+            "repro_server_queued_requests",
+            "Admitted requests waiting for an execution slot.",
+        )
+        self.bytes_read = registry.counter(
+            "repro_server_bytes_read_total", "Framed request bytes read."
+        )
+        self.bytes_written = registry.counter(
+            "repro_server_bytes_written_total", "Framed response bytes written."
+        )
+        self.drains = registry.counter(
+            "repro_server_drains_total",
+            "Graceful drains executed (SIGTERM / shutdown verb).",
+        )
+        self.injected_faults = registry.counter(
+            "repro_server_injected_net_faults_total",
+            "Network fault actions executed by the injector, by action.",
+            ("action",),
+        )
+
+
+def server_instruments(registry: MetricsRegistry) -> ServerInstruments:
+    return registry.bundle("server", ServerInstruments)  # type: ignore[return-value]
+
+
 def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     """Materialise every family of the catalog (zero-valued).
 
@@ -285,4 +354,5 @@ def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     exec_instruments(registry)
     cache_instruments(registry)
     cluster_instruments(registry)
+    server_instruments(registry)
     return registry

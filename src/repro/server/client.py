@@ -1,0 +1,279 @@
+"""Bundled blocking client for the query daemon.
+
+The client owns the retry story so callers do not have to: transport
+failures (connection refused/reset, a dropped response frame surfacing
+as a socket timeout) and ``overloaded`` sheds are retried with the
+shared :mod:`repro.utils.retry` backoff — bounded attempts, exponential
+delay, deterministic jitter via an injectable RNG.  An ``overloaded``
+response's ``retry_after_ms`` hint *floors* the next backoff delay, so a
+client never hammers a shedding server faster than the server asked.
+
+Retry safety: queries and control verbs are idempotent and always
+retryable.  Mutations are at-least-once under retry — a response lost on
+the wire means the retried ``insert`` can hit ``conflict`` and the
+retried ``delete`` can hit ``not_found`` even though the first attempt
+applied.  With ``idempotent_mutations=True`` (the default) the client
+resolves exactly that ambiguity: such an error *after a transport-failed
+attempt* is reported as success, because the operation's effect is in
+place.  First-attempt conflicts are always surfaced — they are real.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ReproError
+from repro.server import protocol
+from repro.server.protocol import E_CONFLICT, E_NOT_FOUND, E_OVERLOADED
+from repro.utils.retry import RetryPolicy, retry_call
+
+#: Default client retry: 4 attempts, 25 ms base, capped at 1 s.
+CLIENT_RETRY = RetryPolicy(max_attempts=4, base_delay=0.025, max_delay=1.0)
+
+
+class TransportError(ReproError):
+    """The connection failed before a response arrived (retryable)."""
+
+
+class ServerError(ReproError):
+    """A structured error response from the daemon."""
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after_ms: Optional[int] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+        self.detail = detail or {}
+
+
+class _Retryable(Exception):
+    """Internal retry envelope: carries the real error + a delay floor."""
+
+    def __init__(self, cause: Exception, floor: float = 0.0) -> None:
+        super().__init__(str(cause))
+        self.cause = cause
+        self.floor = floor
+
+
+class DaemonClient:
+    """One connection to a daemon, reconnecting and retrying as needed."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 5.0,
+        retry: RetryPolicy = CLIENT_RETRY,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        idempotent_mutations: bool = True,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self.idempotent_mutations = idempotent_mutations
+        self.max_frame_bytes = max_frame_bytes
+        self._rng = rng or random.Random()
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._next_id = 0
+
+    # ----------------------------------------------------------------- verbs
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def status(self) -> Dict[str, Any]:
+        return self.request("status")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain (no retry: one ask is enough)."""
+        return self.request("shutdown", retryable=False)
+
+    def query(
+        self,
+        tenant: str,
+        start: float,
+        end: float,
+        elements: Sequence[str] = (),
+        *,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "query",
+            tenant=tenant,
+            start=start,
+            end=end,
+            elements=list(elements),
+            deadline_ms=deadline_ms,
+        )
+
+    def batch(
+        self,
+        tenant: str,
+        queries: Sequence[Dict[str, Any]],
+        *,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "batch", tenant=tenant, queries=list(queries), deadline_ms=deadline_ms
+        )
+
+    def insert(
+        self,
+        tenant: str,
+        object_id: int,
+        start: float,
+        end: float,
+        elements: Sequence[str] = (),
+        *,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        return self.request(
+            "insert",
+            tenant=tenant,
+            object_id=object_id,
+            start=start,
+            end=end,
+            elements=list(elements),
+            deadline_ms=deadline_ms,
+            _ambiguous_ok=E_CONFLICT if self.idempotent_mutations else None,
+        )
+
+    def delete(
+        self, tenant: str, object_id: int, *, deadline_ms: Optional[int] = None
+    ) -> Dict[str, Any]:
+        return self.request(
+            "delete",
+            tenant=tenant,
+            object_id=object_id,
+            deadline_ms=deadline_ms,
+            _ambiguous_ok=E_NOT_FOUND if self.idempotent_mutations else None,
+        )
+
+    # ------------------------------------------------------------ the engine
+    def request(
+        self,
+        verb: str,
+        *,
+        retryable: bool = True,
+        _ambiguous_ok: Optional[str] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """One verb round-trip with bounded retry; returns the result dict."""
+        self._next_id += 1
+        payload: Dict[str, Any] = {"id": self._next_id, "verb": verb}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        attempts = {"n": 0, "transport_failed": False}
+
+        def once() -> Dict[str, Any]:
+            attempts["n"] += 1
+            try:
+                response = self._roundtrip(payload)
+            except TransportError as exc:
+                attempts["transport_failed"] = True
+                if not retryable:
+                    raise
+                raise _Retryable(exc) from exc
+            if response.get("ok"):
+                return response.get("result", {})
+            error = response.get("error") or {}
+            code = error.get("code", "internal")
+            exc = ServerError(
+                code,
+                error.get("message", "(no message)"),
+                retry_after_ms=error.get("retry_after_ms"),
+                detail=error.get("detail"),
+            )
+            if (
+                _ambiguous_ok is not None
+                and code == _ambiguous_ok
+                and attempts["transport_failed"]
+            ):
+                # A prior attempt's response was lost; this error says the
+                # mutation already took effect.  At-least-once resolves to
+                # success.
+                return {"applied": True, "resolved_ambiguity": code}
+            if retryable and code == E_OVERLOADED:
+                raise _Retryable(exc, floor=(exc.retry_after_ms or 0) / 1000.0)
+            raise exc
+
+        pending_floor = [0.0]
+
+        def on_retry(attempt: int, exc: Exception) -> None:
+            pending_floor[0] = getattr(exc, "floor", 0.0)
+            self._drop_conn()
+
+        def sleep_with_floor(seconds: float) -> None:
+            self._sleep(max(seconds, pending_floor[0]))
+            pending_floor[0] = 0.0
+
+        try:
+            return retry_call(
+                once,
+                policy=self.retry,
+                retry_on=(_Retryable,),
+                rng=self._rng,
+                sleep=sleep_with_floor,
+                on_retry=on_retry,
+            )
+        except _Retryable as exc:
+            raise exc.cause from None
+
+    # -------------------------------------------------------------- transport
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        sock = self._ensure_conn()
+        try:
+            protocol.write_frame_sock(sock, payload)
+            response = protocol.read_frame_sock(sock, self.max_frame_bytes)
+        except (OSError, protocol.ProtocolError) as exc:
+            self._drop_conn()
+            raise TransportError(f"{type(exc).__name__}: {exc}") from exc
+        if response is None:
+            self._drop_conn()
+            raise TransportError("connection closed before a response arrived")
+        return response
+
+    def _ensure_conn(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            except OSError as exc:
+                raise TransportError(f"connect failed: {exc}") from exc
+            sock.settimeout(self.timeout)
+            self._sock = sock
+        return self._sock
+
+    def _drop_conn(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._drop_conn()
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

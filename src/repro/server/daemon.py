@@ -1,0 +1,723 @@
+"""The resilient asyncio query daemon.
+
+Robustness is the architecture here, not a feature flag.  Every request
+carries a deadline (defaulted and capped by the server); every queue is
+bounded (admission control sheds with a structured ``overloaded`` error
+and a retry-after hint instead of building an unbounded backlog); every
+write to a client is timed (a slow reader gets disconnected, not a
+daemon with an ever-growing outbound buffer); and shutdown is a drain
+(stop accepting, let in-flight work finish or deadline out, flush every
+tenant's WAL, exit) rather than a drop.
+
+Concurrency model
+-----------------
+One asyncio loop owns all socket I/O and the admission state.  Index
+work is synchronous CPU-bound Python, so admitted requests execute on a
+bounded thread pool (``max_inflight`` workers — the pool *is* the
+capacity).  Per tenant, a read/write lock lets queries overlap while
+mutations get exclusivity (the WAL and the in-memory index are not safe
+under concurrent mutation).  Deadlines are enforced cooperatively at
+shard boundaries inside the cluster scatter-gather
+(:meth:`~repro.cluster.ClusterRouter.query_partial`) and as an
+``asyncio.wait_for`` backstop around the pool call; an expired backstop
+abandons the *result*, not the thread — the pool stays bounded, so a
+pathological query can at worst occupy one of ``max_inflight`` slots
+until it returns.
+
+Fault injection
+---------------
+A :class:`~repro.service.faults.NetworkFaultInjector` may be installed;
+the daemon consults it once per received frame and once per sent frame
+and executes the planned drop/delay/close — the chaos suite's hook.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster import PartialResult
+from repro.core.errors import (
+    DuplicateObjectError,
+    InvalidObjectError,
+    InvalidQueryError,
+    ReproError,
+    ShardUnavailableError,
+    StoreClosedError,
+    UnknownObjectError,
+)
+from repro.core.model import TimeTravelQuery, make_object, make_query
+from repro.obs.registry import OBS
+from repro.server import protocol
+from repro.server.protocol import (
+    E_BAD_REQUEST,
+    E_CONFLICT,
+    E_DEADLINE,
+    E_INTERNAL,
+    E_NOT_FOUND,
+    E_OVERLOADED,
+    E_SHUTTING_DOWN,
+    E_UNAVAILABLE,
+    E_UNKNOWN_TENANT,
+)
+from repro.server.tenants import TenantRegistry, UnknownTenantError
+from repro.service.faults import (
+    NET_CLOSE,
+    NET_DELAY,
+    NET_DROP,
+    InjectedDisconnect,
+    NetworkFaultInjector,
+)
+
+#: Verbs that go through admission control and the executor pool.
+WORK_VERBS = frozenset({"query", "batch", "insert", "delete"})
+
+#: Cheap control-plane verbs answered inline on the event loop.
+CONTROL_VERBS = frozenset({"status", "metrics", "ping", "shutdown"})
+
+ALL_VERBS = WORK_VERBS | CONTROL_VERBS
+
+
+@dataclass
+class ServerConfig:
+    """Every robustness knob in one place (see ``docs/server.md``)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands in QueryDaemon.port
+    max_inflight: int = 8  # executor pool width = hard execution capacity
+    max_queue: int = 16  # admitted-but-waiting bound; beyond this → shed
+    default_deadline_ms: int = 2_000
+    max_deadline_ms: int = 60_000
+    write_timeout: float = 5.0  # slow-client response-write bound
+    drain_timeout: float = 10.0  # in-flight grace on shutdown
+    # Extra time past the deadline granted to *cluster* queries so the
+    # cooperative scatter-gather can surface the partial result it was
+    # building (a mid-shard probe cannot be interrupted, only awaited a
+    # little longer or abandoned).  Store queries get no grace: they are
+    # one atomic probe, so the backstop abandons them exactly on time.
+    deadline_grace: float = 0.5
+    max_frame_bytes: int = protocol.MAX_FRAME_BYTES
+    retry_after_ms: int = 50  # hint attached to shed responses
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ReproError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.max_queue < 0:
+            raise ReproError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.default_deadline_ms < 1 or self.max_deadline_ms < 1:
+            raise ReproError("deadlines must be positive")
+
+
+class AsyncRWLock:
+    """Many readers or one writer, asyncio-native, FIFO-ish via Condition."""
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writing = False
+
+    async def acquire_read(self) -> None:
+        async with self._cond:
+            while self._writing:
+                await self._cond.wait()
+            self._readers += 1
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    async def acquire_write(self) -> None:
+        async with self._cond:
+            while self._writing or self._readers:
+                await self._cond.wait()
+            self._writing = True
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+
+
+class QueryDaemon:
+    """One serving daemon over a :class:`TenantRegistry`."""
+
+    def __init__(
+        self,
+        tenants: TenantRegistry,
+        config: Optional[ServerConfig] = None,
+        *,
+        net_faults: Optional[NetworkFaultInjector] = None,
+    ) -> None:
+        self.tenants = tenants
+        self.config = config or ServerConfig()
+        self.net_faults = net_faults
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._locks: Dict[str, AsyncRWLock] = {}
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._executing = 0
+        self._waiting = 0
+        self._active = 0  # requests between dispatch and response-sent
+        self._draining = False
+        self._drain_requested: Optional[asyncio.Event] = None
+        self._drain_report: Dict[str, int] = {}
+
+    # --------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the socket and start accepting (loop-owned state born here)."""
+        self._drain_requested = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-server",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_drain(self) -> None:
+        """Flag the daemon to drain (signal handlers and the harness call this)."""
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+
+    async def run_until_drained(
+        self, *, install_signal_handlers: bool = True
+    ) -> Dict[str, int]:
+        """Serve until a drain is requested, then drain; the CLI main loop.
+
+        SIGTERM and SIGINT both trigger the graceful path: stop accepting,
+        answer (or deadline-out) everything in flight, flush WALs, return.
+        """
+        if self._server is None:
+            await self.start()
+        assert self._drain_requested is not None
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(signum, self.request_drain)
+        await self._drain_requested.wait()
+        return await self.drain()
+
+    async def drain(self) -> Dict[str, int]:
+        """Graceful shutdown; returns ``{"in_flight_at_drain", "abandoned"}``."""
+        if self._draining:
+            return self._drain_report
+        self._draining = True
+        self._count(lambda i: i.drains.inc())
+        in_flight = self._active
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let in-flight work finish: every admitted request has a deadline,
+        # so this loop is bounded even without the drain_timeout backstop.
+        grace_until = time.monotonic() + self.config.drain_timeout
+        while self._active and time.monotonic() < grace_until:
+            await asyncio.sleep(0.005)
+        abandoned = self._active
+        # Now sever lingering connections (idle keep-alives, slow clients).
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        await asyncio.sleep(0)  # let connection tasks observe the close
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+        self.tenants.close_all()
+        self._drain_report = {
+            "in_flight_at_drain": in_flight,
+            "abandoned": abandoned,
+        }
+        return self._drain_report
+
+    # -------------------------------------------------------------- connection
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        self._count(lambda i: (i.connections.inc(), i.open_connections.inc()))
+        try:
+            await self._connection_loop(reader, writer)
+        except protocol.ProtocolError as exc:
+            # One best-effort structured reply, then hang up: a framing
+            # violation poisons everything after it on this connection.
+            await self._send(
+                writer,
+                protocol.error_response(None, E_BAD_REQUEST, str(exc)),
+            )
+        except (
+            InjectedDisconnect,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # peer vanished; nothing sensible left to say
+        finally:
+            self._writers.discard(writer)
+            self._count(lambda i: i.open_connections.dec())
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await protocol.read_frame(reader, self.config.max_frame_bytes)
+            if frame is None:
+                return
+            payload, nbytes = frame
+            self._count(lambda i: i.bytes_read.inc(nbytes))
+            if self.net_faults is not None:
+                action = self.net_faults.on_recv()
+                if action is not None:
+                    self._count(lambda i: i.injected_faults.labels(action[0]).inc())
+                    if action[0] == NET_DROP:
+                        continue  # request vanishes; the client retries
+                    if action[0] == NET_DELAY:
+                        await asyncio.sleep(action[1])
+                    elif action[0] == NET_CLOSE:
+                        raise InjectedDisconnect("injected recv-side close")
+            self._active += 1
+            try:
+                response = await self._handle_request(payload)
+                if response is not None and not await self._send(writer, response):
+                    return  # slow client or injected close: abandon the conn
+            finally:
+                self._active -= 1
+            if self._draining:
+                return
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> bool:
+        """Write one response frame; False means the connection is gone."""
+        if self.net_faults is not None:
+            action = self.net_faults.on_send()
+            if action is not None:
+                self._count(lambda i: i.injected_faults.labels(action[0]).inc())
+                if action[0] == NET_DROP:
+                    return True  # silently lost on the wire
+                if action[0] == NET_DELAY:
+                    await asyncio.sleep(action[1])
+                elif action[0] == NET_CLOSE:
+                    writer.transport.abort()
+                    return False
+        try:
+            data = protocol.encode_frame(payload)
+        except protocol.ProtocolError:
+            data = protocol.encode_frame(
+                protocol.error_response(
+                    payload.get("id"), E_INTERNAL, "response exceeded frame limit"
+                )
+            )
+        writer.write(data)
+        try:
+            await asyncio.wait_for(writer.drain(), self.config.write_timeout)
+        except asyncio.TimeoutError:
+            # Slow client: its kernel buffers are full and it is not
+            # reading.  Keeping the connection would let one laggard pin
+            # daemon memory; cut it loose instead.
+            self._count(lambda i: i.slow_client_closes.inc())
+            writer.transport.abort()
+            return False
+        except (ConnectionError, InjectedDisconnect):
+            return False
+        self._count(lambda i: i.bytes_written.inc(len(data)))
+        return True
+
+    # ---------------------------------------------------------------- requests
+    async def _handle_request(
+        self, payload: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        started = time.monotonic()
+        request_id = payload.get("id")
+        verb = payload.get("verb")
+        if not isinstance(verb, str) or verb not in ALL_VERBS:
+            return self._error(
+                request_id, E_BAD_REQUEST, f"unknown verb {verb!r}", verb="invalid"
+            )
+        self._count(lambda i: i.requests.labels(verb).inc())
+        try:
+            if verb in CONTROL_VERBS:
+                response = self._control(request_id, verb)
+            else:
+                response = await self._work(request_id, verb, payload, started)
+        except Exception as exc:  # noqa: BLE001 — the daemon must answer
+            response = self._error(
+                request_id, E_INTERNAL, f"{type(exc).__name__}: {exc}", verb=verb
+            )
+        self._count(
+            lambda i: i.request_seconds.labels(verb).observe(
+                time.monotonic() - started
+            )
+        )
+        return response
+
+    def _control(self, request_id: Any, verb: str) -> Dict[str, Any]:
+        if verb == "ping":
+            return protocol.ok_response(request_id, {"pong": True})
+        if verb == "shutdown":
+            self.request_drain()
+            return protocol.ok_response(request_id, {"draining": True})
+        if verb == "metrics":
+            from repro.obs.exposition import render_prometheus
+
+            return protocol.ok_response(
+                request_id,
+                {
+                    "format": "prometheus",
+                    "enabled": OBS.registry.enabled,
+                    "body": render_prometheus(OBS.registry),
+                },
+            )
+        # status
+        return protocol.ok_response(
+            request_id,
+            {
+                "draining": self._draining,
+                "tenants": self.tenants.stats(),
+                "executing": self._executing,
+                "waiting": self._waiting,
+                "open_connections": len(self._writers),
+                "limits": {
+                    "max_inflight": self.config.max_inflight,
+                    "max_queue": self.config.max_queue,
+                    "default_deadline_ms": self.config.default_deadline_ms,
+                    "max_deadline_ms": self.config.max_deadline_ms,
+                },
+            },
+        )
+
+    async def _work(
+        self, request_id: Any, verb: str, payload: Dict[str, Any], started: float
+    ) -> Dict[str, Any]:
+        if self._draining:
+            return self._error(
+                request_id,
+                E_SHUTTING_DOWN,
+                "daemon is draining; no new work accepted",
+                verb=verb,
+            )
+        try:
+            deadline = started + self._deadline_seconds(payload)
+            tenant = self.tenants.get(self._tenant_name(payload))
+        except UnknownTenantError as exc:
+            return self._error(request_id, E_UNKNOWN_TENANT, str(exc), verb=verb)
+        except _BadRequest as exc:
+            return self._error(request_id, E_BAD_REQUEST, str(exc), verb=verb)
+
+        admitted = await self._admit(deadline)
+        if admitted == "shed":
+            self._count(lambda i: i.shed.inc())
+            return self._error(
+                request_id,
+                E_OVERLOADED,
+                f"admission queue at capacity "
+                f"({self.config.max_inflight} executing, "
+                f"{self.config.max_queue} queued)",
+                verb=verb,
+                retry_after_ms=self.config.retry_after_ms,
+            )
+        if admitted == "deadline":
+            return self._deadline_error(request_id, verb, "waiting for an execution slot")
+        try:
+            return await self._execute(request_id, verb, payload, tenant, deadline)
+        finally:
+            self._executing -= 1
+            self._count(lambda i: i.inflight.set(self._executing))
+
+    # ---------------------------------------------------------------- admission
+    async def _admit(self, deadline: float) -> str:
+        """Reserve an execution slot: ``ok``, ``shed`` or ``deadline``."""
+        if (
+            self._executing >= self.config.max_inflight
+            and self._waiting >= self.config.max_queue
+        ):
+            return "shed"
+        if self._executing < self.config.max_inflight and not self._waiting:
+            self._executing += 1
+            self._count(lambda i: i.inflight.set(self._executing))
+            return "ok"
+        self._waiting += 1
+        self._count(lambda i: i.queued.set(self._waiting))
+        try:
+            while self._executing >= self.config.max_inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return "deadline"
+                await asyncio.sleep(min(0.002, remaining))
+            self._executing += 1
+            self._count(lambda i: i.inflight.set(self._executing))
+            return "ok"
+        finally:
+            self._waiting -= 1
+            self._count(lambda i: i.queued.set(self._waiting))
+
+    # ---------------------------------------------------------------- execution
+    async def _execute(
+        self,
+        request_id: Any,
+        verb: str,
+        payload: Dict[str, Any],
+        tenant,
+        deadline: float,
+    ) -> Dict[str, Any]:
+        try:
+            grace = (
+                self.config.deadline_grace if tenant.kind == "cluster" else 0.0
+            )
+            if verb == "query":
+                q = self._parse_query(payload)
+                work = lambda: tenant.query_partial(q, deadline)  # noqa: E731
+                partial = await self._run_locked(
+                    tenant.name, work, deadline, write=False, grace=grace
+                )
+                return self._partial_response(request_id, partial)
+            if verb == "batch":
+                queries = self._parse_batch(payload)
+
+                def run_batch() -> List[PartialResult]:
+                    out: List[PartialResult] = []
+                    for q in queries:
+                        if time.monotonic() >= deadline:
+                            out.append(
+                                PartialResult(
+                                    ids=[],
+                                    complete=False,
+                                    shard_errors={
+                                        "*": {
+                                            "code": "deadline_exceeded",
+                                            "message": "batch deadline expired",
+                                        }
+                                    },
+                                )
+                            )
+                        else:
+                            out.append(tenant.query_partial(q, deadline))
+                    return out
+
+                partials = await self._run_locked(
+                    tenant.name, run_batch, deadline, write=False, grace=grace
+                )
+                results = [self._partial_dict(p) for p in partials]
+                complete = all(p.complete for p in partials)
+                if not complete:
+                    self._count(lambda i: i.partial_results.inc())
+                return protocol.ok_response(
+                    request_id, {"results": results, "complete": complete}
+                )
+            if verb == "insert":
+                obj = self._parse_object(payload)
+                await self._run_locked(
+                    tenant.name, lambda: tenant.insert(obj), deadline, write=True
+                )
+                return protocol.ok_response(request_id, {"inserted": obj.id})
+            # delete
+            object_id = self._parse_id(payload)
+            await self._run_locked(
+                tenant.name, lambda: tenant.delete(object_id), deadline, write=True
+            )
+            return protocol.ok_response(request_id, {"deleted": object_id})
+        except _BadRequest as exc:
+            return self._error(request_id, E_BAD_REQUEST, str(exc), verb=verb)
+        except _DeadlineHit as exc:
+            return self._deadline_error(request_id, verb, str(exc))
+        except DuplicateObjectError as exc:
+            return self._error(request_id, E_CONFLICT, str(exc), verb=verb)
+        except UnknownObjectError as exc:
+            return self._error(request_id, E_NOT_FOUND, str(exc), verb=verb)
+        except ShardUnavailableError as exc:
+            return self._error(
+                request_id, E_UNAVAILABLE, str(exc), verb=verb, detail=exc.detail()
+            )
+        except StoreClosedError as exc:
+            return self._error(request_id, E_UNAVAILABLE, str(exc), verb=verb)
+        except (InvalidObjectError, InvalidQueryError) as exc:
+            return self._error(request_id, E_BAD_REQUEST, str(exc), verb=verb)
+
+    async def _run_locked(
+        self,
+        tenant_name: str,
+        fn: Callable[[], Any],
+        deadline: float,
+        *,
+        write: bool,
+        grace: float = 0.0,
+    ) -> Any:
+        """Run ``fn`` on the pool under the tenant's read/write lock."""
+        lock = self._locks.setdefault(tenant_name, AsyncRWLock())
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise _DeadlineHit("deadline expired before execution began")
+        acquire = lock.acquire_write() if write else lock.acquire_read()
+        try:
+            await asyncio.wait_for(acquire, remaining)
+        except asyncio.TimeoutError:
+            raise _DeadlineHit("deadline expired waiting for the tenant lock") from None
+        try:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise _DeadlineHit("deadline expired before execution began")
+            loop = asyncio.get_running_loop()
+            # The thread wrapper captures exceptions itself: a future
+            # whose awaiter was cancelled by the deadline backstop must
+            # not leak "exception was never retrieved" noise.
+            outcome: Tuple[str, Any]
+            try:
+                outcome = await asyncio.wait_for(
+                    loop.run_in_executor(self._pool, _capture(fn)),
+                    remaining + grace,
+                )
+            except asyncio.TimeoutError:
+                raise _DeadlineHit("deadline expired during execution") from None
+            kind, value = outcome
+            if kind == "err":
+                raise value
+            return value
+        finally:
+            if write:
+                await lock.release_write()
+            else:
+                await lock.release_read()
+
+    # ------------------------------------------------------------ result shapes
+    def _partial_dict(self, partial: PartialResult) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ids": partial.ids,
+            "count": len(partial.ids),
+            "complete": partial.complete,
+            "shards_planned": partial.shards_planned,
+            "shards_answered": partial.shards_answered,
+        }
+        if partial.shard_errors:
+            out["shard_errors"] = partial.shard_errors
+        return out
+
+    def _partial_response(
+        self, request_id: Any, partial: PartialResult
+    ) -> Dict[str, Any]:
+        if not partial.complete:
+            self._count(lambda i: i.partial_results.inc())
+        return protocol.ok_response(request_id, self._partial_dict(partial))
+
+    # ---------------------------------------------------------------- parsing
+    def _deadline_seconds(self, payload: Dict[str, Any]) -> float:
+        raw = payload.get("deadline_ms", self.config.default_deadline_ms)
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw <= 0:
+            raise _BadRequest(f"deadline_ms must be a positive number, got {raw!r}")
+        return min(float(raw), float(self.config.max_deadline_ms)) / 1000.0
+
+    def _tenant_name(self, payload: Dict[str, Any]) -> str:
+        tenant = payload.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise _BadRequest("missing required field 'tenant'")
+        return tenant
+
+    def _parse_query(self, payload: Dict[str, Any]) -> TimeTravelQuery:
+        return _query_from(payload)
+
+    def _parse_batch(self, payload: Dict[str, Any]) -> List[TimeTravelQuery]:
+        raw = payload.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise _BadRequest("'batch' needs a non-empty 'queries' list")
+        return [_query_from(item) for item in raw]
+
+    def _parse_object(self, payload: Dict[str, Any]):
+        object_id = self._parse_id(payload)
+        start, end = _bounds_from(payload)
+        elements = _elements_from(payload)
+        try:
+            return make_object(object_id, start, end, elements)
+        except ReproError as exc:
+            raise _BadRequest(str(exc)) from exc
+
+    def _parse_id(self, payload: Dict[str, Any]) -> int:
+        raw = payload.get("object_id", payload.get("id_to_delete"))
+        if isinstance(raw, bool) or not isinstance(raw, int):
+            raise _BadRequest(f"object_id must be an integer, got {raw!r}")
+        return raw
+
+    # ----------------------------------------------------------------- metrics
+    def _count(self, apply) -> None:
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import server_instruments
+
+            apply(server_instruments(registry))
+
+    def _error(
+        self,
+        request_id: Any,
+        code: str,
+        message: str,
+        *,
+        verb: str,
+        retry_after_ms: Optional[int] = None,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        self._count(lambda i: i.errors.labels(code).inc())
+        return protocol.error_response(
+            request_id, code, message, retry_after_ms=retry_after_ms, detail=detail
+        )
+
+    def _deadline_error(
+        self, request_id: Any, verb: str, where: str
+    ) -> Dict[str, Any]:
+        self._count(lambda i: i.deadline_exceeded.inc())
+        return self._error(
+            request_id, E_DEADLINE, f"deadline exceeded: {where}", verb=verb
+        )
+
+
+# ----------------------------------------------------------------- internals
+class _BadRequest(Exception):
+    """Request-shape violation (mapped to the bad_request error code)."""
+
+
+class _DeadlineHit(Exception):
+    """The deadline fired somewhere on the execution path."""
+
+
+def _capture(fn: Callable[[], Any]) -> Callable[[], Tuple[str, Any]]:
+    def run() -> Tuple[str, Any]:
+        try:
+            return ("ok", fn())
+        except BaseException as exc:  # noqa: BLE001 — ferried to the loop
+            return ("err", exc)
+
+    return run
+
+
+def _query_from(payload: Dict[str, Any]) -> TimeTravelQuery:
+    start, end = _bounds_from(payload)
+    try:
+        return make_query(start, end, _elements_from(payload))
+    except ReproError as exc:
+        raise _BadRequest(str(exc)) from exc
+
+
+def _bounds_from(payload: Dict[str, Any]) -> Tuple[float, float]:
+    out = []
+    for key in ("start", "end"):
+        raw = payload.get(key)
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise _BadRequest(f"{key} must be a number, got {raw!r}")
+        out.append(raw)
+    return out[0], out[1]
+
+
+def _elements_from(payload: Dict[str, Any]) -> List[str]:
+    raw = payload.get("elements", [])
+    if isinstance(raw, str):
+        raw = [e for e in raw.split(",") if e]
+    if not isinstance(raw, list) or not all(isinstance(e, str) for e in raw):
+        raise _BadRequest("elements must be a list of strings")
+    return raw

@@ -1,0 +1,91 @@
+"""Run a :class:`~repro.server.daemon.QueryDaemon` on a background thread.
+
+Tests and benchmarks need a live daemon *and* a foreground thread to
+drive clients from; this harness owns the event loop on a daemon thread
+and hands back a :class:`DaemonHandle` with the bound port, a
+thread-safe drain trigger, and a join that doubles as the no-hang
+assertion (a bounded join that fails loudly instead of deadlocking the
+suite).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Dict, Optional
+
+from repro.server.daemon import QueryDaemon, ServerConfig
+from repro.server.tenants import TenantRegistry
+from repro.service.faults import NetworkFaultInjector
+
+
+class DaemonHandle:
+    """Foreground-side handle to a daemon running on its own loop thread."""
+
+    def __init__(self) -> None:
+        self.daemon: Optional[QueryDaemon] = None
+        self.port: Optional[int] = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self.thread: Optional[threading.Thread] = None
+        self.drain_report: Optional[Dict[str, int]] = None
+        self.error: Optional[BaseException] = None
+
+    def request_drain(self) -> None:
+        """Trigger a graceful drain from any thread."""
+        if self.loop is not None and self.daemon is not None:
+            self.loop.call_soon_threadsafe(self.daemon.request_drain)
+
+    def join(self, timeout: float = 30.0) -> Dict[str, int]:
+        """Wait for the daemon thread; raises on timeout — never hangs."""
+        assert self.thread is not None
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise TimeoutError(f"daemon thread still alive after {timeout}s")
+        if self.error is not None:
+            raise RuntimeError(f"daemon thread died: {self.error!r}") from self.error
+        assert self.drain_report is not None
+        return self.drain_report
+
+    def stop(self, timeout: float = 30.0) -> Dict[str, int]:
+        """Drain + join in one call."""
+        self.request_drain()
+        return self.join(timeout)
+
+
+def start_daemon_thread(
+    tenants: TenantRegistry,
+    config: Optional[ServerConfig] = None,
+    *,
+    net_faults: Optional[NetworkFaultInjector] = None,
+    start_timeout: float = 10.0,
+) -> DaemonHandle:
+    """Start a daemon on a fresh thread; returns once it is accepting."""
+    handle = DaemonHandle()
+    started = threading.Event()
+
+    async def main() -> None:
+        daemon = QueryDaemon(tenants, config, net_faults=net_faults)
+        await daemon.start()
+        handle.daemon = daemon
+        handle.port = daemon.port
+        handle.loop = asyncio.get_running_loop()
+        started.set()
+        handle.drain_report = await daemon.run_until_drained(
+            install_signal_handlers=False
+        )
+
+    def runner() -> None:
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced via join()
+            handle.error = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, name="repro-daemon", daemon=True)
+    handle.thread = thread
+    thread.start()
+    if not started.wait(start_timeout):
+        raise TimeoutError(f"daemon failed to start within {start_timeout}s")
+    if handle.error is not None:
+        raise RuntimeError(f"daemon failed to start: {handle.error!r}") from handle.error
+    return handle

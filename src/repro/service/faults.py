@@ -12,14 +12,22 @@ a power cut at that instant would have left.
 
 Standalone helpers :func:`flip_bit` and :func:`truncate_tail` model
 at-rest corruption (bit rot, a torn tail from a different writer).
+
+The network analogue lives here too: a :class:`NetFaultPlan` names
+exactly which frames the :mod:`repro.server` daemon should *drop*,
+*delay* or answer with a *closed* connection at its send/recv
+boundaries, and :class:`NetworkFaultInjector` executes that plan with
+1-based frame counters.  :func:`chaos_net_plan` derives a randomized but
+seed-reproducible plan for the chaos suite.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import BinaryIO, Optional, Union
+from typing import BinaryIO, Dict, Optional, Tuple, Union
 
 from repro.service.fsio import FileSystem, PathLike
 
@@ -117,6 +125,117 @@ class FaultyFileSystem(FileSystem):
         if self.plan.crash_on_replace and self._matches(dst):
             raise SimulatedCrash(f"crash before installing {dst}")
         super().replace(src, dst)
+
+
+# ------------------------------------------------------ network fault hooks
+#: A fault action: ``("drop",)``, ``("delay", seconds)`` or ``("close",)``.
+NetAction = Tuple
+
+#: Action name constants (the injector validates against these).
+NET_DROP = "drop"
+NET_DELAY = "delay"
+NET_CLOSE = "close"
+
+
+class InjectedDisconnect(ConnectionResetError):
+    """The injector "cut the wire" here — the peer sees a reset.
+
+    Deliberately a :class:`ConnectionResetError` subclass so the daemon
+    and client handle it exactly like a real peer disconnect; tests can
+    still tell the two apart by type.
+    """
+
+
+@dataclass
+class NetFaultPlan:
+    """Which frames fail at the send/recv boundary, and how.
+
+    ``send_actions`` / ``recv_actions`` map **1-based frame counters**
+    (counted per injector, across all connections it is installed on) to
+    an action tuple:
+
+    ``("drop",)``
+        The frame vanishes: a send writes nothing (the peer times out or
+        retries), a recv discards the request unanswered.
+    ``("delay", seconds)``
+        The frame is delivered late — the knob for deadline and
+        slow-client coverage.
+    ``("close",)``
+        The connection dies at this boundary with
+        :class:`InjectedDisconnect`.
+    """
+
+    send_actions: Dict[int, NetAction] = field(default_factory=dict)
+    recv_actions: Dict[int, NetAction] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for actions in (self.send_actions, self.recv_actions):
+            for frame, action in actions.items():
+                if frame < 1:
+                    raise ValueError(f"frame counters are 1-based, got {frame}")
+                if not action or action[0] not in (NET_DROP, NET_DELAY, NET_CLOSE):
+                    raise ValueError(f"unknown net fault action: {action!r}")
+
+
+class NetworkFaultInjector:
+    """Executes a :class:`NetFaultPlan` with per-boundary frame counters.
+
+    The daemon (and the bundled client, in tests) consults
+    :meth:`on_send` / :meth:`on_recv` once per frame; the returned action
+    (or ``None``) tells the transport layer what to do.  Delay execution
+    stays with the caller — the asyncio side must ``await`` it, the
+    blocking client just sleeps — so the injector itself never blocks.
+    """
+
+    def __init__(self, plan: Optional[NetFaultPlan] = None) -> None:
+        self.plan = plan or NetFaultPlan()
+        self.sends_seen = 0
+        self.recvs_seen = 0
+        self.actions_fired: int = 0
+
+    def on_send(self) -> Optional[NetAction]:
+        self.sends_seen += 1
+        action = self.plan.send_actions.get(self.sends_seen)
+        if action is not None:
+            self.actions_fired += 1
+        return action
+
+    def on_recv(self) -> Optional[NetAction]:
+        self.recvs_seen += 1
+        action = self.plan.recv_actions.get(self.recvs_seen)
+        if action is not None:
+            self.actions_fired += 1
+        return action
+
+
+def chaos_net_plan(
+    seed: int,
+    n_frames: int,
+    *,
+    p_drop: float = 0.05,
+    p_delay: float = 0.10,
+    p_close: float = 0.02,
+    delay: float = 0.05,
+) -> NetFaultPlan:
+    """A randomized-but-reproducible plan over the first ``n_frames``.
+
+    Faults are sampled independently per boundary from ``random.Random
+    (seed)``, so the same seed always yields the same fault schedule —
+    the chaos suite's failures replay bit-for-bit.
+    """
+    rng = random.Random(seed)
+    send_actions: Dict[int, NetAction] = {}
+    recv_actions: Dict[int, NetAction] = {}
+    for actions in (send_actions, recv_actions):
+        for frame in range(1, n_frames + 1):
+            roll = rng.random()
+            if roll < p_close:
+                actions[frame] = (NET_CLOSE,)
+            elif roll < p_close + p_drop:
+                actions[frame] = (NET_DROP,)
+            elif roll < p_close + p_drop + p_delay:
+                actions[frame] = (NET_DELAY, delay * (0.5 + rng.random()))
+    return NetFaultPlan(send_actions=send_actions, recv_actions=recv_actions)
 
 
 # --------------------------------------------------- at-rest corruption tools

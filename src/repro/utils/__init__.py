@@ -13,6 +13,7 @@ from repro.utils.bitops import (
     validate_num_bits,
 )
 from repro.utils.memory import SizeModel, deep_getsizeof, mib
+from repro.utils.retry import DEFAULT_POLICY, RetryPolicy, retry_call
 from repro.utils.sorting import (
     chunked,
     count_in_range,
@@ -32,6 +33,8 @@ from repro.utils.timing import (
 )
 
 __all__ = [
+    "DEFAULT_POLICY",
+    "RetryPolicy",
     "SizeModel",
     "Stopwatch",
     "ThroughputMeasurement",
@@ -53,6 +56,7 @@ __all__ = [
     "partition_of",
     "partitions_per_level",
     "prefix",
+    "retry_call",
     "sorted_contains",
     "throughput",
     "time_call",

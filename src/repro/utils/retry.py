@@ -1,0 +1,117 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+One policy object serves every retry site in the repository — the
+bundled network client, :meth:`ReplicaSet.revive`'s rebuild-from-peer
+path, and any future RPC layer — so backoff behaviour is tuned (and
+tested) in exactly one place.
+
+Determinism is a design requirement, not an accident: jitter comes from
+an *injected* :class:`random.Random`, and sleeping goes through an
+injected ``sleep`` callable, so the chaos suite can replay a retry
+schedule bit-for-bit (and tests never actually sleep).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type, TypeVar
+
+from repro.core.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait between tries.
+
+    Delay before attempt ``k`` (1-based; the first attempt never waits)::
+
+        delay = min(base_delay * multiplier**(k - 2), max_delay)
+        delay *= 1 - jitter * rng.random()        # deterministic jitter
+
+    ``jitter`` pulls each delay *down* by up to that fraction — retries
+    never wait longer than the deterministic envelope, which keeps
+    worst-case latency calculable while still de-synchronising herds.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ConfigurationError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be within [0, 1], got {self.jitter}"
+            )
+
+    def delay_before(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        """Seconds to wait before 1-based ``attempt`` (0.0 for the first)."""
+        if attempt <= 1:
+            return 0.0
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 2), self.max_delay
+        )
+        if rng is not None and self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def schedule(self, rng: Optional[random.Random] = None) -> List[float]:
+        """Every inter-attempt delay, in order (length ``max_attempts - 1``)."""
+        return [
+            self.delay_before(attempt, rng)
+            for attempt in range(2, self.max_attempts + 1)
+        ]
+
+
+#: A conservative default shared by call sites that don't tune their own.
+DEFAULT_POLICY = RetryPolicy()
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    rng: Optional[random.Random] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` until it returns, bounded by ``policy.max_attempts``.
+
+    Only exceptions matching ``retry_on`` are retried; anything else
+    propagates immediately (a malformed request never becomes a retry
+    storm).  After the final attempt the last exception propagates
+    unchanged, so callers keep their structured error types.
+
+    ``on_retry(attempt, exc)`` fires before each backoff sleep — the
+    observability hook the daemon uses to count retries.
+    """
+    last: Optional[BaseException] = None
+    for attempt in range(1, policy.max_attempts + 1):
+        if attempt > 1:
+            delay = policy.delay_before(attempt, rng)
+            if delay > 0:
+                sleep(delay)
+        try:
+            return fn()
+        except retry_on as exc:  # noqa: PERF203 — retry loops want the except
+            last = exc
+            if on_retry is not None and attempt < policy.max_attempts:
+                on_retry(attempt, exc)
+    assert last is not None
+    raise last

@@ -160,3 +160,114 @@ class TestSharedCache:
             cluster.query(q_first)
             stats = cluster.group.replica_set(first.shard_id).cache.stats()
             assert stats["hits"] == hits_before + 1
+
+
+class TestStructuredFailureDetail:
+    """ShardUnavailableError aggregates per-replica failure detail."""
+
+    def test_all_replicas_dead_error_carries_structure(self, cluster):
+        shard_id = cluster.table.shards[0].shard_id
+        cluster.group.kill_replica(shard_id, 0)
+        cluster.group.kill_replica(shard_id, 1)
+        with pytest.raises(ShardUnavailableError) as caught:
+            cluster.group.replica_set(shard_id).query(make_query(0, 10, set()))
+        exc = caught.value
+        assert exc.shard_id == shard_id
+        assert exc.replica_count == 2
+        assert set(exc.failures) == {0, 1}
+        detail = exc.detail()
+        assert detail["shard_id"] == shard_id
+        assert detail["replica_count"] == 2
+        assert set(detail["failures"]) == {"0", "1"}
+
+    def test_raising_replica_records_its_exception_verbatim(self, cluster):
+        from repro.core.errors import StoreClosedError
+
+        shard_id = cluster.table.shards[0].shard_id
+        replica_set = cluster.group.replica_set(shard_id)
+        cluster.group.kill_replica(shard_id, 1)
+
+        def exploding_query(q):
+            raise StoreClosedError("torn page while reading")
+
+        replica_set.stores[0].query = exploding_query
+        with pytest.raises(ShardUnavailableError) as caught:
+            replica_set.query(make_query(0, 10, set()))
+        assert "torn page while reading" in caught.value.failures[0]
+        # The message keeps the joined human-readable form.
+        assert "replica-0" in str(caught.value)
+
+    def test_write_refusal_carries_shard_identity(self, cluster):
+        shard_id = cluster.table.shards[0].shard_id
+        cluster.group.kill_replica(shard_id, 0)
+        cluster.group.kill_replica(shard_id, 1)
+        with pytest.raises(ShardUnavailableError) as caught:
+            cluster.group.replica_set(shard_id).insert(
+                make_object(424242, 0, 1, {"e0"})
+            )
+        assert caught.value.shard_id == shard_id
+        assert caught.value.replica_count == 2
+
+
+class TestReviveUnderConcurrentWrites:
+    def test_revive_during_concurrent_writes_loses_nothing(self, cluster):
+        """A mutation lands either before the peer copy or after rejoin —
+        the revived replica must never silently miss one."""
+        import threading
+
+        spec = cluster.table.shards[0]
+        shard_id = spec.shard_id
+        replica_set = cluster.group.replica_set(shard_id)
+        cluster.group.kill_replica(shard_id, 0)
+        hi = spec.hi if spec.hi is not None else 100
+        inserted = []
+        errors = []
+
+        def writer():
+            try:
+                for i in range(40):
+                    obj = make_object(500_000 + i, hi - 2, hi - 1, {"e0"})
+                    cluster.insert(obj)
+                    inserted.append(obj.id)
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        cluster.group.revive_replica(shard_id, 0)
+        thread.join(30)
+        assert not thread.is_alive() and not errors
+        # Force reads onto the revived replica alone.
+        cluster.group.kill_replica(shard_id, 1)
+        got = replica_set.query(make_query(hi - 2, hi - 1, {"e0"}))
+        missing = [oid for oid in inserted if oid not in got]
+        assert not missing, f"revived replica lost writes: {missing}"
+
+    def test_revive_retries_peer_copy_with_injected_rng(self, cluster):
+        """The rebuild path goes through repro.utils.retry: a flaky peer
+        is retried on the policy's schedule."""
+        import random as _random
+
+        from repro.cluster import layout
+        from repro.utils.retry import RetryPolicy
+
+        spec = cluster.table.shards[0]
+        shard_id = spec.shard_id
+        replica_set = cluster.group.replica_set(shard_id)
+        cluster.group.kill_replica(shard_id, 0)
+        # Every copy attempt finds the only peer dead -> bounded retries,
+        # then the structured error (not an infinite loop).
+        cluster.group.kill_replica(shard_id, 1)
+        with pytest.raises(ShardUnavailableError) as caught:
+            replica_set.revive(
+                0,
+                layout.replica_dir(cluster.group.directory, shard_id, 0),
+                index_key="tif-slicing",
+                index_params={},
+                wal_fsync=False,
+                retry_policy=RetryPolicy(
+                    max_attempts=3, base_delay=0.0, jitter=0.0
+                ),
+                rng=_random.Random(7),
+            )
+        assert caught.value.shard_id == shard_id

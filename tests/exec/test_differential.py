@@ -287,3 +287,82 @@ def test_trace_generation_is_deterministic():
     assert a == b
     assert any(op[0] == "query" for op in a)
     assert any(op[0] == "insert" for op in a)
+
+
+# ----------------------------------------------------- network daemon leg
+def test_differential_server_with_chaos(tmp_path):
+    """One seeded chaos interleaving replayed over the network daemon.
+
+    The same trace generator drives the daemon through its bundled
+    client while a seeded ``chaos_net_plan`` drops, delays and cuts
+    frames at the daemon's transport boundaries.  The client's bounded
+    retries plus at-least-once mutation resolution must keep every query
+    answer byte-identical to the oracle — faults may cost latency, never
+    correctness.
+    """
+    from repro.server import DaemonClient, ServerConfig, TenantRegistry
+    from repro.server import start_daemon_thread
+    from repro.service.faults import NetworkFaultInjector, chaos_net_plan
+    from repro.service.store import DurableIndexStore
+    from repro.utils.retry import RetryPolicy
+
+    seed = SEEDS[0]
+    fault_seed = int(os.environ.get("REPRO_FAULT_SEED", "20250806"))
+    n_ops = min(N_OPS, 60)  # the network round-trips dominate; keep it tight
+
+    collection = small_collection(seed)
+    oracle = BruteForce.build(collection)
+    root = tmp_path / "tenants"
+    root.mkdir()
+    store = DurableIndexStore.open(
+        root / "docs", index_key="irhint-perf", wal_fsync=False
+    )
+    for obj in collection:
+        store.insert(obj)
+    store.close()
+
+    live = collection.ids()
+    ops = make_trace(seed, n_ops, live, max(live) + 1 if live else 0)
+    injector = NetworkFaultInjector(
+        chaos_net_plan(
+            fault_seed, n_ops * 8, p_drop=0.03, p_delay=0.05, p_close=0.02,
+            delay=0.02,
+        )
+    )
+    registry = TenantRegistry.open_root(root, wal_fsync=False)
+    handle = start_daemon_thread(
+        registry, ServerConfig(max_inflight=2), net_faults=injector
+    )
+    try:
+        with DaemonClient(
+            "127.0.0.1",
+            handle.port,
+            timeout=0.75,
+            retry=RetryPolicy(max_attempts=8, base_delay=0.01, max_delay=0.1),
+        ) as client:
+            for step, op in enumerate(ops):
+                if op[0] == "query":
+                    q = op[1]
+                    expected = sorted(oracle.query(q))
+                    got = client.query("docs", q.st, q.end, sorted(map(str, q.d)))
+                    if got["ids"] != expected:
+                        pytest.fail(
+                            f"server differential mismatch at step {step} "
+                            f"(seed={seed}, fault_seed={fault_seed}, "
+                            f"n_ops={n_ops}):\n"
+                            f"  got      {got['ids']}\n"
+                            f"  expected {expected}\n"
+                            f"reproducing trace:\n{format_trace(ops[: step + 1])}"
+                        )
+                elif op[0] == "insert":
+                    obj = op[1]
+                    client.insert(
+                        "docs", obj.id, obj.st, obj.end, sorted(map(str, obj.d))
+                    )
+                    oracle.insert(obj)
+                else:
+                    client.delete("docs", op[1])
+                    oracle.delete(op[1])
+        assert injector.actions_fired > 0, "chaos schedule never fired"
+    finally:
+        handle.stop(30)

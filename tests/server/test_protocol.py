@@ -1,0 +1,149 @@
+"""Wire framing: round-trips, limits, and torn-stream detection."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_payload,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+    read_frame_sock,
+    write_frame_sock,
+)
+
+
+def read_from_bytes(blob: bytes):
+    """Drive the async reader from a closed in-memory stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(blob)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"id": 1, "verb": "query", "elements": ["a", "β"], "start": 0.5}
+        frame = encode_frame(payload)
+        got = read_from_bytes(frame)
+        assert got is not None
+        decoded, nbytes = got
+        assert decoded == payload
+        assert nbytes == len(frame)
+
+    def test_clean_eof_is_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_mid_header_close_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="mid-header"):
+            read_from_bytes(b"\x00\x00")
+
+    def test_mid_frame_close_is_a_protocol_error(self):
+        frame = encode_frame({"id": 1})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_from_bytes(frame[:-2])
+
+    def test_oversized_declaration_is_refused_before_reading(self):
+        header = struct.pack("!I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_from_bytes(header)
+
+    def test_oversized_payload_is_refused_at_encode_time(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_payload_is_refused(self):
+        frame = struct.pack("!I", 2) + b"[]"
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_from_bytes(frame)
+
+    def test_malformed_json_is_refused(self):
+        frame = struct.pack("!I", 3) + b"{{{"
+        with pytest.raises(ProtocolError, match="malformed"):
+            read_from_bytes(frame)
+
+    def test_decode_payload_requires_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe{}")
+
+
+class TestBlockingSockets:
+    def test_blocking_round_trip_matches_async_framing(self):
+        a, b = socket.socketpair()
+        try:
+            payload = {"id": 9, "verb": "ping"}
+            echoed = {}
+
+            def server():
+                got = read_frame_sock(b)
+                echoed.update(got)
+                write_frame_sock(b, ok_response(got["id"], {"pong": True}))
+
+            thread = threading.Thread(target=server)
+            thread.start()
+            write_frame_sock(a, payload)
+            response = read_frame_sock(a)
+            thread.join(5)
+            assert echoed == payload
+            assert response == {"id": 9, "ok": True, "result": {"pong": True}}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        b.close()
+        try:
+            assert read_frame_sock(a) is None
+        finally:
+            a.close()
+
+    def test_mid_frame_close_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"id": 1, "verb": "ping"})
+            b.sendall(frame[:-3])
+            b.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                read_frame_sock(a)
+        finally:
+            a.close()
+
+
+class TestEnvelopes:
+    def test_ok_envelope(self):
+        assert ok_response(3, {"x": 1}) == {"id": 3, "ok": True, "result": {"x": 1}}
+
+    def test_error_envelope_carries_structure(self):
+        response = error_response(
+            4, "overloaded", "busy", retry_after_ms=50, detail={"q": 16}
+        )
+        assert response == {
+            "id": 4,
+            "ok": False,
+            "error": {
+                "code": "overloaded",
+                "message": "busy",
+                "retry_after_ms": 50,
+                "detail": {"q": 16},
+            },
+        }
+
+    def test_error_codes_are_a_closed_set(self):
+        assert "overloaded" in ERROR_CODES
+        assert "deadline_exceeded" in ERROR_CODES
+        with pytest.raises(AssertionError):
+            error_response(1, "made-up-code", "nope")

@@ -1,0 +1,287 @@
+"""Degradation under pressure: shedding, deadlines, partials, drain."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.server import DaemonClient, ServerConfig, ServerError, start_daemon_thread
+from repro.server.daemon import AsyncRWLock, QueryDaemon
+from repro.service.store import DurableIndexStore
+from repro.utils.retry import RetryPolicy
+
+from tests.server.conftest import NO_RETRY, Watchdog, make_client
+
+
+def slow_tenant(registry, name: str, seconds: float):
+    """Patch a tenant's query path to stall — the load generator's stand-in."""
+    tenant = registry.get(name)
+    original = tenant.query_partial
+
+    def delayed(q, deadline=None):
+        time.sleep(seconds)
+        return original(q, deadline)
+
+    tenant.query_partial = delayed
+    return tenant
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_retry_after_hint(self, registry):
+        slow_tenant(registry, "docs", 0.6)
+        handle = start_daemon_thread(
+            registry, ServerConfig(max_inflight=1, max_queue=0)
+        )
+        try:
+            watchdog = Watchdog()
+
+            def occupant():
+                with make_client(handle) as c:
+                    c.query("docs", 0, 100)
+
+            watchdog.spawn(occupant)
+            time.sleep(0.15)  # let the occupant take the only slot
+            with make_client(
+                handle, retry=NO_RETRY, idempotent_mutations=False
+            ) as c:
+                with pytest.raises(ServerError) as caught:
+                    c.query("docs", 0, 100)
+            assert caught.value.code == "overloaded"
+            assert caught.value.retry_after_ms > 0
+            watchdog.join_all(20)
+        finally:
+            handle.stop(30)
+
+    def test_client_retry_rides_out_a_shed(self, registry):
+        slow_tenant(registry, "docs", 0.4)
+        handle = start_daemon_thread(
+            registry, ServerConfig(max_inflight=1, max_queue=0)
+        )
+        try:
+            watchdog = Watchdog()
+
+            def occupant():
+                with make_client(handle) as c:
+                    c.query("docs", 0, 100)
+
+            watchdog.spawn(occupant)
+            time.sleep(0.15)
+            # Enough attempts that one lands after the occupant finishes.
+            with make_client(
+                handle, retry=RetryPolicy(max_attempts=8, base_delay=0.1, jitter=0.0)
+            ) as c:
+                result = c.query("docs", 0, 100)
+            assert result["complete"] is True
+            watchdog.join_all(20)
+        finally:
+            handle.stop(30)
+
+
+class TestDeadlines:
+    def test_deadline_expires_during_execution(self, registry):
+        slow_tenant(registry, "docs", 0.5)
+        handle = start_daemon_thread(registry, ServerConfig())
+        try:
+            with make_client(handle, retry=NO_RETRY) as c:
+                started = time.monotonic()
+                with pytest.raises(ServerError) as caught:
+                    c.query("docs", 0, 100, deadline_ms=100)
+                elapsed = time.monotonic() - started
+            assert caught.value.code == "deadline_exceeded"
+            # The error must arrive near the deadline, not after the work.
+            assert elapsed < 0.45
+        finally:
+            handle.stop(30)
+
+    def test_deadline_expires_waiting_for_a_slot(self, registry):
+        slow_tenant(registry, "docs", 0.6)
+        handle = start_daemon_thread(
+            registry, ServerConfig(max_inflight=1, max_queue=8)
+        )
+        try:
+            watchdog = Watchdog()
+
+            def occupant():
+                with make_client(handle) as c:
+                    c.query("docs", 0, 100)
+
+            watchdog.spawn(occupant)
+            time.sleep(0.15)
+            with make_client(handle, retry=NO_RETRY) as c:
+                with pytest.raises(ServerError) as caught:
+                    c.query("docs", 0, 100, deadline_ms=100)
+            assert caught.value.code == "deadline_exceeded"
+            watchdog.join_all(20)
+        finally:
+            handle.stop(30)
+
+    def test_deadline_cap_applies(self, registry):
+        handle = start_daemon_thread(registry, ServerConfig(max_deadline_ms=500))
+        try:
+            with make_client(handle) as c:
+                # A huge requested deadline is capped, not refused.
+                result = c.query("docs", 0, 100, deadline_ms=10_000_000)
+            assert result["complete"] is True
+        finally:
+            handle.stop(30)
+
+
+class TestPartialResults:
+    def test_dead_shard_degrades_to_partial_with_detail(self, daemon, registry):
+        cluster = registry.get("shards").handle
+        shard_id = cluster.table.shards[0].shard_id
+        cluster.group.kill_replica(shard_id, 0)
+        cluster.group.kill_replica(shard_id, 1)
+        with make_client(daemon, retry=NO_RETRY) as c:
+            result = c.query("shards", 0, 20_000)
+        assert result["complete"] is False
+        assert result["shards_answered"] == result["shards_planned"] - 1
+        error = result["shard_errors"][shard_id]
+        assert error["code"] == "shard_unavailable"
+        assert error["detail"]["shard_id"] == shard_id
+        assert error["detail"]["replica_count"] == 2
+
+    def test_deadline_inside_scatter_gather_yields_partial(
+        self, daemon, registry
+    ):
+        cluster = registry.get("shards").handle
+        first = cluster.table.shards[0].shard_id
+        replica_set = cluster.group.replica_set(first)
+        original = replica_set.query
+
+        def slow_query(q):
+            time.sleep(0.3)
+            return original(q)
+
+        replica_set.query = slow_query
+        with make_client(daemon, retry=NO_RETRY) as c:
+            result = c.query("shards", 0, 20_000, deadline_ms=150)
+        replica_set.query = original
+        # Either the backstop fired (deadline error) or the cooperative
+        # check degraded the later shards to a partial answer.
+        assert result["complete"] is False
+        assert any(
+            e["code"] == "deadline_exceeded" for e in result["shard_errors"].values()
+        )
+
+
+class TestGracefulDrain:
+    def test_drain_answers_in_flight_and_flushes_wals(
+        self, tenant_root, registry
+    ):
+        slow_tenant(registry, "docs", 0.25)
+        handle = start_daemon_thread(registry, ServerConfig(max_inflight=4))
+        results = []
+        watchdog = Watchdog()
+        inserted = threading.Barrier(5)
+
+        def worker(object_id):
+            with make_client(handle) as c:
+                c.insert("docs", object_id, 10, 20, ["drained"])
+                inserted.wait(10)
+                results.append(c.query("docs", 0, 100)["complete"])
+
+        for i in range(4):
+            watchdog.spawn(worker, 700_000 + i)
+        inserted.wait(10)
+        time.sleep(0.15)  # let the slow queries enter execution
+        report = handle.stop(30)
+        watchdog.join_all(30)
+        assert len(results) == 4 and all(results)
+        assert report["abandoned"] == 0
+        # New connections are refused after the drain.
+        client = DaemonClient("127.0.0.1", handle.port, retry=NO_RETRY)
+        from repro.server import TransportError
+
+        with pytest.raises(TransportError):
+            client.ping()
+        # The WAL was flushed on drain: a fresh open sees every ack'd write.
+        store = DurableIndexStore.open(tenant_root / "docs", wal_fsync=False)
+        try:
+            from repro.core.model import make_query
+
+            ids = store.query(make_query(10, 20, {"drained"}))
+            assert set(ids) == {700_000, 700_001, 700_002, 700_003}
+        finally:
+            store.close()
+
+    def test_new_work_during_drain_is_refused_with_shutting_down(self, registry):
+        daemon = QueryDaemon(registry, ServerConfig())
+        daemon._draining = True
+
+        async def go():
+            return await daemon._handle_request(
+                {"id": 1, "verb": "query", "tenant": "docs", "start": 0, "end": 1}
+            )
+
+        response = asyncio.run(go())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "shutting_down"
+
+    def test_control_verbs_still_answer_during_drain(self, registry):
+        daemon = QueryDaemon(registry, ServerConfig())
+        daemon._draining = True
+
+        async def go():
+            return await daemon._handle_request({"id": 2, "verb": "status"})
+
+        response = asyncio.run(go())
+        assert response["ok"] is True
+        assert response["result"]["draining"] is True
+
+
+class TestSlowClients:
+    def test_write_timeout_aborts_the_connection(self, registry):
+        daemon = QueryDaemon(registry, ServerConfig(write_timeout=0.05))
+
+        class StuckTransport:
+            aborted = False
+
+            def abort(self):
+                self.aborted = True
+
+        class StuckWriter:
+            transport = StuckTransport()
+
+            def write(self, data):
+                pass
+
+            async def drain(self):
+                await asyncio.sleep(10)
+
+        writer = StuckWriter()
+
+        async def go():
+            return await daemon._send(writer, {"id": 1, "ok": True, "result": {}})
+
+        assert asyncio.run(go()) is False
+        assert writer.transport.aborted is True
+
+
+class TestAsyncRWLock:
+    def test_readers_share_writers_exclude(self):
+        async def go():
+            lock = AsyncRWLock()
+            order = []
+
+            async def reader(name):
+                await lock.acquire_read()
+                order.append(f"+{name}")
+                await asyncio.sleep(0.05)
+                order.append(f"-{name}")
+                await lock.release_read()
+
+            async def writer():
+                await lock.acquire_write()
+                order.append("+w")
+                order.append("-w")
+                await lock.release_write()
+
+            await asyncio.gather(reader("a"), reader("b"), writer())
+            return order
+
+        order = asyncio.run(go())
+        # Both readers overlapped (writer excluded until they finish).
+        assert order.index("+w") > order.index("-a")
+        assert order.index("+w") > order.index("-b")

@@ -1,0 +1,139 @@
+"""Bounded retry with exponential backoff and deterministic jitter."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.utils.retry import DEFAULT_POLICY, RetryPolicy, retry_call
+
+
+class TestRetryPolicy:
+    def test_validation_refuses_nonsense(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+
+    def test_first_attempt_has_no_delay(self):
+        policy = RetryPolicy()
+        assert policy.delay_before(1, random.Random(0)) == 0.0
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_before(k, rng) for k in range(2, 7)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_given_a_seeded_rng(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.5)
+        a = policy.schedule(random.Random(42))
+        b = policy.schedule(random.Random(42))
+        assert a == b
+        # Jitter only ever pulls a delay DOWN (thundering-herd spread,
+        # never slower than the deterministic bound).
+        no_jitter = RetryPolicy(max_attempts=5, base_delay=0.1, jitter=0.0)
+        for jittered, bound in zip(a, no_jitter.schedule(random.Random(7))):
+            assert jittered <= bound
+
+    def test_default_policy_is_sane(self):
+        assert DEFAULT_POLICY.max_attempts >= 2
+        assert DEFAULT_POLICY.base_delay > 0
+
+
+class TestRetryCall:
+    def test_success_needs_no_retries(self):
+        sleeps = []
+        result = retry_call(lambda: 42, sleep=sleeps.append)
+        assert result == 42
+        assert sleeps == []
+
+    def test_retries_until_success(self):
+        calls = {"n": 0}
+        sleeps = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        result = retry_call(
+            flaky,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0),
+            retry_on=(OSError,),
+            sleep=sleeps.append,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert sleeps == [0.01, 0.02]
+
+    def test_last_exception_propagates_unchanged(self):
+        boom = ValueError("always")
+
+        def failing():
+            raise boom
+
+        with pytest.raises(ValueError) as caught:
+            retry_call(
+                failing,
+                policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+                retry_on=(ValueError,),
+                sleep=lambda _s: None,
+            )
+        assert caught.value is boom
+
+    def test_non_matching_exception_is_not_retried(self):
+        calls = {"n": 0}
+
+        def failing():
+            calls["n"] += 1
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            retry_call(failing, retry_on=(OSError,), sleep=lambda _s: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+
+        def failing():
+            raise OSError("nope")
+
+        with pytest.raises(OSError):
+            retry_call(
+                failing,
+                policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+                retry_on=(OSError,),
+                sleep=lambda _s: None,
+                on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+            )
+        assert seen == [(1, "nope"), (2, "nope")]
+
+    def test_seeded_rng_makes_sleeps_reproducible(self):
+        def run():
+            sleeps = []
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] < 4:
+                    raise OSError("x")
+                return True
+
+            retry_call(
+                flaky,
+                policy=RetryPolicy(max_attempts=4, base_delay=0.1, jitter=0.5),
+                retry_on=(OSError,),
+                rng=random.Random(1234),
+                sleep=sleeps.append,
+            )
+            return sleeps
+
+        assert run() == run()
