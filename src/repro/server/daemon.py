@@ -22,7 +22,10 @@ shard boundaries inside the cluster scatter-gather
 ``asyncio.wait_for`` backstop around the pool call; an expired backstop
 abandons the *result*, not the thread — the pool stays bounded, so a
 pathological query can at worst occupy one of ``max_inflight`` slots
-until it returns.
+until it returns.  The tenant lock stays held until that thread really
+finishes (release rides on the future's done-callback), so an abandoned
+mutation can never overlap a later one on the same store; drain
+likewise waits for outstanding pool futures before flushing WALs.
 
 Fault injection
 ---------------
@@ -113,16 +116,22 @@ class ServerConfig:
 
 
 class AsyncRWLock:
-    """Many readers or one writer, asyncio-native, FIFO-ish via Condition."""
+    """Many readers or one writer, asyncio-native, writer-preferring.
+
+    New readers also wait while a writer is *queued* (not just while one
+    holds the lock), so a continuous stream of overlapping queries
+    cannot starve an insert/delete past its deadline.
+    """
 
     def __init__(self) -> None:
         self._cond = asyncio.Condition()
         self._readers = 0
         self._writing = False
+        self._writers_waiting = 0
 
     async def acquire_read(self) -> None:
         async with self._cond:
-            while self._writing:
+            while self._writing or self._writers_waiting:
                 await self._cond.wait()
             self._readers += 1
 
@@ -134,9 +143,18 @@ class AsyncRWLock:
 
     async def acquire_write(self) -> None:
         async with self._cond:
-            while self._writing or self._readers:
-                await self._cond.wait()
-            self._writing = True
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    await self._cond.wait()
+                self._writing = True
+            finally:
+                self._writers_waiting -= 1
+                if not self._writing:
+                    # Acquisition was abandoned (deadline cancel while
+                    # queued); wake the readers this writer was holding
+                    # back.
+                    self._cond.notify_all()
 
     async def release_write(self) -> None:
         async with self._cond:
@@ -160,6 +178,7 @@ class QueryDaemon:
         self.port: Optional[int] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_futures: Set["asyncio.Future[Any]"] = set()
         self._locks: Dict[str, AsyncRWLock] = {}
         self._writers: Set[asyncio.StreamWriter] = set()
         self._executing = 0
@@ -228,12 +247,28 @@ class QueryDaemon:
             except Exception:
                 pass
         await asyncio.sleep(0)  # let connection tasks observe the close
+        # Deadline-abandoned worker threads may still be inside a store
+        # mutation; the WAL must not be flushed and closed underneath
+        # them.  Wait (bounded) for every outstanding pool future — the
+        # tenant-lock releases ride on their done-callbacks — before
+        # touching the tenants.
+        pool_grace = time.monotonic() + self.config.drain_timeout
+        while self._pool_futures and time.monotonic() < pool_grace:
+            await asyncio.sleep(0.005)
+        wedged = len(self._pool_futures)
         if self._pool is not None:
             self._pool.shutdown(wait=False)
-        self.tenants.close_all()
+        if not wedged:
+            self.tenants.close_all()
+        # else: a thread outlived the full grace period and may still be
+        # mutating a store — closing now could tear the WAL tail it is
+        # writing.  Every ack'd record is already flushed+fsync'd by
+        # WAL.append, so skipping close loses nothing durable; the next
+        # open replays the WAL.
         self._drain_report = {
             "in_flight_at_drain": in_flight,
             "abandoned": abandoned,
+            "wedged_threads": wedged,
         }
         return self._drain_report
 
@@ -552,7 +587,16 @@ class QueryDaemon:
         write: bool,
         grace: float = 0.0,
     ) -> Any:
-        """Run ``fn`` on the pool under the tenant's read/write lock."""
+        """Run ``fn`` on the pool under the tenant's read/write lock.
+
+        The lock is held until the worker thread actually finishes —
+        never merely until the awaiter gives up.  ``asyncio.wait_for``
+        cannot cancel a running executor thread, so when the deadline
+        backstop fires the caller gets its deadline error immediately,
+        but the release rides on the future's done-callback: no later
+        writer can acquire the lock and mutate the same store while the
+        abandoned thread is still inside it.
+        """
         lock = self._locks.setdefault(tenant_name, AsyncRWLock())
         remaining = deadline - time.monotonic()
         if remaining <= 0:
@@ -562,6 +606,7 @@ class QueryDaemon:
             await asyncio.wait_for(acquire, remaining)
         except asyncio.TimeoutError:
             raise _DeadlineHit("deadline expired waiting for the tenant lock") from None
+        fut: Optional["asyncio.Future[Tuple[str, Any]]"] = None
         try:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -570,11 +615,15 @@ class QueryDaemon:
             # The thread wrapper captures exceptions itself: a future
             # whose awaiter was cancelled by the deadline backstop must
             # not leak "exception was never retrieved" noise.
-            outcome: Tuple[str, Any]
+            fut = loop.run_in_executor(self._pool, _capture(fn))
+            # From here on the done-callback owns both the lock release
+            # and the drain-visible tracking; the shield keeps the
+            # backstop timeout from cancelling the future out from
+            # under that callback.
+            self._track_pool_future(fut, lock, write)
             try:
                 outcome = await asyncio.wait_for(
-                    loop.run_in_executor(self._pool, _capture(fn)),
-                    remaining + grace,
+                    asyncio.shield(fut), remaining + grace
                 )
             except asyncio.TimeoutError:
                 raise _DeadlineHit("deadline expired during execution") from None
@@ -583,10 +632,29 @@ class QueryDaemon:
                 raise value
             return value
         finally:
-            if write:
-                await lock.release_write()
-            else:
-                await lock.release_read()
+            if fut is None:
+                # The executor call never started; release inline.
+                if write:
+                    await lock.release_write()
+                else:
+                    await lock.release_read()
+
+    def _track_pool_future(
+        self, fut: "asyncio.Future[Any]", lock: AsyncRWLock, write: bool
+    ) -> None:
+        """Register a pool future; its completion releases the tenant lock."""
+        self._pool_futures.add(fut)
+        loop = asyncio.get_running_loop()
+
+        def on_done(f: "asyncio.Future[Any]") -> None:
+            self._pool_futures.discard(f)
+            release = lock.release_write() if write else lock.release_read()
+            try:
+                loop.create_task(release)
+            except RuntimeError:
+                release.close()  # loop already torn down; lock is moot
+
+        fut.add_done_callback(on_done)
 
     # ------------------------------------------------------------ result shapes
     def _partial_dict(self, partial: PartialResult) -> Dict[str, Any]:

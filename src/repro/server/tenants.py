@@ -184,15 +184,23 @@ class TenantRegistry:
 def _open_tenant_dir(
     directory: Path, *, wal_fsync: bool, cache_size: int
 ) -> Optional[Tenant]:
-    """Autodetect and open one tenant directory; ``None`` if unrecognised."""
-    name = validate_tenant_name(directory.name)
+    """Autodetect and open one tenant directory; ``None`` if unrecognised.
+
+    Manifest detection runs *before* name validation: a manifest-less
+    subdirectory with an unservable name (``lost+found``, ``.tmp``,
+    ``__pycache__``) is simply not a tenant and must be skipped, not
+    refused.  Only a directory that proves it is a tenant by carrying a
+    manifest has its name held to the tenant-name rules.
+    """
     if cluster_layout.is_cluster_dir(directory):
+        name = validate_tenant_name(directory.name)
         cluster = TemporalCluster.open(
             directory, wal_fsync=wal_fsync,
             cache_size=cache_size if cache_size else 0,
         )
         return Tenant(name, CLUSTER, cluster)
     if store_layout.read_manifest(directory) is not None:
+        name = validate_tenant_name(directory.name)
         store = DurableIndexStore.open(directory, wal_fsync=wal_fsync)
         return Tenant(name, STORE, store)
     return None

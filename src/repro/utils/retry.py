@@ -98,15 +98,21 @@ def retry_call(
     storm).  After the final attempt the last exception propagates
     unchanged, so callers keep their structured error types.
 
+    ``sleep`` is called before every retry, including with a delay of
+    ``0.0`` (e.g. a zero ``base_delay`` policy), so a wrapping sleep
+    callable can raise the delay to an external floor such as an
+    ``overloaded`` response's retry-after hint.
+
     ``on_retry(attempt, exc)`` fires before each backoff sleep — the
     observability hook the daemon uses to count retries.
     """
     last: Optional[BaseException] = None
     for attempt in range(1, policy.max_attempts + 1):
         if attempt > 1:
-            delay = policy.delay_before(attempt, rng)
-            if delay > 0:
-                sleep(delay)
+            # Invoked even when the computed delay is 0.0 so wrapping
+            # sleep callables can enforce externally-imposed floors
+            # (e.g. a server's retry-after hint) on every retry.
+            sleep(policy.delay_before(attempt, rng))
         try:
             return fn()
         except retry_on as exc:  # noqa: PERF203 — retry loops want the except

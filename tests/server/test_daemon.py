@@ -147,6 +147,17 @@ class TestTenantRegistry:
         assert reg.names() == ["docs", "shards"]
         reg.close_all()
 
+    def test_invalid_named_non_tenant_dirs_are_skipped(self, tenant_root):
+        # Manifest-less dirs whose names fail the tenant-name rules
+        # (filesystem artifacts, tool droppings) must be skipped, not
+        # refused — they are simply not tenants.
+        (tenant_root / "lost+found").mkdir()
+        (tenant_root / "__pycache__").mkdir()
+        (tenant_root / ".tmp").mkdir()
+        reg = TenantRegistry.open_root(tenant_root, wal_fsync=False)
+        assert reg.names() == ["docs", "shards"]
+        reg.close_all()
+
     def test_unknown_tenant_raises(self, registry):
         with pytest.raises(UnknownTenantError):
             registry.get("absent")

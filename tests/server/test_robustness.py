@@ -77,6 +77,33 @@ class TestAdmissionControl:
         finally:
             handle.stop(30)
 
+    def test_retry_after_floor_applies_even_with_zero_backoff(self):
+        """A shedding server's hint is honoured even by a no-delay policy."""
+        responses = [
+            {
+                "id": 1,
+                "ok": False,
+                "error": {
+                    "code": "overloaded",
+                    "message": "shed",
+                    "retry_after_ms": 40,
+                },
+            },
+            {"id": 1, "ok": True, "result": {"complete": True}},
+        ]
+        sleeps = []
+        client = DaemonClient(
+            "127.0.0.1",
+            1,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        client._roundtrip = lambda payload: responses.pop(0)
+        assert client.request("query", tenant="docs", start=0, end=1) == {
+            "complete": True
+        }
+        assert sleeps == [0.04]
+
 
 class TestDeadlines:
     def test_deadline_expires_during_execution(self, registry):
@@ -125,6 +152,57 @@ class TestDeadlines:
             assert result["complete"] is True
         finally:
             handle.stop(30)
+
+    def test_abandoned_write_holds_the_lock_until_the_thread_finishes(
+        self, registry
+    ):
+        """The backstop abandons the await, never the mutual exclusion.
+
+        A mutation that blows its deadline keeps running on its pool
+        thread; a later write on the same tenant must not start until
+        that thread actually returns — otherwise two mutations overlap
+        on a store that is not safe under concurrent mutation.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.server.daemon import _DeadlineHit
+
+        daemon = QueryDaemon(registry, ServerConfig())
+        release = threading.Event()
+        events = []
+
+        def stalled():
+            events.append("stalled-start")
+            release.wait(10)
+            events.append("stalled-end")
+
+        async def go():
+            daemon._pool = ThreadPoolExecutor(max_workers=2)
+            try:
+                with pytest.raises(_DeadlineHit):
+                    await daemon._run_locked(
+                        "docs", stalled, time.monotonic() + 0.05, write=True
+                    )
+                # The deadline error is out, but the worker thread is
+                # still inside the mutation: a second write must wait.
+                second = asyncio.get_running_loop().create_task(
+                    daemon._run_locked(
+                        "docs",
+                        lambda: events.append("second"),
+                        time.monotonic() + 5.0,
+                        write=True,
+                    )
+                )
+                await asyncio.sleep(0.05)
+                assert "second" not in events
+                release.set()
+                await second
+            finally:
+                release.set()
+                daemon._pool.shutdown(wait=True)
+
+        asyncio.run(go())
+        assert events == ["stalled-start", "stalled-end", "second"]
 
 
 class TestPartialResults:
@@ -230,6 +308,36 @@ class TestGracefulDrain:
         assert response["ok"] is True
         assert response["result"]["draining"] is True
 
+    def test_drain_waits_for_an_abandoned_thread_before_closing_wals(
+        self, registry
+    ):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.server.daemon import _DeadlineHit
+
+        daemon = QueryDaemon(registry, ServerConfig(drain_timeout=5.0))
+        finished = threading.Event()
+
+        def stalled():
+            time.sleep(0.3)
+            finished.set()
+
+        async def go():
+            daemon._pool = ThreadPoolExecutor(max_workers=1)
+            daemon._drain_requested = asyncio.Event()
+            with pytest.raises(_DeadlineHit):
+                await daemon._run_locked(
+                    "docs", stalled, time.monotonic() + 0.05, write=True
+                )
+            return await daemon.drain()
+
+        report = asyncio.run(go())
+        # The abandoned thread was waited out before the WAL flush, so
+        # close_all ran against quiescent stores.
+        assert finished.is_set()
+        assert report["wedged_threads"] == 0
+        assert registry.get("docs").handle.closed
+
 
 class TestSlowClients:
     def test_write_timeout_aborts_the_connection(self, registry):
@@ -285,3 +393,48 @@ class TestAsyncRWLock:
         # Both readers overlapped (writer excluded until they finish).
         assert order.index("+w") > order.index("-a")
         assert order.index("+w") > order.index("-b")
+
+    def test_queued_writer_blocks_new_readers(self):
+        """Writer preference: continuous reads cannot starve a write."""
+
+        async def go():
+            lock = AsyncRWLock()
+            order = []
+
+            async def writer():
+                await lock.acquire_write()
+                order.append("w")
+                await lock.release_write()
+
+            async def late_reader():
+                await lock.acquire_read()
+                order.append("r2")
+                await lock.release_read()
+
+            await lock.acquire_read()  # a long-running query in flight
+            w = asyncio.create_task(writer())
+            await asyncio.sleep(0.01)  # the writer is now queued
+            r2 = asyncio.create_task(late_reader())
+            await asyncio.sleep(0.01)
+            assert order == []  # the late reader waits behind the writer
+            await lock.release_read()
+            await asyncio.gather(w, r2)
+            return order
+
+        assert asyncio.run(go()) == ["w", "r2"]
+
+    def test_cancelled_writer_wakes_waiting_readers(self):
+        async def go():
+            lock = AsyncRWLock()
+            await lock.acquire_read()
+            w = asyncio.create_task(lock.acquire_write())
+            await asyncio.sleep(0.01)
+            r2 = asyncio.create_task(lock.acquire_read())
+            await asyncio.sleep(0.01)
+            w.cancel()  # deadline expired while queued
+            await asyncio.gather(w, return_exceptions=True)
+            await asyncio.wait_for(r2, 1.0)  # reader must not hang
+            await lock.release_read()
+            await lock.release_read()
+
+        asyncio.run(go())
