@@ -1,0 +1,114 @@
+"""The shared ``BENCH_*.json`` schema: a versioned, machine-readable envelope.
+
+Every benchmark artifact the repo archives (CI smoke runs, the committed
+reference runs) carries the same four top-level keys::
+
+    {
+      "schema_version": 1,
+      "commit": "<git sha or 'unknown'>",
+      "timestamp_utc": "2026-08-07T12:00:00Z",
+      "metrics": { ... experiment-specific payload ... }
+    }
+
+``metrics`` holds whatever the experiment's ``run()`` returned, encoded
+with :mod:`repro.bench.results_io` (the ``__pairs__`` form that
+round-trips non-string dict keys).  Keeping the envelope flat and plain
+JSON means ``jq '.commit, .schema_version'`` works without knowing the
+pairs encoding, so the perf trajectory across commits is trivially
+machine-readable.
+
+Legacy files written before the envelope existed (a bare pairs-encoded
+results dict) still load: :func:`load_bench` wraps them as
+``schema_version: 0`` with their whole decoded payload under
+``metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.bench.results_io import decode_results, encode_results
+
+PathLike = Union[str, Path]
+
+SCHEMA_VERSION = 1
+
+_ENVELOPE_KEYS = ("schema_version", "commit", "timestamp_utc", "metrics")
+
+
+def detect_commit(cwd: Optional[PathLike] = None) -> str:
+    """The current git HEAD sha, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=str(cwd) if cwd is not None else str(Path(__file__).resolve().parent),
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if sha else "unknown"
+
+
+def utc_timestamp(epoch: Optional[float] = None) -> str:
+    """``YYYY-MM-DDTHH:MM:SSZ`` for ``epoch`` (default: now)."""
+    stamp = time.time() if epoch is None else epoch
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(stamp))
+
+
+def save_bench(
+    metrics: Dict[str, Any],
+    path: PathLike,
+    *,
+    commit: Optional[str] = None,
+    timestamp_utc: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Write ``metrics`` under the shared envelope; return the document."""
+    if not isinstance(metrics, dict):
+        raise TypeError(f"metrics must be a dict, got {type(metrics).__name__}")
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "commit": commit if commit is not None else detect_commit(),
+        "timestamp_utc": (
+            timestamp_utc if timestamp_utc is not None else utc_timestamp()
+        ),
+        "metrics": encode_results(metrics),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_bench(path: PathLike) -> Dict[str, Any]:
+    """Load a ``BENCH_*.json``; legacy files come back as version 0.
+
+    Always returns the four envelope keys with ``metrics`` decoded back
+    to the experiment's original nested dict.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict):
+        raise ValueError(f"{path}: not a benchmark results file")
+    if isinstance(raw.get("schema_version"), int) and "metrics" in raw:
+        return {
+            "schema_version": raw["schema_version"],
+            "commit": raw.get("commit", "unknown"),
+            "timestamp_utc": raw.get("timestamp_utc"),
+            "metrics": decode_results(raw["metrics"]),
+        }
+    # Pre-envelope artifact: the whole file is the metrics payload.
+    return {
+        "schema_version": 0,
+        "commit": "unknown",
+        "timestamp_utc": None,
+        "metrics": decode_results(raw),
+    }

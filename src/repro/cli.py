@@ -5,7 +5,8 @@ Commands
 ``generate``  synthesise a dataset (synthetic / eclog / wikipedia) to a file
 ``stats``     print a collection's Table 3 characteristics, or (with
               ``--metrics``) dump the metric catalog / an exported metrics
-              file in Prometheus text or JSON
+              file in Prometheus text or JSON; with ``--host`` the metric /
+              trace / slow-log / SLO views come live from a serve-net daemon
 ``build``     build an index over a saved collection; print time and size
 ``query``     answer one time-travel IR query against a chosen index
 ``explain``   same, but print the per-phase evaluation trace
@@ -17,6 +18,8 @@ Commands
 ``serve-net`` run the resilient asyncio network daemon over a
               multi-tenant root (see ``docs/server.md``)
 ``client``    talk to a running serve-net daemon
+``top``       live per-tenant SLO / daemon health view over a running
+              serve-net daemon's ``introspect`` verb
 
 Examples
 --------
@@ -31,6 +34,12 @@ Examples
     python -m repro query /tmp/ec.bin --index irhint-perf \
         --batch-file /tmp/workload.jsonl --strategy process --cache-size 1024
     python -m repro serve /tmp/store --metrics-file /tmp/store.prom
+    python -m repro serve-net /tmp/tenants --port 0 --create acme \
+        --trace-sample-rate 0.1 --slow-query-ms 250
+    python -m repro top --port 7421 --iterations 1
+    python -m repro stats --metrics --host 127.0.0.1 --port 7421
+    python -m repro stats --traces --port 7421 --trace-id 7f3a...
+    python -m repro stats --slow-log --port 7421 --limit 5
     python -m repro cluster build /tmp/cluster --data /tmp/ec.bin --shards 4
     python -m repro cluster query /tmp/cluster --start 100000 --end 500000
     python -m repro cluster rebalance /tmp/cluster --dry-run
@@ -98,7 +107,167 @@ def _metrics_registry(metrics_file: Optional[str]):
     return register_catalog(MetricsRegistry(enabled=True))
 
 
+def _trace_tree_lines(doc: dict, indent: str = "  ") -> List[str]:
+    """Render one trace document as an indented span tree."""
+    spans = list(doc.get("spans", []))
+    known = {s.get("span_id") for s in spans}
+    children: dict = {}
+    roots: List[dict] = []
+    for s in spans:
+        parent = s.get("parent_id")
+        if parent in known:
+            children.setdefault(parent, []).append(s)
+        else:
+            roots.append(s)
+    lines = [
+        f"trace {doc.get('trace_id')} status={doc.get('status')} "
+        f"{doc.get('duration_ms', 0.0):.2f} ms"
+        + (" (forced)" if doc.get("forced") else "")
+    ]
+    attrs = doc.get("attrs") or {}
+    if attrs:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(f"{indent}{rendered}")
+
+    def walk(span: dict, depth: int) -> None:
+        extra = {
+            k: v
+            for k, v in (span.get("attrs") or {}).items()
+        }
+        suffix = "".join(f" {k}={v}" for k, v in sorted(extra.items()))
+        status = span.get("status", "ok")
+        marker = "" if status == "ok" else f" [{status}]"
+        lines.append(
+            f"{indent * (depth + 1)}{span.get('name')}  "
+            f"+{span.get('offset_ms', 0.0):.2f} ms  "
+            f"{span.get('duration_ms', 0.0):.2f} ms{marker}{suffix}"
+        )
+        for child in sorted(
+            children.get(span.get("span_id"), []),
+            key=lambda s: s.get("offset_ms", 0.0),
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.get("offset_ms", 0.0)):
+        walk(root, 0)
+    return lines
+
+
+def _slo_table_lines(tenants: dict) -> List[str]:
+    """Render the per-tenant SLO snapshot as an aligned table."""
+    header = (
+        f"{'tenant':<20} {'n':>6} {'qps':>7} {'p50ms':>8} {'p99ms':>8} "
+        f"{'err%':>6} {'shed%':>6} {'part%':>6} {'ddl%':>6} {'burn':>6}"
+    )
+    lines = [header]
+    for tenant, stats in sorted(tenants.items()):
+        lines.append(
+            f"{tenant:<20} {stats.get('count', 0):>6} "
+            f"{stats.get('qps', 0.0):>7.1f} "
+            f"{stats.get('p50_ms', 0.0):>8.2f} {stats.get('p99_ms', 0.0):>8.2f} "
+            f"{stats.get('error_rate', 0.0) * 100:>6.1f} "
+            f"{stats.get('shed_rate', 0.0) * 100:>6.1f} "
+            f"{stats.get('partial_rate', 0.0) * 100:>6.1f} "
+            f"{stats.get('deadline_rate', 0.0) * 100:>6.1f} "
+            f"{stats.get('burn_rate', 0.0):>6.2f}"
+        )
+    if not tenants:
+        lines.append("(no requests in the window)")
+    return lines
+
+
+def _daemon_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` daemon views: live metrics / traces / slow log / SLOs."""
+    import json
+
+    from repro.server import DaemonClient, ServerError, TransportError
+
+    host = args.host or "127.0.0.1"
+    try:
+        with DaemonClient(host, args.port, timeout=args.timeout) as client:
+            if args.metrics:
+                body = client.metrics()["body"]
+                if args.format == "json":
+                    from repro.obs.exposition import (
+                        registry_from_prometheus, render_json,
+                    )
+
+                    print(render_json(registry_from_prometheus(body)))
+                else:
+                    print(body, end="")
+                return 0
+            if args.traces:
+                view = client.introspect(
+                    "traces",
+                    limit=args.limit,
+                    trace_id=args.trace_id,
+                    tenant=args.tenant,
+                    min_duration_ms=args.min_duration_ms,
+                )
+                if args.format == "json":
+                    print(json.dumps(view, indent=2, sort_keys=True))
+                    return 0
+                print(
+                    f"# {view['buffered']} buffered, {view['dropped']} dropped, "
+                    f"sample rate {view['sample_rate']}"
+                )
+                for doc in view["traces"]:
+                    for line in _trace_tree_lines(doc):
+                        print(line)
+                if not view["traces"]:
+                    print("(no matching traces buffered)")
+                return 0
+            if args.slow_log:
+                view = client.introspect("slow_log", limit=args.limit)
+                if args.format == "json":
+                    print(json.dumps(view, indent=2, sort_keys=True))
+                    return 0
+                threshold = view.get("threshold_ms")
+                print(
+                    f"# {view['logged']} slow queries logged "
+                    f"(threshold {threshold} ms)"
+                )
+                from datetime import datetime, timezone
+
+                for entry in view["entries"]:
+                    stamp = datetime.fromtimestamp(
+                        float(entry.get("ts_utc", 0.0)), tz=timezone.utc
+                    ).strftime("%Y-%m-%dT%H:%M:%SZ")
+                    print(
+                        f"{stamp}  {entry.get('tenant')}/"
+                        f"{entry.get('verb')}  {entry.get('duration_ms', 0.0):.2f} ms  "
+                        f"queue {entry.get('queue_wait_ms', 0.0):.2f} ms  "
+                        f"lock {entry.get('lock_wait_ms', 0.0):.2f} ms  "
+                        f"status={entry.get('status')}  "
+                        f"trace={entry.get('trace_id')}"
+                    )
+                    for name, ms in sorted((entry.get("phases") or {}).items()):
+                        print(f"    {name}: {ms:.2f} ms")
+                if not view["entries"]:
+                    print("(slow-query log is empty)")
+                return 0
+            # --slo
+            view = client.introspect("slo")
+            if args.format == "json":
+                print(json.dumps(view, indent=2, sort_keys=True))
+                return 0
+            print(
+                f"# horizon {view['horizon_s']}s, latency SLO "
+                f"{view['latency_slo_ms']} ms, error budget {view['error_budget']}"
+            )
+            for line in _slo_table_lines(view["tenants"]):
+                print(line)
+            return 0
+    except (ServerError, TransportError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.traces or args.slow_log or args.slo:
+        return _daemon_stats(args)
+    if args.metrics and args.host is not None:
+        return _daemon_stats(args)
     if args.metrics or args.metrics_file:
         from repro.obs.exposition import render_json, render_prometheus
 
@@ -609,6 +778,13 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             write_timeout=args.write_timeout,
             drain_timeout=args.drain_timeout,
             retry_after_ms=args.retry_after_ms,
+            trace_sample_rate=args.trace_sample_rate,
+            trace_buffer=args.trace_buffer,
+            trace_seed=args.trace_seed,
+            slow_query_ms=(
+                args.slow_query_ms if args.slow_query_ms >= 0 else None
+            ),
+            slow_log_path=args.slow_log_path,
         )
 
         async def serve() -> dict:
@@ -687,6 +863,48 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live per-tenant SLO / daemon health view (``repro top``)."""
+    import time as time_mod
+
+    from repro.server import DaemonClient, ServerError, TransportError
+
+    with DaemonClient(args.host, args.port, timeout=args.timeout) as client:
+        iteration = 0
+        while True:
+            try:
+                view = client.introspect("top")
+            except (ServerError, TransportError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            daemon = view["daemon"]
+            if iteration:
+                print()
+            print(
+                f"daemon {args.host}:{args.port}  "
+                f"executing={daemon['executing']} waiting={daemon['waiting']} "
+                f"connections={daemon['open_connections']} "
+                f"draining={daemon['draining']}"
+            )
+            print(
+                f"traces buffered={daemon['traces_buffered']} "
+                f"dropped={daemon['traces_dropped']} "
+                f"sample_rate={daemon['sample_rate']} "
+                f"slow_queries={daemon['slow_queries']} "
+                f"(threshold {daemon['slow_query_ms']} ms)"
+            )
+            for line in _slo_table_lines(view["tenants"]):
+                print(line)
+            sys.stdout.flush()
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            try:
+                time_mod.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import importlib
 
@@ -725,7 +943,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format", choices=["prometheus", "json"], default="prometheus",
-        help="metric exposition format (default: prometheus text)",
+        help="metric / view exposition format (default: prometheus text)",
+    )
+    daemon_group = p.add_argument_group(
+        "live daemon views (require a running serve-net daemon)"
+    )
+    daemon_group.add_argument(
+        "--host", default=None,
+        help="daemon host; with --metrics, fetch live metrics from it",
+    )
+    daemon_group.add_argument("--port", type=int, default=7421)
+    daemon_group.add_argument("--timeout", type=float, default=5.0)
+    daemon_group.add_argument(
+        "--traces", action="store_true",
+        help="print buffered distributed traces as indented span trees",
+    )
+    daemon_group.add_argument(
+        "--slow-log", action="store_true",
+        help="print the daemon's slow-query log",
+    )
+    daemon_group.add_argument(
+        "--slo", action="store_true",
+        help="print the per-tenant SLO window snapshot",
+    )
+    daemon_group.add_argument(
+        "--trace-id", help="with --traces: only this trace"
+    )
+    daemon_group.add_argument(
+        "--tenant", help="with --traces: only this tenant's traces"
+    )
+    daemon_group.add_argument(
+        "--limit", type=int, default=None, help="entries to fetch (default 20)"
+    )
+    daemon_group.add_argument(
+        "--min-duration-ms", type=float, default=None,
+        help="with --traces: only traces at least this slow",
     )
     p.set_defaults(func=_cmd_stats)
 
@@ -911,6 +1163,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-file",
         help="enable metrics; export Prometheus text here after the drain",
     )
+    p.add_argument(
+        "--trace-sample-rate", type=float, default=0.01,
+        help="head-based trace sampling rate in [0, 1] (default 0.01; "
+        "errors and deadline misses are always captured)",
+    )
+    p.add_argument(
+        "--trace-buffer", type=int, default=256,
+        help="in-memory trace ring capacity served by introspect",
+    )
+    p.add_argument(
+        "--trace-seed", type=int, default=None,
+        help="seed the sampling RNG (deterministic traces for tests)",
+    )
+    p.add_argument(
+        "--slow-query-ms", type=float, default=500.0,
+        help="slow-query log threshold; 0 logs every request, negative disables",
+    )
+    p.add_argument(
+        "--slow-log-path",
+        help="also append slow-query/event JSONL records to this file",
+    )
     p.set_defaults(func=_cmd_serve_net)
 
     p = sub.add_parser("client", help="talk to a serve-net daemon")
@@ -937,6 +1210,21 @@ def build_parser() -> argparse.ArgumentParser:
     cd.add_argument("--tenant", required=True)
     cd.add_argument("--object-id", type=int, required=True)
     p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser(
+        "top", help="live per-tenant SLO / daemon health view over introspect"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7421)
+    p.add_argument("--timeout", type=float, default=5.0)
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    p.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many refreshes (0 = until interrupted)",
+    )
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("bench", help="run a paper experiment")
     p.add_argument("experiment", choices=_EXPERIMENTS)

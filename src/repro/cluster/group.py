@@ -26,6 +26,7 @@ from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.cluster import layout
 from repro.cluster.routing import RoutingTable
 from repro.exec.cache import ResultCache
+from repro.obs.context import event, span
 from repro.obs.registry import OBS
 from repro.service.fsio import REAL_FS, FileSystem
 from repro.service.store import DurableIndexStore
@@ -95,6 +96,7 @@ class ReplicaSet:
         if cache is not None:
             hit = cache.get(q)
             if hit is not None:
+                event("cache_hit", shard=self.shard_id)
                 return hit
         failures: Dict[int, str] = {}
         failovers = 0
@@ -102,13 +104,27 @@ class ReplicaSet:
             if self._dead[replica]:
                 failures[replica] = "replica marked dead (killed or failed earlier)"
                 failovers += 1
+                event(
+                    f"replica:{replica}",
+                    status="skipped_dead",
+                    shard=self.shard_id,
+                    replica=replica,
+                )
                 continue
-            try:
-                result = self.stores[replica].query(q)
-            except ReproError as exc:
-                self._dead[replica] = True
-                failures[replica] = str(exc)
-                failovers += 1
+            result: Optional[List[int]] = None
+            with span(
+                f"replica:{replica}", shard=self.shard_id, replica=replica
+            ) as rec:
+                try:
+                    result = self.stores[replica].query(q)
+                except ReproError as exc:
+                    self._dead[replica] = True
+                    failures[replica] = str(exc)
+                    failovers += 1
+                    if rec is not None:
+                        rec.status = "error"
+                        rec.attrs["error"] = str(exc)
+            if result is None:
                 continue
             if failovers:
                 self._count_failovers(failovers)

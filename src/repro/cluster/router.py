@@ -36,6 +36,7 @@ from repro.core.model import TemporalObject, TimeTravelQuery
 from repro.cluster.group import ShardGroup
 from repro.cluster.routing import RoutingTable
 from repro.exec.strategies import default_workers, strategy_fn
+from repro.obs.context import capture_active, event, span, under
 from repro.obs.registry import OBS
 
 
@@ -113,7 +114,10 @@ class ClusterRouter:
         :class:`~repro.core.errors.ShardUnavailableError`) — the caller
         always gets an answer shaped like *something*, never a hang.
         """
-        planned = self.plan(q)
+        with span("router_plan") as plan_rec:
+            planned = self.plan(q)
+            if plan_rec is not None:
+                plan_rec.attrs["planned"] = list(planned)
         answered: List[List[int]] = []
         errors: Dict[str, Dict[str, object]] = {}
         for position, shard_id in enumerate(planned):
@@ -123,9 +127,11 @@ class ClusterRouter:
                         "code": "deadline_exceeded",
                         "message": "deadline expired before this shard was visited",
                     }
+                    event(f"shard:{missed}", status="deadline_abandoned", shard=missed)
                 break
             try:
-                answered.append(self.group.replica_set(shard_id).query(q))
+                with span(f"shard:{shard_id}", shard=shard_id):
+                    answered.append(self.group.replica_set(shard_id).query(q))
             except ShardUnavailableError as exc:
                 errors[shard_id] = {
                     "code": "shard_unavailable",
@@ -165,42 +171,51 @@ class ClusterRouter:
         workers = workers if workers is not None else default_workers()
         sub_batches: Dict[str, List[int]] = {}  # shard → positions
         plans: List[List[str]] = []
-        for position, q in enumerate(queries):
-            planned = self.plan(q)
-            plans.append(planned)
-            for shard_id in planned:
-                sub_batches.setdefault(shard_id, []).append(position)
+        with span("router_plan", batch=len(queries)) as plan_rec:
+            for position, q in enumerate(queries):
+                planned = self.plan(q)
+                plans.append(planned)
+                for shard_id in planned:
+                    sub_batches.setdefault(shard_id, []).append(position)
+            if plan_rec is not None:
+                plan_rec.attrs["planned"] = sorted(sub_batches)
 
         shard_answers: Dict[str, Dict[int, List[int]]] = {}
+        # The per-shard thread pool below does not inherit ContextVars;
+        # hand the active span across explicitly so shard spans stitch.
+        parent_span = capture_active()
 
         def run_shard(item: Tuple[str, List[int]]) -> Tuple[str, Dict[int, List[int]]]:
             shard_id, positions = item
-            replica_set = self.group.replica_set(shard_id)
-            cache = replica_set.cache
-            answers: Dict[int, List[int]] = {}
-            misses: List[int] = []
-            for position in positions:
-                hit = cache.get(queries[position]) if cache is not None else None
-                if hit is not None:
-                    answers[position] = hit
-                else:
-                    misses.append(position)
-            if misses:
-                try:
-                    results = run(
-                        replica_set.primary_index(),
-                        [queries[p] for p in misses],
-                        workers=workers,
-                    )
-                except Exception:
-                    # Primary died mid-batch: fall back to the failover
-                    # read path, one query at a time.
-                    results = [replica_set.query(queries[p]) for p in misses]
-                for position, result in zip(misses, results):
-                    answers[position] = result
-                    if cache is not None:
-                        cache.put(queries[position], result)
-            return shard_id, answers
+            with under(parent_span), span(
+                f"shard:{shard_id}", shard=shard_id, queries=len(positions)
+            ):
+                replica_set = self.group.replica_set(shard_id)
+                cache = replica_set.cache
+                answers: Dict[int, List[int]] = {}
+                misses: List[int] = []
+                for position in positions:
+                    hit = cache.get(queries[position]) if cache is not None else None
+                    if hit is not None:
+                        answers[position] = hit
+                    else:
+                        misses.append(position)
+                if misses:
+                    try:
+                        results = run(
+                            replica_set.primary_index(),
+                            [queries[p] for p in misses],
+                            workers=workers,
+                        )
+                    except Exception:
+                        # Primary died mid-batch: fall back to the failover
+                        # read path, one query at a time.
+                        results = [replica_set.query(queries[p]) for p in misses]
+                    for position, result in zip(misses, results):
+                        answers[position] = result
+                        if cache is not None:
+                            cache.put(queries[position], result)
+                return shard_id, answers
 
         items = list(sub_batches.items())
         if len(items) > 1 and workers > 1:
@@ -229,7 +244,8 @@ class ClusterRouter:
             raise DuplicateObjectError(f"object id {obj.id} already indexed")
         owners = self.table.shards_for_object(obj)
         for spec in owners:
-            self.group.replica_set(spec.shard_id).insert(obj)
+            with span(f"shard_write:{spec.shard_id}", shard=spec.shard_id, op="insert"):
+                self.group.replica_set(spec.shard_id).insert(obj)
         self._count_mutation("insert", len(owners))
 
     def delete(self, obj: Union[TemporalObject, int]) -> None:
@@ -239,7 +255,8 @@ class ClusterRouter:
         if not holders:
             raise UnknownObjectError(object_id)
         for shard_id in holders:
-            self.group.replica_set(shard_id).delete(object_id)
+            with span(f"shard_write:{shard_id}", shard=shard_id, op="delete"):
+                self.group.replica_set(shard_id).delete(object_id)
         self._count_mutation("delete", len(holders))
 
     def _holding_shards(self, object_id: int) -> List[str]:

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.errors import ConfigurationError
 from repro.core.model import TimeTravelQuery
 from repro.indexes.base import TemporalIRIndex
+from repro.obs.context import capture_active, under
 
 #: How many chunks each worker gets on average — >1 so stragglers rebalance.
 CHUNKS_PER_WORKER = 4
@@ -115,9 +116,13 @@ def run_threaded(
     if workers <= 1 or len(queries) <= 1:
         return run_serial(index, queries)
     chunks = chunked(queries, workers * CHUNKS_PER_WORKER)
+    # Distributed-trace spans opened by the caller do not follow threads
+    # on their own; re-parent each chunk explicitly (no-op when unsampled).
+    active = capture_active()
 
     def run_chunk(chunk: List[TimeTravelQuery]) -> List[List[int]]:
-        return [index.query(q) for q in chunk]
+        with under(active):
+            return [index.query(q) for q in chunk]
 
     with ThreadPoolExecutor(max_workers=workers) as pool:
         mapped = list(pool.map(run_chunk, chunks))

@@ -1,23 +1,48 @@
 """repro.obs — end-to-end observability: metrics, tracing, exposition.
 
-Three cooperating layers:
+Cooperating layers:
 
 * a zero-dependency **metrics core** (:mod:`repro.obs.metrics`,
   :mod:`repro.obs.registry`) — counters, gauges, log-bucket histograms,
-  labelled families with a cardinality guard, and a process-wide registry
-  that defaults to *disabled* (null mode) so instrumented code costs one
-  attribute load and a branch until someone opts in;
+  labelled families with a cardinality guard (plus an ``__other__``
+  overflow bucket for expected-unbounded labels like tenant names), and
+  a process-wide registry that defaults to *disabled* (null mode) so
+  instrumented code costs one attribute load and a branch until someone
+  opts in;
 * **query tracing** (:mod:`repro.obs.tracing`) — nestable spans and the
   per-phase cost records (`entries scanned`, `candidates after`,
   `structures touched`) the paper's evaluation reasons about; the
   ``explain()`` renderer in :mod:`repro.indexes.explain` is a thin view
   over these traces;
+* **distributed tracing** (:mod:`repro.obs.context`) — request-scoped
+  ``trace_id``/``span_id`` context propagated across the network
+  protocol, the daemon's admission/lock/executor stages, and the cluster
+  scatter-gather, with head-based sampling and a bounded trace buffer;
+* **events + SLOs** (:mod:`repro.obs.events`, :mod:`repro.obs.slo`) —
+  a structured JSON event log with a threshold-triggered slow-query log,
+  and rolling per-tenant SLO windows (p50/p99, error/shed/partial rates,
+  burn-rate gauges);
 * **exposition** (:mod:`repro.obs.exposition`) — Prometheus text format
   and JSON, plus a parser that round-trips the text back into a registry.
 
 See ``docs/observability.md`` for the metric catalog and usage.
 """
 
+from repro.obs.context import (
+    RequestTrace,
+    SpanRecord,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    annotate,
+    capture_active,
+    event,
+    mint_context,
+    span,
+    tracing_active,
+    under,
+)
+from repro.obs.events import EventLog, SlowQueryLog, phase_durations
 from repro.obs.exposition import (
     load_into_registry,
     parse_prometheus_text,
@@ -27,6 +52,7 @@ from repro.obs.exposition import (
 )
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
+    OVERFLOW_VALUE,
     Counter,
     Gauge,
     Histogram,
@@ -39,26 +65,46 @@ from repro.obs.registry import (
     isolated_registry,
     set_registry,
 )
+from repro.obs.slo import OUTCOMES, SloAccountant, TenantWindow
 from repro.obs.tracing import QueryTrace, Span, active_trace, query_trace
 
 __all__ = [
     "OBS",
+    "OUTCOMES",
+    "OVERFLOW_VALUE",
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
     "QueryTrace",
+    "RequestTrace",
+    "SloAccountant",
+    "SlowQueryLog",
     "Span",
+    "SpanRecord",
+    "TenantWindow",
+    "TraceBuffer",
+    "TraceContext",
+    "Tracer",
     "active_trace",
+    "annotate",
+    "capture_active",
+    "event",
     "get_registry",
     "isolated_registry",
     "load_into_registry",
+    "mint_context",
     "parse_prometheus_text",
+    "phase_durations",
     "query_trace",
     "registry_from_prometheus",
     "render_json",
     "render_prometheus",
     "set_registry",
+    "span",
+    "tracing_active",
+    "under",
 ]

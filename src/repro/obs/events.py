@@ -1,0 +1,156 @@
+"""Structured JSON event log and the slow-query log built on it.
+
+:class:`EventLog` is the daemon's journal of notable moments — one JSON
+object per event, kept in a bounded in-memory ring and optionally
+appended, one line each, to a JSONL file (the shape ``jq`` and log
+shippers expect).  It is deliberately dumb: no levels, no formatting,
+just ``{"ts_utc": ..., "kind": ..., **fields}``.
+
+:class:`SlowQueryLog` is the main producer: every request whose total
+latency crosses a threshold is logged with its tenant, verb, error code,
+the queue-wait / lock-wait breakdown measured by the daemon, and — when
+the request was sampled — the full stitched trace document, so a slow
+query can be investigated after the fact without reproducing it (see
+``docs/operations.md``).  A per-span phase breakdown is precomputed into
+``phases`` so the log line is useful even without walking the tree.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Union
+
+__all__ = ["EventLog", "SlowQueryLog", "phase_durations"]
+
+PathLike = Union[str, Path]
+
+
+class EventLog:
+    """Thread-safe bounded ring of JSON events + optional JSONL file sink."""
+
+    def __init__(self, capacity: int = 256, path: Optional[PathLike] = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"event log capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
+        self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._path = Path(path) if path is not None else None
+        self._file = None
+        self.emitted = 0
+        self.write_errors = 0
+
+    def emit(self, kind: str, **fields: object) -> Dict[str, object]:
+        record: Dict[str, object] = {"ts_utc": time.time(), "kind": kind}
+        record.update(fields)
+        with self._lock:
+            self._ring.append(record)
+            self.emitted += 1
+            if self._path is not None:
+                try:
+                    if self._file is None:
+                        self._path.parent.mkdir(parents=True, exist_ok=True)
+                        self._file = open(self._path, "a", encoding="utf-8")
+                    self._file.write(json.dumps(record, default=str) + "\n")
+                    self._file.flush()
+                except OSError:
+                    # The log is advisory; a full disk must not fail requests.
+                    self.write_errors += 1
+        return record
+
+    def recent(
+        self, limit: int = 50, *, kind: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Newest-first view, optionally filtered by event kind."""
+        with self._lock:
+            records = list(self._ring)
+        out: List[Dict[str, object]] = []
+        for record in reversed(records):
+            if kind is not None and record.get("kind") != kind:
+                continue
+            out.append(record)
+            if len(out) >= limit:
+                break
+        return out
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    self.write_errors += 1
+                self._file = None
+
+
+def phase_durations(trace_doc: Dict[str, object]) -> Dict[str, float]:
+    """Span name → total duration_ms, summed over same-named spans."""
+    phases: Dict[str, float] = {}
+    for rec in trace_doc.get("spans", ()):  # type: ignore[union-attr]
+        duration = rec.get("duration_ms")
+        if duration is None:
+            continue
+        name = str(rec.get("name"))
+        phases[name] = round(phases.get(name, 0.0) + float(duration), 3)
+    return phases
+
+
+class SlowQueryLog:
+    """Threshold-triggered log of slow requests with their evidence.
+
+    ``threshold_ms=None`` disables the log entirely; ``0.0`` logs every
+    request (useful in tests and short chaos runs).
+    """
+
+    def __init__(
+        self,
+        events: EventLog,
+        threshold_ms: Optional[float] = 500.0,
+    ) -> None:
+        if threshold_ms is not None and threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.events = events
+        self.threshold_ms = threshold_ms
+        self.logged = 0
+
+    def observe(
+        self,
+        duration_s: float,
+        *,
+        tenant: str,
+        verb: str,
+        trace_id: str,
+        queue_wait_ms: float = 0.0,
+        lock_wait_ms: float = 0.0,
+        status: str = "ok",
+        error_code: Optional[str] = None,
+        trace: Optional[Dict[str, object]] = None,
+    ) -> Optional[Dict[str, object]]:
+        """Log the request if it crossed the threshold; return the entry."""
+        if self.threshold_ms is None:
+            return None
+        duration_ms = duration_s * 1000.0
+        if duration_ms < self.threshold_ms:
+            return None
+        entry: Dict[str, object] = {
+            "tenant": tenant,
+            "verb": verb,
+            "status": status,
+            "duration_ms": round(duration_ms, 3),
+            "threshold_ms": self.threshold_ms,
+            "queue_wait_ms": round(queue_wait_ms, 3),
+            "lock_wait_ms": round(lock_wait_ms, 3),
+            "trace_id": trace_id,
+        }
+        if error_code is not None:
+            entry["error_code"] = error_code
+        if trace is not None:
+            entry["phases"] = phase_durations(trace)
+            entry["trace"] = trace
+        self.logged += 1
+        return self.events.emit("slow_query", **entry)
+
+    def recent(self, limit: int = 50) -> List[Dict[str, object]]:
+        return self.events.recent(limit, kind="slow_query")

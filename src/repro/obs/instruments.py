@@ -340,6 +340,112 @@ def server_instruments(registry: MetricsRegistry) -> ServerInstruments:
     return registry.bundle("server", ServerInstruments)  # type: ignore[return-value]
 
 
+#: Distinct tenants carried with full fidelity in tenant-labelled families;
+#: past this, new tenants collapse into the ``__other__`` overflow bucket
+#: (see :class:`~repro.obs.metrics.MetricFamily`).  A chaos run minting
+#: hundreds of throwaway tenants therefore cannot explode the registry.
+TENANT_LABEL_CAP = 64
+
+
+class TenantInstruments:
+    """Per-tenant serving + SLO accounting (overflow-guarded labels)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.requests = registry.counter(
+            "repro_tenant_requests_total",
+            "Work requests finished, by tenant and outcome "
+            "(ok/partial/error/shed/deadline).",
+            ("tenant", "outcome"),
+            max_label_sets=TENANT_LABEL_CAP * 5,
+            overflow="tenant",
+        )
+        self.request_seconds = registry.histogram(
+            "repro_tenant_request_seconds",
+            "End-to-end request latency, by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+        self.latency_p50 = registry.gauge(
+            "repro_tenant_latency_p50_seconds",
+            "Rolling-window p50 request latency, by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+        self.latency_p99 = registry.gauge(
+            "repro_tenant_latency_p99_seconds",
+            "Rolling-window p99 request latency, by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+        self.error_rate = registry.gauge(
+            "repro_tenant_error_rate",
+            "Rolling-window error-response fraction, by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+        self.shed_rate = registry.gauge(
+            "repro_tenant_shed_rate",
+            "Rolling-window admission-shed fraction, by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+        self.partial_rate = registry.gauge(
+            "repro_tenant_partial_rate",
+            "Rolling-window partial-result fraction, by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+        self.burn_rate = registry.gauge(
+            "repro_tenant_slo_burn_rate",
+            "Rolling-window SLO-violating fraction over the error budget "
+            "(1.0 = burning budget exactly as fast as it accrues), by tenant.",
+            ("tenant",),
+            max_label_sets=TENANT_LABEL_CAP,
+            overflow="tenant",
+        )
+
+
+def tenant_instruments(registry: MetricsRegistry) -> TenantInstruments:
+    return registry.bundle("tenant", TenantInstruments)  # type: ignore[return-value]
+
+
+class TraceInstruments:
+    """Distributed-tracing plane accounting."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.sampled = registry.counter(
+            "repro_traces_sampled_total",
+            "Requests traced by the head-based sampling decision.",
+        )
+        self.forced = registry.counter(
+            "repro_traces_forced_total",
+            "Unsampled requests force-captured because they ended in an "
+            "error or deadline miss.",
+        )
+        self.buffer_traces = registry.gauge(
+            "repro_trace_buffer_traces",
+            "Finished traces currently held in the in-memory buffer.",
+        )
+        self.buffer_dropped = registry.counter(
+            "repro_trace_buffer_dropped_total",
+            "Traces evicted from the bounded buffer to make room.",
+        )
+        self.slow_queries = registry.counter(
+            "repro_slow_queries_total",
+            "Requests logged by the slow-query log (latency over threshold).",
+        )
+
+
+def trace_instruments(registry: MetricsRegistry) -> TraceInstruments:
+    return registry.bundle("dist_trace", TraceInstruments)  # type: ignore[return-value]
+
+
 def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     """Materialise every family of the catalog (zero-valued).
 
@@ -355,4 +461,6 @@ def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     cache_instruments(registry)
     cluster_instruments(registry)
     server_instruments(registry)
+    tenant_instruments(registry)
+    trace_instruments(registry)
     return registry

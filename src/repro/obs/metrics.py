@@ -17,6 +17,9 @@ which owns the label schema and the children keyed by label values.  A
 configurable cardinality guard raises
 :class:`~repro.core.errors.LabelCardinalityError` before an unbounded label
 (object ids, raw timestamps, …) can turn the registry into a memory leak.
+Families whose one high-cardinality label is *expected* (tenant names) can
+instead designate it as ``overflow``: past the cap, new values collapse into
+a shared ``__other__`` bucket rather than raising.
 
 Every mutator checks its family's ``enabled`` flag first, so a *disabled*
 registry (the default — see :mod:`repro.obs.registry`) reduces each update
@@ -39,6 +42,9 @@ DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
 
 #: Default ceiling on distinct label sets per family.
 DEFAULT_MAX_LABEL_SETS = 256
+
+#: Label value absorbing overflow when a family collapses past its cap.
+OVERFLOW_VALUE = "__other__"
 
 _VALID_TYPES = ("counter", "gauge", "histogram")
 
@@ -179,6 +185,7 @@ class MetricFamily:
         "label_names",
         "enabled",
         "max_label_sets",
+        "overflow",
         "_buckets",
         "_children",
     )
@@ -192,6 +199,7 @@ class MetricFamily:
         *,
         enabled: bool = True,
         max_label_sets: int = DEFAULT_MAX_LABEL_SETS,
+        overflow: Optional[str] = None,
         buckets: Optional[Sequence[float]] = None,
     ) -> None:
         if type_ not in _VALID_TYPES:
@@ -205,8 +213,14 @@ class MetricFamily:
         self.type = type_
         self.help = help_
         self.label_names: Tuple[str, ...] = tuple(label_names)
+        if overflow is not None and overflow not in label_names:
+            raise MetricError(
+                f"{name}: overflow label {overflow!r} is not one of "
+                f"{tuple(label_names)!r}"
+            )
         self.enabled = enabled
         self.max_label_sets = max_label_sets
+        self.overflow = overflow
         self._buckets = (
             tuple(buckets) if buckets is not None else DEFAULT_LATENCY_BUCKETS
         )
@@ -230,12 +244,23 @@ class MetricFamily:
                 f"({', '.join(self.label_names)}), got {len(key)}"
             )
         if len(self._children) >= self.max_label_sets:
-            raise LabelCardinalityError(
-                f"{self.name}: more than {self.max_label_sets} distinct label "
-                f"sets; refusing {dict(zip(self.label_names, key))!r} — "
-                "label values must be low-cardinality (raise max_label_sets "
-                "only if this growth is truly bounded)"
-            )
+            if self.overflow is None:
+                raise LabelCardinalityError(
+                    f"{self.name}: more than {self.max_label_sets} distinct label "
+                    f"sets; refusing {dict(zip(self.label_names, key))!r} — "
+                    "label values must be low-cardinality (raise max_label_sets "
+                    "only if this growth is truly bounded)"
+                )
+            # Collapse the overflow label to the shared bucket.  The bucket
+            # child is created past the cap if needed: its cardinality is
+            # bounded by the *other* labels' (enumerated) values, which is
+            # the whole point of designating one runaway label.
+            idx = self.label_names.index(self.overflow)
+            if key[idx] != OVERFLOW_VALUE:
+                key = key[:idx] + (OVERFLOW_VALUE,) + key[idx + 1 :]
+                child = self._children.get(key)
+                if child is not None:
+                    return child
         return self._make_child(key)
 
     def _make_child(self, key: LabelValues) -> object:

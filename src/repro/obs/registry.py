@@ -70,6 +70,8 @@ class MetricsRegistry:
         help_: str,
         labels: Sequence[str],
         buckets: Optional[Sequence[float]] = None,
+        max_label_sets: Optional[int] = None,
+        overflow: Optional[str] = None,
     ) -> MetricFamily:
         family = self._families.get(name)
         if family is not None:
@@ -85,19 +87,44 @@ class MetricsRegistry:
             help_,
             labels,
             enabled=self._enabled,
-            max_label_sets=self._max_label_sets,
+            max_label_sets=(
+                self._max_label_sets if max_label_sets is None else max_label_sets
+            ),
+            overflow=overflow,
             buckets=buckets,
         )
         self._families[name] = family
         return family
 
-    def counter(self, name: str, help_: str, labels: Sequence[str] = ()) -> object:
+    def counter(
+        self,
+        name: str,
+        help_: str,
+        labels: Sequence[str] = (),
+        *,
+        max_label_sets: Optional[int] = None,
+        overflow: Optional[str] = None,
+    ) -> object:
         """Register (or fetch) a counter family; label-less → the counter."""
-        family = self._family(name, "counter", help_, labels)
+        family = self._family(
+            name, "counter", help_, labels,
+            max_label_sets=max_label_sets, overflow=overflow,
+        )
         return family if labels else family.solo
 
-    def gauge(self, name: str, help_: str, labels: Sequence[str] = ()) -> object:
-        family = self._family(name, "gauge", help_, labels)
+    def gauge(
+        self,
+        name: str,
+        help_: str,
+        labels: Sequence[str] = (),
+        *,
+        max_label_sets: Optional[int] = None,
+        overflow: Optional[str] = None,
+    ) -> object:
+        family = self._family(
+            name, "gauge", help_, labels,
+            max_label_sets=max_label_sets, overflow=overflow,
+        )
         return family if labels else family.solo
 
     def histogram(
@@ -106,8 +133,14 @@ class MetricsRegistry:
         help_: str,
         labels: Sequence[str] = (),
         buckets: Optional[Sequence[float]] = None,
+        *,
+        max_label_sets: Optional[int] = None,
+        overflow: Optional[str] = None,
     ) -> object:
-        family = self._family(name, "histogram", help_, labels, buckets=buckets)
+        family = self._family(
+            name, "histogram", help_, labels, buckets=buckets,
+            max_label_sets=max_label_sets, overflow=overflow,
+        )
         return family if labels else family.solo
 
     def bundle(self, key: str, factory: Callable[["MetricsRegistry"], object]) -> object:

@@ -1,0 +1,182 @@
+"""Per-tenant SLO accounting over rolling request windows.
+
+Each tenant gets a bounded window of recent request outcomes; snapshots
+compute rolling p50/p99 latency, error/shed/partial/deadline rates, and
+an **SLO burn rate** — the fraction of requests that violated the SLO
+(errored, was shed, missed its deadline, or exceeded the latency
+objective) divided by the error budget.  A burn rate of 1.0 means the
+tenant is consuming its budget exactly as fast as it accrues; above
+that, alerts should fire (see ``docs/observability.md``).
+
+The accountant is cheap on the record path (one deque append under a
+lock) and does all percentile work lazily in :meth:`SloAccountant.snapshot`,
+which the daemon calls from its ``introspect``/``metrics``/``status``
+handlers — reads pay for the math, not every request.  Tenant count is
+bounded the same way metric label sets are: past ``max_tenants``, new
+tenants collapse into the ``__other__`` window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["OUTCOMES", "OVERFLOW_TENANT", "TenantWindow", "SloAccountant"]
+
+#: The closed set of request outcomes the accountant classifies into.
+OUTCOMES = ("ok", "partial", "error", "shed", "deadline")
+
+#: Window absorbing tenants beyond the cap (mirrors the metric overflow bucket).
+OVERFLOW_TENANT = "__other__"
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+class TenantWindow:
+    """Rolling window of (timestamp, latency, outcome) for one tenant."""
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"SLO window capacity must be >= 1, got {capacity}")
+        self._samples: Deque[Tuple[float, float, str]] = deque(maxlen=capacity)
+
+    def record(self, now: float, latency_s: float, outcome: str) -> None:
+        self._samples.append((now, latency_s, outcome))
+
+    def snapshot(
+        self,
+        now: float,
+        *,
+        horizon_s: float,
+        latency_slo_ms: float,
+        error_budget: float,
+    ) -> Dict[str, float]:
+        cutoff = now - horizon_s
+        kept = [s for s in self._samples if s[0] >= cutoff]
+        count = len(kept)
+        if count == 0:
+            return {
+                "count": 0,
+                "qps": 0.0,
+                "p50_ms": 0.0,
+                "p99_ms": 0.0,
+                "error_rate": 0.0,
+                "shed_rate": 0.0,
+                "partial_rate": 0.0,
+                "deadline_rate": 0.0,
+                "burn_rate": 0.0,
+            }
+        # Latency percentiles cover requests that actually executed; a shed
+        # request's sub-millisecond rejection would only flatter the tail.
+        latencies = sorted(lat for _, lat, outcome in kept if outcome != "shed")
+        outcomes: Dict[str, int] = {}
+        for _, _, outcome in kept:
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        bad = sum(
+            1
+            for _, lat, outcome in kept
+            if outcome in ("error", "deadline", "shed") or lat * 1000.0 > latency_slo_ms
+        )
+        span_s = max(now - kept[0][0], 1e-9)
+        return {
+            "count": count,
+            "qps": round(count / span_s, 3),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 3),
+            "error_rate": round(outcomes.get("error", 0) / count, 4),
+            "shed_rate": round(outcomes.get("shed", 0) / count, 4),
+            "partial_rate": round(outcomes.get("partial", 0) / count, 4),
+            "deadline_rate": round(outcomes.get("deadline", 0) / count, 4),
+            "burn_rate": round((bad / count) / max(error_budget, 1e-9), 3),
+        }
+
+
+class SloAccountant:
+    """All tenants' SLO windows behind one lock, with gauge publication."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 512,
+        horizon_s: float = 60.0,
+        latency_slo_ms: float = 250.0,
+        error_budget: float = 0.01,
+        max_tenants: int = 64,
+    ) -> None:
+        if not 0.0 < error_budget <= 1.0:
+            raise ValueError(f"error_budget must be in (0, 1], got {error_budget}")
+        self.capacity = capacity
+        self.horizon_s = horizon_s
+        self.latency_slo_ms = latency_slo_ms
+        self.error_budget = error_budget
+        self.max_tenants = max_tenants
+        self._lock = threading.Lock()
+        self._windows: Dict[str, TenantWindow] = {}
+
+    def _window(self, tenant: str) -> TenantWindow:
+        window = self._windows.get(tenant)
+        if window is None:
+            if len(self._windows) >= self.max_tenants:
+                tenant = OVERFLOW_TENANT
+                window = self._windows.get(tenant)
+                if window is None:
+                    window = self._windows[tenant] = TenantWindow(self.capacity)
+            else:
+                window = self._windows[tenant] = TenantWindow(self.capacity)
+        return window
+
+    def record(
+        self,
+        tenant: str,
+        latency_s: float,
+        outcome: str,
+        now: Optional[float] = None,
+    ) -> None:
+        if outcome not in OUTCOMES:
+            raise ValueError(f"unknown outcome {outcome!r}; expected one of {OUTCOMES}")
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            self._window(tenant).record(stamp, latency_s, outcome)
+
+    def snapshot(
+        self, now: Optional[float] = None
+    ) -> Dict[str, Dict[str, float]]:
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            windows = dict(self._windows)
+        return {
+            tenant: window.snapshot(
+                stamp,
+                horizon_s=self.horizon_s,
+                latency_slo_ms=self.latency_slo_ms,
+                error_budget=self.error_budget,
+            )
+            for tenant, window in sorted(windows.items())
+        }
+
+    def publish(self) -> Dict[str, Dict[str, float]]:
+        """Snapshot and push the per-tenant gauges into the live registry."""
+        from repro.obs.instruments import tenant_instruments
+        from repro.obs.registry import OBS
+
+        snap = self.snapshot()
+        if OBS.registry.enabled:
+            tenants = tenant_instruments(OBS.registry)
+            for tenant, stats in snap.items():
+                tenants.latency_p50.labels(tenant).set(stats["p50_ms"] / 1000.0)
+                tenants.latency_p99.labels(tenant).set(stats["p99_ms"] / 1000.0)
+                tenants.error_rate.labels(tenant).set(stats["error_rate"])
+                tenants.shed_rate.labels(tenant).set(stats["shed_rate"])
+                tenants.partial_rate.labels(tenant).set(stats["partial_rate"])
+                tenants.burn_rate.labels(tenant).set(stats["burn_rate"])
+        return snap

@@ -16,6 +16,13 @@ applied.  With ``idempotent_mutations=True`` (the default) the client
 resolves exactly that ambiguity: such an error *after a transport-failed
 attempt* is reported as success, because the operation's effect is in
 place.  First-attempt conflicts are always surfaced — they are real.
+
+Every work request also carries a freshly minted distributed-trace
+context (``trace_id``/``span_id``, :mod:`repro.obs.context`), so the
+daemon's spans stitch under the caller's identity; ``last_trace_id``
+holds the most recent one for correlation with
+``introspect("traces", trace_id=...)``, and ``sampled=True`` on any verb
+forces the daemon to record the full trace regardless of its rate.
 """
 
 from __future__ import annotations
@@ -26,9 +33,13 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ReproError
+from repro.obs.context import mint_context
 from repro.server import protocol
 from repro.server.protocol import E_CONFLICT, E_NOT_FOUND, E_OVERLOADED
 from repro.utils.retry import RetryPolicy, retry_call
+
+#: Verbs that carry a distributed-trace context on the wire.
+_TRACED_VERBS = frozenset({"query", "batch", "insert", "delete"})
 
 #: Default client retry: 4 attempts, 25 ms base, capped at 1 s.
 CLIENT_RETRY = RetryPolicy(max_attempts=4, base_delay=0.025, max_delay=1.0)
@@ -78,6 +89,7 @@ class DaemonClient:
         sleep: Callable[[float], None] = time.sleep,
         idempotent_mutations: bool = True,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        trace_sampled: Optional[bool] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -85,6 +97,13 @@ class DaemonClient:
         self.retry = retry
         self.idempotent_mutations = idempotent_mutations
         self.max_frame_bytes = max_frame_bytes
+        #: Default sampling override sent with every work request: ``True``
+        #: forces the daemon to trace, ``False`` forbids it, ``None`` leaves
+        #: the decision to the daemon's configured rate.
+        self.trace_sampled = trace_sampled
+        #: ``trace_id`` minted for the most recent work request — correlate
+        #: a just-made call with ``introspect("traces", trace_id=...)``.
+        self.last_trace_id: Optional[str] = None
         self._rng = rng or random.Random()
         self._sleep = sleep
         self._sock: Optional[socket.socket] = None
@@ -100,6 +119,31 @@ class DaemonClient:
     def metrics(self) -> Dict[str, Any]:
         return self.request("metrics")
 
+    def introspect(
+        self,
+        what: str = "top",
+        *,
+        limit: Optional[int] = None,
+        trace_id: Optional[str] = None,
+        tenant: Optional[str] = None,
+        min_duration_ms: Optional[float] = None,
+        kind: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Fetch one view of the daemon's live introspection plane.
+
+        ``what`` ∈ ``traces`` / ``slow_log`` / ``events`` / ``slo`` /
+        ``top``; the keyword filters apply per view (see docs/observability.md).
+        """
+        return self.request(
+            "introspect",
+            what=what,
+            limit=limit,
+            trace_id=trace_id,
+            tenant=tenant,
+            min_duration_ms=min_duration_ms,
+            kind=kind,
+        )
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the daemon to drain (no retry: one ask is enough)."""
         return self.request("shutdown", retryable=False)
@@ -112,6 +156,7 @@ class DaemonClient:
         elements: Sequence[str] = (),
         *,
         deadline_ms: Optional[int] = None,
+        sampled: Optional[bool] = None,
     ) -> Dict[str, Any]:
         return self.request(
             "query",
@@ -120,6 +165,7 @@ class DaemonClient:
             end=end,
             elements=list(elements),
             deadline_ms=deadline_ms,
+            sampled=sampled,
         )
 
     def batch(
@@ -128,9 +174,14 @@ class DaemonClient:
         queries: Sequence[Dict[str, Any]],
         *,
         deadline_ms: Optional[int] = None,
+        sampled: Optional[bool] = None,
     ) -> Dict[str, Any]:
         return self.request(
-            "batch", tenant=tenant, queries=list(queries), deadline_ms=deadline_ms
+            "batch",
+            tenant=tenant,
+            queries=list(queries),
+            deadline_ms=deadline_ms,
+            sampled=sampled,
         )
 
     def insert(
@@ -142,6 +193,7 @@ class DaemonClient:
         elements: Sequence[str] = (),
         *,
         deadline_ms: Optional[int] = None,
+        sampled: Optional[bool] = None,
     ) -> Dict[str, Any]:
         return self.request(
             "insert",
@@ -151,17 +203,24 @@ class DaemonClient:
             end=end,
             elements=list(elements),
             deadline_ms=deadline_ms,
+            sampled=sampled,
             _ambiguous_ok=E_CONFLICT if self.idempotent_mutations else None,
         )
 
     def delete(
-        self, tenant: str, object_id: int, *, deadline_ms: Optional[int] = None
+        self,
+        tenant: str,
+        object_id: int,
+        *,
+        deadline_ms: Optional[int] = None,
+        sampled: Optional[bool] = None,
     ) -> Dict[str, Any]:
         return self.request(
             "delete",
             tenant=tenant,
             object_id=object_id,
             deadline_ms=deadline_ms,
+            sampled=sampled,
             _ambiguous_ok=E_NOT_FOUND if self.idempotent_mutations else None,
         )
 
@@ -171,6 +230,7 @@ class DaemonClient:
         verb: str,
         *,
         retryable: bool = True,
+        sampled: Optional[bool] = None,
         _ambiguous_ok: Optional[str] = None,
         **fields: Any,
     ) -> Dict[str, Any]:
@@ -178,6 +238,13 @@ class DaemonClient:
         self._next_id += 1
         payload: Dict[str, Any] = {"id": self._next_id, "verb": verb}
         payload.update({k: v for k, v in fields.items() if v is not None})
+        if verb in _TRACED_VERBS:
+            # Mint the trace context once per logical request: retries reuse
+            # it, so a retried call still stitches into a single trace.
+            decision = sampled if sampled is not None else self.trace_sampled
+            ctx = mint_context(self._rng, decision)
+            payload["trace"] = ctx.to_wire()
+            self.last_trace_id = ctx.trace_id
         attempts = {"n": 0, "transport_failed": False}
 
         def once() -> Dict[str, Any]:

@@ -32,11 +32,25 @@ Fault injection
 A :class:`~repro.service.faults.NetworkFaultInjector` may be installed;
 the daemon consults it once per received frame and once per sent frame
 and executes the planned drop/delay/close — the chaos suite's hook.
+
+Observability plane
+-------------------
+Every work request gets a :class:`~repro.obs.context.RequestTrace`
+(adopting the client's ``trace`` context when present) whose spans cover
+ingress, admission wait, tenant-lock wait, and pool execution — the
+worker thread re-parents the cluster router's per-shard/per-replica
+spans beneath the ``execute`` span, so one stitched tree attributes a
+slow request to its actual phase.  Head-based sampling keeps the cost
+near zero at low rates; errors and deadline misses are force-captured
+regardless.  Finished traces feed a bounded buffer, the slow-query log,
+and per-tenant SLO windows, all exported by the ``introspect`` verb (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import signal
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -54,7 +68,17 @@ from repro.core.errors import (
     UnknownObjectError,
 )
 from repro.core.model import TimeTravelQuery, make_object, make_query
+from repro.obs.context import (
+    RequestTrace,
+    TraceContext,
+    Tracer,
+    capture_active,
+    span,
+    under,
+)
+from repro.obs.events import EventLog, SlowQueryLog
 from repro.obs.registry import OBS
+from repro.obs.slo import SloAccountant
 from repro.server import protocol
 from repro.server.protocol import (
     E_BAD_REQUEST,
@@ -80,7 +104,10 @@ from repro.service.faults import (
 WORK_VERBS = frozenset({"query", "batch", "insert", "delete"})
 
 #: Cheap control-plane verbs answered inline on the event loop.
-CONTROL_VERBS = frozenset({"status", "metrics", "ping", "shutdown"})
+CONTROL_VERBS = frozenset({"status", "metrics", "ping", "shutdown", "introspect"})
+
+#: Introspection views exported by the ``introspect`` verb.
+INTROSPECT_VIEWS = ("traces", "slow_log", "events", "slo", "top")
 
 ALL_VERBS = WORK_VERBS | CONTROL_VERBS
 
@@ -105,6 +132,18 @@ class ServerConfig:
     deadline_grace: float = 0.5
     max_frame_bytes: int = protocol.MAX_FRAME_BYTES
     retry_after_ms: int = 50  # hint attached to shed responses
+    # --- observability plane (tracing, slow-query log, SLO windows) ---
+    trace_sample_rate: float = 0.01  # head-based sampling of work requests
+    trace_buffer: int = 256  # finished traces kept for `introspect`
+    trace_seed: Optional[int] = None  # deterministic sampling/ids in tests
+    slow_query_ms: Optional[float] = 500.0  # None disables; 0.0 logs all
+    slow_log_path: Optional[str] = None  # JSONL sink for the event log
+    event_log_capacity: int = 256
+    slo_window: int = 512  # per-tenant rolling sample count
+    slo_horizon_s: float = 60.0
+    slo_latency_ms: float = 250.0  # latency objective feeding burn rate
+    slo_error_budget: float = 0.01
+    slo_max_tenants: int = 64  # beyond this, windows collapse to __other__
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -113,6 +152,16 @@ class ServerConfig:
             raise ReproError(f"max_queue must be >= 0, got {self.max_queue}")
         if self.default_deadline_ms < 1 or self.max_deadline_ms < 1:
             raise ReproError("deadlines must be positive")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ReproError(
+                f"trace_sample_rate must be in [0, 1], got {self.trace_sample_rate}"
+            )
+        if self.trace_buffer < 1:
+            raise ReproError(f"trace_buffer must be >= 1, got {self.trace_buffer}")
+        if self.slow_query_ms is not None and self.slow_query_ms < 0:
+            raise ReproError(
+                f"slow_query_ms must be >= 0 or None, got {self.slow_query_ms}"
+            )
 
 
 class AsyncRWLock:
@@ -187,6 +236,23 @@ class QueryDaemon:
         self._draining = False
         self._drain_requested: Optional[asyncio.Event] = None
         self._drain_report: Dict[str, int] = {}
+        # Observability plane: tracer + event/slow-query logs + SLO windows.
+        cfg = self.config
+        self.tracer = Tracer(
+            sample_rate=cfg.trace_sample_rate,
+            capacity=cfg.trace_buffer,
+            rng=random.Random(cfg.trace_seed) if cfg.trace_seed is not None else None,
+        )
+        self.events = EventLog(cfg.event_log_capacity, cfg.slow_log_path)
+        self.slow_log = SlowQueryLog(self.events, cfg.slow_query_ms)
+        self.slo = SloAccountant(
+            capacity=cfg.slo_window,
+            horizon_s=cfg.slo_horizon_s,
+            latency_slo_ms=cfg.slo_latency_ms,
+            error_budget=cfg.slo_error_budget,
+            max_tenants=cfg.slo_max_tenants,
+        )
+        self._trace_drops_seen = 0
 
     # --------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -265,6 +331,13 @@ class QueryDaemon:
         # writing.  Every ack'd record is already flushed+fsync'd by
         # WAL.append, so skipping close loses nothing durable; the next
         # open replays the WAL.
+        self.events.emit(
+            "drain",
+            in_flight_at_drain=in_flight,
+            abandoned=abandoned,
+            wedged_threads=wedged,
+        )
+        self.events.close()
         self._drain_report = {
             "in_flight_at_drain": in_flight,
             "abandoned": abandoned,
@@ -382,7 +455,7 @@ class QueryDaemon:
         self._count(lambda i: i.requests.labels(verb).inc())
         try:
             if verb in CONTROL_VERBS:
-                response = self._control(request_id, verb)
+                response = self._control(request_id, verb, payload)
             else:
                 response = await self._work(request_id, verb, payload, started)
         except Exception as exc:  # noqa: BLE001 — the daemon must answer
@@ -396,15 +469,21 @@ class QueryDaemon:
         )
         return response
 
-    def _control(self, request_id: Any, verb: str) -> Dict[str, Any]:
+    def _control(
+        self, request_id: Any, verb: str, payload: Dict[str, Any]
+    ) -> Dict[str, Any]:
         if verb == "ping":
             return protocol.ok_response(request_id, {"pong": True})
         if verb == "shutdown":
             self.request_drain()
             return protocol.ok_response(request_id, {"draining": True})
+        if verb == "introspect":
+            return self._introspect(request_id, payload)
         if verb == "metrics":
             from repro.obs.exposition import render_prometheus
 
+            # Fold the lazily-computed SLO gauges into the scrape.
+            self.slo.publish()
             return protocol.ok_response(
                 request_id,
                 {
@@ -431,6 +510,107 @@ class QueryDaemon:
             },
         )
 
+    def _introspect(self, request_id: Any, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """The live introspection plane: traces, slow log, events, SLOs."""
+        what = payload.get("what", "top")
+        if what not in INTROSPECT_VIEWS:
+            return self._error(
+                request_id,
+                E_BAD_REQUEST,
+                f"unknown introspect view {what!r}; expected one of "
+                f"{', '.join(INTROSPECT_VIEWS)}",
+                verb="introspect",
+            )
+        limit = payload.get("limit", 20)
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+            return self._error(
+                request_id,
+                E_BAD_REQUEST,
+                f"limit must be a positive integer, got {limit!r}",
+                verb="introspect",
+            )
+        limit = min(limit, 500)
+        if what == "traces":
+            trace_id = payload.get("trace_id")
+            tenant = payload.get("tenant")
+            min_duration = payload.get("min_duration_ms", 0.0)
+            if trace_id is not None and not isinstance(trace_id, str):
+                return self._error(
+                    request_id, E_BAD_REQUEST,
+                    "trace_id must be a string", verb="introspect",
+                )
+            if isinstance(min_duration, bool) or not isinstance(
+                min_duration, (int, float)
+            ):
+                return self._error(
+                    request_id, E_BAD_REQUEST,
+                    "min_duration_ms must be a number", verb="introspect",
+                )
+            buffer = self.tracer.buffer
+            return protocol.ok_response(
+                request_id,
+                {
+                    "traces": buffer.snapshot(
+                        limit,
+                        trace_id=trace_id,
+                        tenant=tenant if isinstance(tenant, str) else None,
+                        min_duration_ms=float(min_duration),
+                    ),
+                    "buffered": len(buffer),
+                    "dropped": buffer.dropped,
+                    "sample_rate": self.tracer.sample_rate,
+                },
+            )
+        if what == "slow_log":
+            return protocol.ok_response(
+                request_id,
+                {
+                    "entries": self.slow_log.recent(limit),
+                    "threshold_ms": self.slow_log.threshold_ms,
+                    "logged": self.slow_log.logged,
+                },
+            )
+        if what == "events":
+            kind = payload.get("kind")
+            return protocol.ok_response(
+                request_id,
+                {
+                    "events": self.events.recent(
+                        limit, kind=kind if isinstance(kind, str) else None
+                    ),
+                    "emitted": self.events.emitted,
+                },
+            )
+        slo = self.slo.publish()
+        if what == "slo":
+            return protocol.ok_response(
+                request_id,
+                {
+                    "tenants": slo,
+                    "horizon_s": self.slo.horizon_s,
+                    "latency_slo_ms": self.slo.latency_slo_ms,
+                    "error_budget": self.slo.error_budget,
+                },
+            )
+        # top: one fetch for the live CLI view
+        return protocol.ok_response(
+            request_id,
+            {
+                "tenants": slo,
+                "daemon": {
+                    "draining": self._draining,
+                    "executing": self._executing,
+                    "waiting": self._waiting,
+                    "open_connections": len(self._writers),
+                    "traces_buffered": len(self.tracer.buffer),
+                    "traces_dropped": self.tracer.buffer.dropped,
+                    "sample_rate": self.tracer.sample_rate,
+                    "slow_queries": self.slow_log.logged,
+                    "slow_query_ms": self.slow_log.threshold_ms,
+                },
+            },
+        )
+
     async def _work(
         self, request_id: Any, verb: str, payload: Dict[str, Any], started: float
     ) -> Dict[str, Any]:
@@ -449,25 +629,92 @@ class QueryDaemon:
         except _BadRequest as exc:
             return self._error(request_id, E_BAD_REQUEST, str(exc), verb=verb)
 
-        admitted = await self._admit(deadline)
-        if admitted == "shed":
-            self._count(lambda i: i.shed.inc())
-            return self._error(
-                request_id,
-                E_OVERLOADED,
-                f"admission queue at capacity "
-                f"({self.config.max_inflight} executing, "
-                f"{self.config.max_queue} queued)",
-                verb=verb,
-                retry_after_ms=self.config.retry_after_ms,
-            )
-        if admitted == "deadline":
-            return self._deadline_error(request_id, verb, "waiting for an execution slot")
-        try:
-            return await self._execute(request_id, verb, payload, tenant, deadline)
-        finally:
-            self._executing -= 1
-            self._count(lambda i: i.inflight.set(self._executing))
+        trace = self.tracer.begin(
+            TraceContext.from_wire(payload.get("trace")),
+            name="ingress",
+            verb=verb,
+            tenant=tenant.name,
+        )
+        waits = {"queue_ms": 0.0, "lock_ms": 0.0}
+        with trace.activate():
+            with span("admission") as rec:
+                queue_t0 = time.monotonic()
+                admitted = await self._admit(deadline)
+                waits["queue_ms"] = (time.monotonic() - queue_t0) * 1000.0
+                if rec is not None:
+                    rec.attrs["admitted"] = admitted
+            if admitted == "shed":
+                self._count(lambda i: i.shed.inc())
+                response = self._error(
+                    request_id,
+                    E_OVERLOADED,
+                    f"admission queue at capacity "
+                    f"({self.config.max_inflight} executing, "
+                    f"{self.config.max_queue} queued)",
+                    verb=verb,
+                    retry_after_ms=self.config.retry_after_ms,
+                )
+            elif admitted == "deadline":
+                response = self._deadline_error(
+                    request_id, verb, "waiting for an execution slot"
+                )
+            else:
+                try:
+                    response = await self._execute(
+                        request_id, verb, payload, tenant, deadline, waits
+                    )
+                finally:
+                    self._executing -= 1
+                    self._count(lambda i: i.inflight.set(self._executing))
+        self._finish_work(trace, tenant.name, verb, response, started, waits)
+        return response
+
+    def _finish_work(
+        self,
+        trace: RequestTrace,
+        tenant_name: str,
+        verb: str,
+        response: Dict[str, Any],
+        started: float,
+        waits: Dict[str, float],
+    ) -> None:
+        """Post-response accounting: trace deposit, SLO window, slow log."""
+        duration = time.monotonic() - started
+        outcome, error_code = _classify(response)
+        if error_code is not None:
+            trace.annotate(error_code=error_code)
+        doc = trace.finish(outcome)
+        self.slo.record(tenant_name, duration, outcome)
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import tenant_instruments, trace_instruments
+
+            tenants = tenant_instruments(registry)
+            tenants.requests.labels(tenant_name, outcome).inc()
+            tenants.request_seconds.labels(tenant_name).observe(duration)
+            traces = trace_instruments(registry)
+            if doc is not None:
+                (traces.forced if doc.get("forced") else traces.sampled).inc()
+            traces.buffer_traces.set(len(self.tracer.buffer))
+            dropped = self.tracer.buffer.dropped
+            if dropped > self._trace_drops_seen:
+                traces.buffer_dropped.inc(dropped - self._trace_drops_seen)
+                self._trace_drops_seen = dropped
+        entry = self.slow_log.observe(
+            duration,
+            tenant=tenant_name,
+            verb=verb,
+            trace_id=trace.trace_id,
+            queue_wait_ms=waits["queue_ms"],
+            lock_wait_ms=waits["lock_ms"],
+            status=outcome,
+            error_code=error_code,
+            trace=doc,
+        )
+        if entry is not None and registry.enabled:
+            from repro.obs.instruments import trace_instruments
+
+            trace_instruments(registry).slow_queries.inc()
 
     # ---------------------------------------------------------------- admission
     async def _admit(self, deadline: float) -> str:
@@ -504,6 +751,7 @@ class QueryDaemon:
         payload: Dict[str, Any],
         tenant,
         deadline: float,
+        waits: Optional[Dict[str, float]] = None,
     ) -> Dict[str, Any]:
         try:
             grace = (
@@ -513,7 +761,7 @@ class QueryDaemon:
                 q = self._parse_query(payload)
                 work = lambda: tenant.query_partial(q, deadline)  # noqa: E731
                 partial = await self._run_locked(
-                    tenant.name, work, deadline, write=False, grace=grace
+                    tenant.name, work, deadline, write=False, grace=grace, waits=waits
                 )
                 return self._partial_response(request_id, partial)
             if verb == "batch":
@@ -540,7 +788,8 @@ class QueryDaemon:
                     return out
 
                 partials = await self._run_locked(
-                    tenant.name, run_batch, deadline, write=False, grace=grace
+                    tenant.name, run_batch, deadline, write=False, grace=grace,
+                    waits=waits,
                 )
                 results = [self._partial_dict(p) for p in partials]
                 complete = all(p.complete for p in partials)
@@ -552,13 +801,15 @@ class QueryDaemon:
             if verb == "insert":
                 obj = self._parse_object(payload)
                 await self._run_locked(
-                    tenant.name, lambda: tenant.insert(obj), deadline, write=True
+                    tenant.name, lambda: tenant.insert(obj), deadline, write=True,
+                    waits=waits,
                 )
                 return protocol.ok_response(request_id, {"inserted": obj.id})
             # delete
             object_id = self._parse_id(payload)
             await self._run_locked(
-                tenant.name, lambda: tenant.delete(object_id), deadline, write=True
+                tenant.name, lambda: tenant.delete(object_id), deadline, write=True,
+                waits=waits,
             )
             return protocol.ok_response(request_id, {"deleted": object_id})
         except _BadRequest as exc:
@@ -586,6 +837,7 @@ class QueryDaemon:
         *,
         write: bool,
         grace: float = 0.0,
+        waits: Optional[Dict[str, float]] = None,
     ) -> Any:
         """Run ``fn`` on the pool under the tenant's read/write lock.
 
@@ -602,35 +854,50 @@ class QueryDaemon:
         if remaining <= 0:
             raise _DeadlineHit("deadline expired before execution began")
         acquire = lock.acquire_write() if write else lock.acquire_read()
-        try:
-            await asyncio.wait_for(acquire, remaining)
-        except asyncio.TimeoutError:
-            raise _DeadlineHit("deadline expired waiting for the tenant lock") from None
+        with span("tenant_lock", write=write):
+            lock_t0 = time.monotonic()
+            try:
+                await asyncio.wait_for(acquire, remaining)
+            except asyncio.TimeoutError:
+                raise _DeadlineHit(
+                    "deadline expired waiting for the tenant lock"
+                ) from None
+            finally:
+                if waits is not None:
+                    waits["lock_ms"] = (time.monotonic() - lock_t0) * 1000.0
         fut: Optional["asyncio.Future[Tuple[str, Any]]"] = None
         try:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise _DeadlineHit("deadline expired before execution began")
             loop = asyncio.get_running_loop()
-            # The thread wrapper captures exceptions itself: a future
-            # whose awaiter was cancelled by the deadline backstop must
-            # not leak "exception was never retrieved" noise.
-            fut = loop.run_in_executor(self._pool, _capture(fn))
-            # From here on the done-callback owns both the lock release
-            # and the drain-visible tracking; the shield keeps the
-            # backstop timeout from cancelling the future out from
-            # under that callback.
-            self._track_pool_future(fut, lock, write)
-            try:
-                outcome = await asyncio.wait_for(
-                    asyncio.shield(fut), remaining + grace
-                )
-            except asyncio.TimeoutError:
-                raise _DeadlineHit("deadline expired during execution") from None
-            kind, value = outcome
-            if kind == "err":
-                raise value
-            return value
+            with span("execute") as exec_rec:
+                # The worker thread re-parents its spans (router plan,
+                # per-shard probes) under this one via the explicit
+                # capture/under handoff — ContextVars do not follow a
+                # run_in_executor call on their own.
+                active = capture_active()
+                # The thread wrapper captures exceptions itself: a future
+                # whose awaiter was cancelled by the deadline backstop must
+                # not leak "exception was never retrieved" noise.
+                fut = loop.run_in_executor(self._pool, _capture(fn, active))
+                # From here on the done-callback owns both the lock release
+                # and the drain-visible tracking; the shield keeps the
+                # backstop timeout from cancelling the future out from
+                # under that callback.
+                self._track_pool_future(fut, lock, write)
+                try:
+                    outcome = await asyncio.wait_for(
+                        asyncio.shield(fut), remaining + grace
+                    )
+                except asyncio.TimeoutError:
+                    if exec_rec is not None:
+                        exec_rec.status = "deadline_abandoned"
+                    raise _DeadlineHit("deadline expired during execution") from None
+                kind, value = outcome
+                if kind == "err":
+                    raise value
+                return value
         finally:
             if fut is None:
                 # The executor call never started; release inline.
@@ -754,14 +1021,31 @@ class _DeadlineHit(Exception):
     """The deadline fired somewhere on the execution path."""
 
 
-def _capture(fn: Callable[[], Any]) -> Callable[[], Tuple[str, Any]]:
+def _capture(
+    fn: Callable[[], Any], active: Optional[object] = None
+) -> Callable[[], Tuple[str, Any]]:
     def run() -> Tuple[str, Any]:
         try:
-            return ("ok", fn())
+            with under(active):
+                return ("ok", fn())
         except BaseException as exc:  # noqa: BLE001 — ferried to the loop
             return ("err", exc)
 
     return run
+
+
+def _classify(response: Dict[str, Any]) -> Tuple[str, Optional[str]]:
+    """Map a response envelope to an SLO outcome + optional error code."""
+    if response.get("ok"):
+        result = response.get("result") or {}
+        complete = result.get("complete", True)
+        return ("partial" if complete is False else "ok", None)
+    code = (response.get("error") or {}).get("code", E_INTERNAL)
+    if code == E_OVERLOADED:
+        return ("shed", code)
+    if code == E_DEADLINE:
+        return ("deadline", code)
+    return ("error", code)
 
 
 def _query_from(payload: Dict[str, Any]) -> TimeTravelQuery:

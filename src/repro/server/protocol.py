@@ -16,7 +16,17 @@ Requests and responses
 Request::
 
     {"id": 7, "verb": "query", "tenant": "docs",
-     "deadline_ms": 250, ...verb fields}
+     "deadline_ms": 250, ...verb fields,
+     "trace": {"trace_id": "…", "span_id": "…", "sampled": true}}
+
+The optional ``trace`` object carries the distributed-tracing context
+(:class:`repro.obs.context.TraceContext`): the daemon adopts the caller's
+``trace_id`` so client-side and server-side spans stitch into one tree,
+and an explicit ``sampled`` flag overrides the daemon's head-based
+sampling rate.  A malformed ``trace`` object is ignored, never an error.
+The ``introspect`` control verb exports the daemon's bounded trace
+buffer, slow-query log and per-tenant SLO windows
+(``what`` ∈ ``traces``/``slow_log``/``events``/``slo``/``top``).
 
 Response (exactly one per non-dropped request)::
 

@@ -23,6 +23,7 @@ from repro.cluster import TemporalCluster, PartialResult
 from repro.cluster import layout as cluster_layout
 from repro.core.errors import ConfigurationError, ReproError
 from repro.core.model import TemporalObject, TimeTravelQuery
+from repro.obs.context import span
 from repro.service import layout as store_layout
 from repro.service.store import DurableIndexStore
 
@@ -76,9 +77,9 @@ class Tenant:
             assert isinstance(self.handle, TemporalCluster)
             return self.handle.query_partial(q, deadline)
         assert isinstance(self.handle, DurableIndexStore)
-        return PartialResult(
-            ids=self.handle.query(q), shards_planned=1, shards_answered=1
-        )
+        with span("store_query"):
+            ids = self.handle.query(q)
+        return PartialResult(ids=ids, shards_planned=1, shards_answered=1)
 
     # ----------------------------------------------------------------- writes
     def insert(self, obj: TemporalObject) -> None:

@@ -1,0 +1,101 @@
+"""The shared ``BENCH_*.json`` envelope: version, commit, round-trip."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks._schema import (
+    SCHEMA_VERSION,
+    detect_commit,
+    load_bench,
+    save_bench,
+    utc_timestamp,
+)
+from repro.bench.results_io import save_results
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestEnvelope:
+    def test_save_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        metrics = {"exp": {"p50": 1.5, "series": [1, 2, 3]}}
+        document = save_bench(metrics, path, commit="abc123", timestamp_utc="2026-08-07T00:00:00Z")
+        assert document["schema_version"] == SCHEMA_VERSION
+        loaded = load_bench(path)
+        assert loaded == {
+            "schema_version": SCHEMA_VERSION,
+            "commit": "abc123",
+            "timestamp_utc": "2026-08-07T00:00:00Z",
+            "metrics": metrics,
+        }
+
+    def test_non_string_keys_survive_the_pairs_encoding(self, tmp_path):
+        path = tmp_path / "BENCH_keys.json"
+        metrics = {"sweep": {0.5: "half", 64: "sixty-four"}}
+        save_bench(metrics, path, commit="c", timestamp_utc="t")
+        assert load_bench(path)["metrics"] == metrics
+        # and the envelope itself stays plain JSON for jq-style tooling
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        assert raw["commit"] == "c"
+        assert raw["schema_version"] == SCHEMA_VERSION
+
+    def test_non_dict_metrics_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_bench([1, 2], tmp_path / "BENCH_bad.json")
+
+    def test_defaults_fill_commit_and_timestamp(self, tmp_path):
+        document = save_bench({"m": {}}, tmp_path / "BENCH_d.json")
+        assert document["commit"] == detect_commit()
+        assert len(document["timestamp_utc"]) == len("2026-08-07T00:00:00Z")
+
+
+class TestLegacyFallback:
+    def test_pre_envelope_file_loads_as_version_zero(self, tmp_path):
+        path = tmp_path / "BENCH_legacy.json"
+        save_results({"old": {"p50": 2.0}}, path)  # the bare pairs form
+        loaded = load_bench(path)
+        assert loaded["schema_version"] == 0
+        assert loaded["commit"] == "unknown"
+        assert loaded["timestamp_utc"] is None
+        assert loaded["metrics"] == {"old": {"p50": 2.0}}
+
+    def test_non_dict_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_junk.json"
+        path.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+
+class TestDetectCommit:
+    def test_inside_this_repo_yields_a_sha(self):
+        sha = detect_commit(REPO_ROOT)
+        assert len(sha) == 40
+        assert all(c in "0123456789abcdef" for c in sha)
+
+    def test_outside_a_checkout_yields_unknown(self, tmp_path):
+        assert detect_commit(tmp_path) == "unknown"
+
+
+class TestUtcTimestamp:
+    def test_pinned_epoch_formats_as_zulu(self):
+        assert utc_timestamp(0) == "1970-01-01T00:00:00Z"
+
+
+class TestCommittedArtifacts:
+    """The repo's archived reference runs already carry the envelope."""
+
+    @pytest.mark.parametrize(
+        "name, top_key",
+        [("BENCH_cluster.json", "cluster"), ("BENCH_server.json", "server")],
+    )
+    def test_reference_run_is_version_one(self, name, top_key):
+        path = REPO_ROOT / name
+        if not path.exists():
+            pytest.skip(f"{name} not present in this checkout")
+        loaded = load_bench(path)
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["commit"] != "unknown"
+        assert loaded["timestamp_utc"].endswith("Z")
+        assert top_key in loaded["metrics"]

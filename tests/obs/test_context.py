@@ -1,0 +1,306 @@
+"""Distributed trace context: spans, propagation, sampling, buffering."""
+
+import random
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    RequestTrace,
+    TraceBuffer,
+    TraceContext,
+    Tracer,
+    annotate,
+    capture_active,
+    event,
+    mint_context,
+    span,
+    tracing_active,
+    under,
+)
+
+
+def make_trace(tracer=None, **attrs):
+    tracer = tracer or Tracer(sample_rate=1.0, rng=random.Random(7))
+    return tracer, tracer.begin(None, name="ingress", **attrs)
+
+
+def span_names(doc):
+    return [s["name"] for s in doc["spans"]]
+
+
+def by_name(doc, name):
+    matches = [s for s in doc["spans"] if s["name"] == name]
+    assert matches, f"no span named {name!r} in {span_names(doc)}"
+    return matches[0]
+
+
+class TestWireContext:
+    def test_round_trip(self):
+        ctx = mint_context(random.Random(3), sampled=True)
+        parsed = TraceContext.from_wire(ctx.to_wire())
+        assert parsed is not None
+        assert parsed.trace_id == ctx.trace_id
+        assert parsed.span_id == ctx.span_id
+        assert parsed.sampled is True
+
+    def test_sampled_omitted_when_unset(self):
+        ctx = mint_context(random.Random(3))
+        assert "sampled" not in ctx.to_wire()
+        assert TraceContext.from_wire(ctx.to_wire()).sampled is None
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            None,
+            "not-a-dict",
+            42,
+            [],
+            {},
+            {"trace_id": "abc"},
+            {"span_id": "abc"},
+            {"trace_id": 7, "span_id": "abc"},
+            {"trace_id": "", "span_id": "abc"},
+            {"trace_id": "x" * 65, "span_id": "abc"},
+            {"trace_id": "abc", "span_id": ""},
+        ],
+    )
+    def test_malformed_contexts_parse_to_none(self, raw):
+        assert TraceContext.from_wire(raw) is None
+
+    def test_non_bool_sampled_flag_is_dropped_not_fatal(self):
+        parsed = TraceContext.from_wire(
+            {"trace_id": "t", "span_id": "s", "sampled": "yes"}
+        )
+        assert parsed is not None
+        assert parsed.sampled is None
+
+
+class TestSpanTree:
+    def test_nested_spans_stitch_into_one_tree(self):
+        _tracer, trace = make_trace(verb="query")
+        with trace.activate():
+            with span("admission"):
+                pass
+            with span("execute"):
+                with span("router_plan", shards=2):
+                    pass
+                with span("shard:a") as rec:
+                    rec.attrs["hit"] = True
+        doc = trace.finish("ok")
+        assert doc is not None
+        assert span_names(doc) == [
+            "ingress", "admission", "execute", "router_plan", "shard:a",
+        ]
+        ingress = by_name(doc, "ingress")
+        execute = by_name(doc, "execute")
+        assert by_name(doc, "admission")["parent_id"] == ingress["span_id"]
+        assert execute["parent_id"] == ingress["span_id"]
+        assert by_name(doc, "router_plan")["parent_id"] == execute["span_id"]
+        assert by_name(doc, "shard:a")["parent_id"] == execute["span_id"]
+        assert by_name(doc, "shard:a")["attrs"] == {"hit": True}
+        # exactly one root: the ingress span (its parent is off-document)
+        ids = {s["span_id"] for s in doc["spans"]}
+        roots = [s for s in doc["spans"] if s["parent_id"] not in ids]
+        assert roots == [ingress]
+
+    def test_span_body_exception_marks_error_and_propagates(self):
+        _tracer, trace = make_trace()
+        with trace.activate():
+            with pytest.raises(ValueError):
+                with span("execute"):
+                    raise ValueError("boom")
+        doc = trace.finish("error")
+        execute = by_name(doc, "execute")
+        assert execute["status"] == "error"
+        assert "ValueError" in execute["attrs"]["error"]
+
+    def test_event_records_zero_duration_span(self):
+        _tracer, trace = make_trace()
+        with trace.activate():
+            event("shard:b", status="deadline_abandoned", shard="b")
+        doc = trace.finish("partial")
+        rec = by_name(doc, "shard:b")
+        assert rec["duration_ms"] == 0.0
+        assert rec["status"] == "deadline_abandoned"
+        assert rec["attrs"]["shard"] == "b"
+
+    def test_annotate_targets_innermost_open_span(self):
+        _tracer, trace = make_trace()
+        with trace.activate():
+            with span("outer"):
+                with span("inner"):
+                    annotate(queue_ms=1.5)
+        doc = trace.finish("ok")
+        assert by_name(doc, "inner")["attrs"] == {"queue_ms": 1.5}
+        assert by_name(doc, "outer")["attrs"] == {}
+
+    def test_offsets_and_durations_are_monotone(self):
+        _tracer, trace = make_trace()
+        with trace.activate():
+            with span("outer"):
+                sum(range(2000))
+                with span("inner"):
+                    sum(range(2000))
+        doc = trace.finish("ok")
+        outer, inner = by_name(doc, "outer"), by_name(doc, "inner")
+        assert inner["offset_ms"] >= outer["offset_ms"]
+        assert outer["duration_ms"] >= inner["duration_ms"] >= 0.0
+
+    def test_no_active_trace_means_noops(self):
+        assert tracing_active() is False
+        with span("orphan") as rec:
+            assert rec is None
+        assert event("orphan") is None
+        annotate(ignored=True)  # must not raise
+        assert capture_active() is None
+
+
+class TestThreadHandoff:
+    def test_worker_thread_spans_reparent_under_captured_span(self):
+        _tracer, trace = make_trace()
+        with trace.activate():
+            with span("execute"):
+                active = capture_active()
+
+                def worker():
+                    with under(active):
+                        assert tracing_active()
+                        with span("shard:t", shard="t"):
+                            pass
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        doc = trace.finish("ok")
+        assert by_name(doc, "shard:t")["parent_id"] == (
+            by_name(doc, "execute")["span_id"]
+        )
+
+    def test_under_none_is_a_noop(self):
+        with under(None):
+            assert tracing_active() is False
+
+    def test_concurrent_workers_do_not_corrupt_the_tree(self):
+        _tracer, trace = make_trace()
+        with trace.activate():
+            with span("execute"):
+                active = capture_active()
+
+                def worker(i):
+                    with under(active):
+                        with span(f"shard:{i}", shard=i):
+                            pass
+
+                threads = [
+                    threading.Thread(target=worker, args=(i,)) for i in range(8)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+        doc = trace.finish("ok")
+        execute_id = by_name(doc, "execute")["span_id"]
+        shard_spans = [s for s in doc["spans"] if s["name"].startswith("shard:")]
+        assert len(shard_spans) == 8
+        assert all(s["parent_id"] == execute_id for s in shard_spans)
+        # ids stay unique under concurrent generation
+        ids = [s["span_id"] for s in doc["spans"]]
+        assert len(ids) == len(set(ids))
+
+
+class TestSampling:
+    def test_rate_zero_never_samples_rate_one_always(self):
+        never = Tracer(sample_rate=0.0, rng=random.Random(1))
+        always = Tracer(sample_rate=1.0, rng=random.Random(1))
+        assert not any(never.begin(None).sampled for _ in range(50))
+        assert all(always.begin(None).sampled for _ in range(50))
+
+    def test_rate_is_deterministic_with_seeded_rng(self):
+        a = Tracer(sample_rate=0.5, rng=random.Random(9))
+        b = Tracer(sample_rate=0.5, rng=random.Random(9))
+        decisions_a = [a.begin(None).sampled for _ in range(64)]
+        decisions_b = [b.begin(None).sampled for _ in range(64)]
+        assert decisions_a == decisions_b
+        assert True in decisions_a and False in decisions_a
+
+    def test_parent_sampled_flag_overrides_the_rate(self):
+        tracer = Tracer(sample_rate=0.0, rng=random.Random(2))
+        parent = TraceContext("t1", "s1", sampled=True)
+        trace = tracer.begin(parent, verb="query")
+        assert trace.sampled is True
+        assert trace.trace_id == "t1"
+        doc = trace.finish("ok")
+        assert doc["spans"][0]["parent_id"] == "s1"
+
+        forbidden = Tracer(sample_rate=1.0, rng=random.Random(2)).begin(
+            TraceContext("t2", "s2", sampled=False)
+        )
+        assert forbidden.sampled is False
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=-0.1)
+
+
+class TestForcedCapture:
+    def test_unsampled_error_synthesizes_forced_trace(self):
+        tracer = Tracer(sample_rate=0.0, rng=random.Random(4))
+        trace = tracer.begin(None, verb="query", tenant="acme")
+        trace.annotate(error_code="internal")
+        doc = trace.finish("error")
+        assert doc is not None
+        assert doc["forced"] is True
+        assert doc["sampled"] is False
+        assert doc["status"] == "error"
+        assert doc["attrs"]["tenant"] == "acme"
+        assert doc["attrs"]["error_code"] == "internal"
+        assert len(doc["spans"]) == 1
+        assert tracer.forced_total == 1
+        assert len(tracer.buffer) == 1
+
+    def test_unsampled_ok_and_partial_leave_no_trace(self):
+        tracer = Tracer(sample_rate=0.0, rng=random.Random(4))
+        assert tracer.begin(None).finish("ok") is None
+        assert tracer.begin(None).finish("partial") is None
+        assert len(tracer.buffer) == 0
+
+    def test_force_flag_keeps_an_ok_trace(self):
+        tracer = Tracer(sample_rate=0.0, rng=random.Random(4))
+        doc = tracer.begin(None).finish("ok", force=True)
+        assert doc is not None and doc["forced"] is True
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(sample_rate=1.0, rng=random.Random(4))
+        trace = tracer.begin(None)
+        assert trace.finish("ok") is not None
+        assert trace.finish("error") is None
+        assert len(tracer.buffer) == 1
+
+
+class TestTraceBuffer:
+    def test_capacity_bounds_and_dropped_counter(self):
+        buffer = TraceBuffer(capacity=3)
+        for i in range(5):
+            buffer.add({"trace_id": f"t{i}", "duration_ms": float(i)})
+        assert len(buffer) == 3
+        assert buffer.dropped == 2
+        assert [d["trace_id"] for d in buffer.snapshot(10)] == ["t4", "t3", "t2"]
+
+    def test_snapshot_filters(self):
+        buffer = TraceBuffer(capacity=10)
+        buffer.add({"trace_id": "a", "duration_ms": 5.0, "attrs": {"tenant": "x"}})
+        buffer.add({"trace_id": "b", "duration_ms": 50.0, "attrs": {"tenant": "y"}})
+        buffer.add({"trace_id": "c", "duration_ms": 500.0, "attrs": {"tenant": "x"}})
+        assert [d["trace_id"] for d in buffer.snapshot(10, trace_id="b")] == ["b"]
+        assert [d["trace_id"] for d in buffer.snapshot(10, tenant="x")] == ["c", "a"]
+        assert [
+            d["trace_id"] for d in buffer.snapshot(10, min_duration_ms=40.0)
+        ] == ["c", "b"]
+        assert [d["trace_id"] for d in buffer.snapshot(1)] == ["c"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(capacity=0)

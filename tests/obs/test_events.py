@@ -1,0 +1,139 @@
+"""Event log ring + JSONL sink, and the slow-query log built on it."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog, SlowQueryLog, phase_durations
+
+
+def sample_trace(duration_ms=12.0):
+    return {
+        "trace_id": "t1",
+        "status": "ok",
+        "duration_ms": duration_ms,
+        "spans": [
+            {"name": "ingress", "duration_ms": duration_ms},
+            {"name": "execute", "duration_ms": 8.0},
+            {"name": "shard:a", "duration_ms": 3.0},
+            {"name": "shard:a", "duration_ms": 2.0},
+            {"name": "open", "duration_ms": None},
+        ],
+    }
+
+
+class TestEventLog:
+    def test_emit_and_recent_newest_first(self):
+        log = EventLog(capacity=8)
+        log.emit("drain", reason="test")
+        log.emit("slow_query", tenant="acme")
+        recent = log.recent(10)
+        assert [r["kind"] for r in recent] == ["slow_query", "drain"]
+        assert recent[0]["tenant"] == "acme"
+        assert all("ts_utc" in r for r in recent)
+        assert log.emitted == 2
+
+    def test_ring_is_bounded_but_emitted_keeps_counting(self):
+        log = EventLog(capacity=3)
+        for i in range(7):
+            log.emit("tick", n=i)
+        assert [r["n"] for r in log.recent(10)] == [6, 5, 4]
+        assert log.emitted == 7
+
+    def test_kind_filter_and_limit(self):
+        log = EventLog(capacity=16)
+        for i in range(4):
+            log.emit("a", n=i)
+            log.emit("b", n=i)
+        assert [r["n"] for r in log.recent(2, kind="a")] == [3, 2]
+
+    def test_jsonl_sink_appends_parseable_lines(self, tmp_path):
+        path = tmp_path / "nested" / "events.jsonl"
+        log = EventLog(capacity=4, path=path)
+        log.emit("slow_query", tenant="acme", duration_ms=7.5)
+        log.emit("drain")
+        log.close()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["kind"] for r in records] == ["slow_query", "drain"]
+        assert records[0]["tenant"] == "acme"
+
+    def test_sink_write_failure_is_advisory(self, tmp_path):
+        # a directory at the sink path makes every open() fail with OSError
+        path = tmp_path / "taken"
+        path.mkdir()
+        log = EventLog(capacity=4, path=path)
+        log.emit("tick")
+        log.emit("tick")
+        assert log.write_errors == 2
+        assert log.emitted == 2  # the in-memory ring still works
+        assert len(log.recent(10)) == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestPhaseDurations:
+    def test_sums_same_named_spans_and_skips_open_ones(self):
+        phases = phase_durations(sample_trace())
+        assert phases["shard:a"] == 5.0
+        assert phases["execute"] == 8.0
+        assert "open" not in phases
+
+
+class TestSlowQueryLog:
+    def test_threshold_gates_logging(self):
+        log = SlowQueryLog(EventLog(capacity=8), threshold_ms=10.0)
+        assert log.observe(
+            0.005, tenant="t", verb="query", trace_id="a"
+        ) is None
+        entry = log.observe(0.020, tenant="t", verb="query", trace_id="b")
+        assert entry is not None
+        assert entry["duration_ms"] == pytest.approx(20.0)
+        assert log.logged == 1
+        assert [e["trace_id"] for e in log.recent(10)] == ["b"]
+
+    def test_zero_threshold_logs_everything_none_disables(self):
+        all_log = SlowQueryLog(EventLog(capacity=8), threshold_ms=0.0)
+        assert all_log.observe(
+            0.0, tenant="t", verb="query", trace_id="a"
+        ) is not None
+        off = SlowQueryLog(EventLog(capacity=8), threshold_ms=None)
+        assert off.observe(
+            10.0, tenant="t", verb="query", trace_id="a"
+        ) is None
+        assert off.logged == 0
+
+    def test_entry_carries_breakdown_trace_and_phases(self):
+        log = SlowQueryLog(EventLog(capacity=8), threshold_ms=0.0)
+        entry = log.observe(
+            0.012,
+            tenant="acme",
+            verb="query",
+            trace_id="t1",
+            queue_wait_ms=2.5,
+            lock_wait_ms=1.25,
+            status="partial",
+            error_code=None,
+            trace=sample_trace(),
+        )
+        assert entry["tenant"] == "acme"
+        assert entry["queue_wait_ms"] == 2.5
+        assert entry["lock_wait_ms"] == 1.25
+        assert entry["status"] == "partial"
+        assert entry["phases"]["shard:a"] == 5.0
+        assert entry["trace"]["trace_id"] == "t1"
+        assert "error_code" not in entry
+
+    def test_error_code_recorded_when_present(self):
+        log = SlowQueryLog(EventLog(capacity=8), threshold_ms=0.0)
+        entry = log.observe(
+            0.012, tenant="t", verb="query", trace_id="x",
+            status="error", error_code="deadline_exceeded",
+        )
+        assert entry["error_code"] == "deadline_exceeded"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(EventLog(), threshold_ms=-1.0)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import LabelCardinalityError, MetricError
-from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, MetricFamily
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, OVERFLOW_VALUE, MetricFamily
 from repro.obs.registry import MetricsRegistry
 
 
@@ -148,3 +148,73 @@ class TestRegistry:
         assert snapshot["plain_total{}"] == 2.0
         assert snapshot["by_index_total{index=tif}"] == 1.0
         assert not any("a_gauge" in key for key in snapshot)
+
+
+class TestOverflowBucket:
+    def test_overflow_label_collapses_past_the_cap(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "tenant_total", "help", ("tenant",),
+            max_label_sets=2, overflow="tenant",
+        )
+        family.labels("a").inc()
+        family.labels("b").inc()
+        for tenant in ("c", "d", "e"):
+            family.labels(tenant).inc()
+        assert family.labels("a").value == 1.0
+        assert family.labels(OVERFLOW_VALUE).value == 3.0
+        # the runaway tenants resolve to the shared bucket, not new children
+        assert family.labels("c") is family.labels(OVERFLOW_VALUE)
+        assert set(family.children()) == {("a",), ("b",), (OVERFLOW_VALUE,)}
+
+    def test_existing_children_keep_working_past_the_cap(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "tenant_total", "help", ("tenant",),
+            max_label_sets=1, overflow="tenant",
+        )
+        family.labels("a").inc()
+        family.labels("b").inc()
+        family.labels("a").inc()
+        assert family.labels("a").value == 2.0
+        assert family.labels(OVERFLOW_VALUE).value == 1.0
+
+    def test_only_the_overflow_position_collapses(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "req_total", "help", ("tenant", "outcome"),
+            max_label_sets=2, overflow="tenant",
+        )
+        family.labels("a", "ok").inc()
+        family.labels("a", "error").inc()
+        family.labels("b", "ok").inc(5)
+        assert family.labels(OVERFLOW_VALUE, "ok").value == 5.0
+        assert family.labels("zzz", "error").value == 0.0  # same bucket, other outcome
+        keys = set(family.children())
+        assert (OVERFLOW_VALUE, "ok") in keys and (OVERFLOW_VALUE, "error") in keys
+
+    def test_no_overflow_still_raises(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "strict_total", "help", ("tenant",), max_label_sets=1,
+        )
+        family.labels("a").inc()
+        with pytest.raises(LabelCardinalityError):
+            family.labels("b")
+
+    def test_overflow_label_must_exist(self):
+        with pytest.raises(MetricError, match="overflow label"):
+            MetricsRegistry().counter(
+                "bad_total", "help", ("tenant",), overflow="nope",
+            )
+
+    def test_gauge_families_support_overflow_too(self):
+        registry = MetricsRegistry()
+        family = registry.gauge(
+            "tenant_gauge", "help", ("tenant",),
+            max_label_sets=1, overflow="tenant",
+        )
+        family.labels("a").set(1.0)
+        family.labels("b").set(9.0)
+        family.labels("c").set(3.0)
+        assert family.labels(OVERFLOW_VALUE).value == 3.0

@@ -1,0 +1,139 @@
+"""Per-tenant SLO windows: percentiles, rates, burn rate, tenant cap."""
+
+import pytest
+
+from repro.obs.registry import isolated_registry
+from repro.obs.slo import OUTCOMES, OVERFLOW_TENANT, SloAccountant, TenantWindow
+
+
+def make_accountant(**kwargs):
+    kwargs.setdefault("horizon_s", 60.0)
+    kwargs.setdefault("latency_slo_ms", 250.0)
+    kwargs.setdefault("error_budget", 0.01)
+    return SloAccountant(**kwargs)
+
+
+class TestTenantWindow:
+    def test_empty_window_snapshot_is_all_zero(self):
+        snap = TenantWindow().snapshot(
+            100.0, horizon_s=60.0, latency_slo_ms=250.0, error_budget=0.01
+        )
+        assert snap["count"] == 0
+        assert snap["qps"] == 0.0
+        assert snap["p99_ms"] == 0.0
+        assert snap["burn_rate"] == 0.0
+
+    def test_percentiles_and_rates(self):
+        window = TenantWindow()
+        for i in range(100):
+            window.record(100.0 + i * 0.01, (i + 1) / 1000.0, "ok")
+        snap = window.snapshot(
+            101.0, horizon_s=60.0, latency_slo_ms=250.0, error_budget=0.01
+        )
+        assert snap["count"] == 100
+        assert snap["p50_ms"] == pytest.approx(51.0)
+        assert snap["p99_ms"] == pytest.approx(100.0)
+        assert snap["error_rate"] == 0.0
+        assert snap["burn_rate"] == 0.0
+
+    def test_old_samples_age_out_of_the_horizon(self):
+        window = TenantWindow()
+        window.record(10.0, 0.001, "error")
+        window.record(100.0, 0.001, "ok")
+        snap = window.snapshot(
+            110.0, horizon_s=30.0, latency_slo_ms=250.0, error_budget=0.01
+        )
+        assert snap["count"] == 1
+        assert snap["error_rate"] == 0.0
+
+    def test_shed_excluded_from_latency_but_counted_in_rates(self):
+        window = TenantWindow()
+        window.record(100.0, 0.100, "ok")
+        window.record(100.1, 0.0, "shed")
+        snap = window.snapshot(
+            101.0, horizon_s=60.0, latency_slo_ms=250.0, error_budget=0.5
+        )
+        assert snap["p99_ms"] == pytest.approx(100.0)  # the shed 0 ms is not the tail
+        assert snap["shed_rate"] == 0.5
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        window = TenantWindow()
+        # 10 requests: 1 error + 1 over-latency-SLO = 20% bad, budget 10%
+        for i in range(8):
+            window.record(100.0 + i, 0.010, "ok")
+        window.record(108.0, 0.010, "error")
+        window.record(109.0, 0.500, "ok")  # over the 250 ms latency SLO
+        snap = window.snapshot(
+            110.0, horizon_s=60.0, latency_slo_ms=250.0, error_budget=0.10
+        )
+        assert snap["burn_rate"] == pytest.approx(2.0)
+        assert snap["error_rate"] == pytest.approx(0.1)
+
+    def test_capacity_bounds_the_window(self):
+        window = TenantWindow(capacity=4)
+        for i in range(10):
+            window.record(100.0 + i, 0.001, "ok")
+        snap = window.snapshot(
+            111.0, horizon_s=60.0, latency_slo_ms=250.0, error_budget=0.01
+        )
+        assert snap["count"] == 4
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TenantWindow(capacity=0)
+
+
+class TestSloAccountant:
+    def test_per_tenant_isolation(self):
+        slo = make_accountant()
+        slo.record("a", 0.010, "ok", now=100.0)
+        slo.record("b", 0.020, "error", now=100.0)
+        snap = slo.snapshot(now=101.0)
+        assert snap["a"]["error_rate"] == 0.0
+        assert snap["b"]["error_rate"] == 1.0
+
+    def test_unknown_outcome_rejected(self):
+        slo = make_accountant()
+        with pytest.raises(ValueError):
+            slo.record("a", 0.010, "exploded")
+        assert set(OUTCOMES) == {"ok", "partial", "error", "shed", "deadline"}
+
+    def test_tenant_cap_collapses_into_overflow_window(self):
+        slo = make_accountant(max_tenants=2)
+        slo.record("a", 0.010, "ok", now=100.0)
+        slo.record("b", 0.010, "ok", now=100.0)
+        slo.record("c", 0.010, "ok", now=100.0)
+        slo.record("d", 0.010, "error", now=100.0)
+        snap = slo.snapshot(now=101.0)
+        assert sorted(snap) == [OVERFLOW_TENANT, "a", "b"]
+        assert snap[OVERFLOW_TENANT]["count"] == 2
+        assert snap[OVERFLOW_TENANT]["error_rate"] == 0.5
+
+    def test_invalid_error_budget_rejected(self):
+        with pytest.raises(ValueError):
+            make_accountant(error_budget=0.0)
+        with pytest.raises(ValueError):
+            make_accountant(error_budget=1.5)
+
+    def test_publish_pushes_gauges_into_the_registry(self):
+        with isolated_registry() as registry:
+            slo = make_accountant()
+            # real monotonic stamps: publish() snapshots against the live clock
+            slo.record("acme", 0.010, "ok")
+            slo.record("acme", 0.030, "error")
+            snap = slo.publish()
+            assert snap["acme"]["error_rate"] == 0.5
+            assert registry.sample_value(
+                "repro_tenant_error_rate", ["acme"]
+            ) == pytest.approx(0.5)
+            assert registry.sample_value(
+                "repro_tenant_latency_p99_seconds", ["acme"]
+            ) == pytest.approx(0.030)
+            assert registry.sample_value(
+                "repro_tenant_slo_burn_rate", ["acme"]
+            ) > 0.0
+
+    def test_publish_without_registry_still_snapshots(self):
+        slo = make_accountant()
+        slo.record("acme", 0.010, "ok")
+        assert "acme" in slo.publish()
