@@ -1,0 +1,29 @@
+"""repro.analysis — the correctness gate.
+
+An AST-based static analyzer (stdlib ``ast``, zero dependencies) whose
+rules encode the invariants this codebase actually depends on —
+event-loop discipline, WAL-append-before-ack, the fsio durability seam,
+replay determinism, registry protocol conformance, the exception
+contract, and metric-label hygiene — plus a runtime lock-order /
+deadlock detector (:mod:`repro.analysis.lockcheck`) that watches real
+acquisitions during the server and cluster suites.
+
+Entry points: ``repro lint`` on the command line,
+:func:`analyze_paths` programmatically.  See ``docs/static-analysis.md``
+for the rule catalog and the suppression syntax.
+"""
+
+from repro.analysis.engine import ENGINE_CODE, Analyzer, analyze_paths
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.rules import ALL_RULES, Rule, rule_catalog
+
+__all__ = [
+    "ALL_RULES",
+    "ENGINE_CODE",
+    "AnalysisReport",
+    "Analyzer",
+    "Finding",
+    "Rule",
+    "analyze_paths",
+    "rule_catalog",
+]

@@ -1,0 +1,96 @@
+"""The analyzer: load sources, run rules, apply suppressions, report.
+
+``ANA000`` is the engine's own code: syntax errors in analysed files and
+malformed suppression comments.  It cannot be suppressed — a broken
+suppression silencing itself would defeat the audit trail.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.project import ModuleInfo, Project, load_project
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules.base import RawFinding, Rule
+from repro.analysis.suppressions import SuppressionIndex
+
+ENGINE_CODE = "ANA000"
+
+PathInput = Union[str, Path]
+
+
+class Analyzer:
+    """One configured run: a rule set applied to a set of paths."""
+
+    def __init__(self, rules: Optional[Sequence[Type[Rule]]] = None) -> None:
+        self.rule_classes: List[Type[Rule]] = list(rules or ALL_RULES)
+
+    def analyze_paths(self, paths: Iterable[PathInput]) -> AnalysisReport:
+        project = load_project(Path(p) for p in paths)
+        return self.analyze_project(project)
+
+    def analyze_project(self, project: Project) -> AnalysisReport:
+        report = AnalysisReport(
+            files_checked=len(project.modules),
+            rules_run=[rule.code for rule in self.rule_classes],
+        )
+        for path, message in project.parse_errors:
+            report.findings.append(
+                Finding(ENGINE_CODE, str(path), 1, message)
+            )
+
+        suppressions: Dict[str, SuppressionIndex] = {}
+
+        def index_for(module: ModuleInfo) -> SuppressionIndex:
+            key = str(module.path)
+            index = suppressions.get(key)
+            if index is None:
+                index = suppressions[key] = SuppressionIndex(module.lines)
+                for line, message in index.malformed:
+                    report.findings.append(
+                        Finding(ENGINE_CODE, str(module.path), line, message)
+                    )
+            return index
+
+        def deposit(rule: Rule, raw: RawFinding) -> None:
+            index = index_for(raw.module)
+            matched = index.match(rule.code, raw.line)
+            report.findings.append(
+                Finding(
+                    rule=rule.code,
+                    path=str(raw.module.path),
+                    line=raw.line,
+                    message=raw.message,
+                    suppressed=matched is not None,
+                    suppression_reason=(
+                        matched.reason if matched is not None else None
+                    ),
+                )
+            )
+
+        for rule_class in self.rule_classes:
+            rule = rule_class()
+            for module in project.modules:
+                if not rule.applies_to(module):
+                    continue
+                for raw in rule.check_module(module):
+                    deposit(rule, raw)
+            for raw in rule.check_project(project):
+                deposit(rule, raw)
+
+        # Parse every remaining file's suppressions so malformed comments
+        # surface even in files no rule touched.
+        for module in project.modules:
+            index_for(module)
+
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return report
+
+
+def analyze_paths(
+    paths: Iterable[PathInput], rules: Optional[Sequence[Type[Rule]]] = None
+) -> AnalysisReport:
+    """Convenience one-shot entry point (the CLI and tests use this)."""
+    return Analyzer(rules).analyze_paths(paths)

@@ -1,0 +1,99 @@
+"""Finding records and their renderings (text and machine-readable JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location.
+
+    ``suppressed`` findings carried a valid inline
+    ``# analysis: allow(REP006, reason=such and such)``-style comment;
+    they are reported (with their reason) but do not fail the run.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: Optional[str] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.suppression_reason is not None:
+            out["suppression_reason"] = self.suppression_reason
+        return out
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.suppressed:
+            text += f"  [suppressed: {self.suppression_reason}]"
+        return text
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unsuppressed
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.unsuppressed:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "clean": self.clean,
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule)
+        )]
+        counts = self.counts_by_rule()
+        summary = (
+            f"{len(self.unsuppressed)} finding(s) "
+            f"({len(self.suppressed)} suppressed) "
+            f"across {self.files_checked} file(s)"
+        )
+        if counts:
+            summary += "  " + ", ".join(f"{k}:{v}" for k, v in counts.items())
+        lines.append(summary)
+        return "\n".join(lines)

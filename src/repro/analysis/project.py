@@ -1,0 +1,119 @@
+"""Source loading: files → parsed modules with dotted names.
+
+The analyzer is purely syntactic — nothing here imports the code under
+analysis.  A :class:`ModuleInfo` carries the parsed AST plus enough
+naming context for rules to scope themselves (``repro.server.*`` only,
+everything but ``repro.obs``, …).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    path: Path  # as discovered (kept relative when given relative)
+    module: str  # dotted module name, e.g. "repro.server.daemon"
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    def in_package(self, prefix: str) -> bool:
+        """True when this module is ``prefix`` or lives under it."""
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+@dataclass
+class Project:
+    """Every module of one analyzer run, addressable by dotted name."""
+
+    modules: List[ModuleInfo] = field(default_factory=list)
+    parse_errors: List[Tuple[Path, str]] = field(default_factory=list)
+
+    def by_module(self) -> Dict[str, ModuleInfo]:
+        return {mod.module: mod for mod in self.modules}
+
+    def get(self, dotted: str) -> Optional[ModuleInfo]:
+        for mod in self.modules:
+            if mod.module == dotted:
+                return mod
+        return None
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    The name starts at the *last* path component named ``repro`` (so
+    ``/tmp/fixtures/src/repro/server/x.py`` → ``repro.server.x`` no
+    matter where the tree sits).  Files outside any ``repro`` directory
+    fall back to their bare stem — fixture snippets analysed in
+    isolation still get a usable name.
+    """
+    parts = list(path.parts)
+    stem_parts: List[str]
+    anchor = -1
+    for index, part in enumerate(parts[:-1]):
+        if part == "repro":
+            anchor = index
+    if anchor >= 0:
+        stem_parts = parts[anchor:]
+    else:
+        stem_parts = [parts[-1]]
+    if stem_parts[-1].endswith(".py"):
+        stem_parts[-1] = stem_parts[-1][: -len(".py")]
+    if stem_parts[-1] == "__init__":
+        stem_parts = stem_parts[:-1] or ["repro"]
+    return ".".join(stem_parts)
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    out: List[Path] = []
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def load_project(paths: Iterable[Path]) -> Project:
+    """Parse every discovered file; syntax errors land in ``parse_errors``."""
+    project = Project()
+    for path in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            project.parse_errors.append((path, f"unreadable: {exc}"))
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            project.parse_errors.append(
+                (path, f"syntax error at line {exc.lineno}: {exc.msg}")
+            )
+            continue
+        project.modules.append(
+            ModuleInfo(
+                path=path,
+                module=module_name_for(path),
+                source=source,
+                lines=source.splitlines(),
+                tree=tree,
+            )
+        )
+    return project

@@ -1,0 +1,45 @@
+"""The rule catalog: every project invariant the analyzer enforces."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.rules.base import RawFinding, Rule
+from repro.analysis.rules.rep001_async_blocking import AsyncBlockingRule
+from repro.analysis.rules.rep002_wal_ack import WalAckRule
+from repro.analysis.rules.rep003_fsync import FsyncDisciplineRule
+from repro.analysis.rules.rep004_determinism import DeterminismRule
+from repro.analysis.rules.rep005_protocol import ProtocolConformanceRule
+from repro.analysis.rules.rep006_exceptions import ExceptionContractRule
+from repro.analysis.rules.rep007_metrics import MetricHygieneRule
+
+#: Catalog order = report order.
+ALL_RULES: List[Type[Rule]] = [
+    AsyncBlockingRule,
+    WalAckRule,
+    FsyncDisciplineRule,
+    DeterminismRule,
+    ProtocolConformanceRule,
+    ExceptionContractRule,
+    MetricHygieneRule,
+]
+
+
+def rule_catalog() -> Dict[str, Type[Rule]]:
+    """Rule code → class, in catalog order."""
+    return {rule.code: rule for rule in ALL_RULES}
+
+
+__all__ = [
+    "ALL_RULES",
+    "RawFinding",
+    "Rule",
+    "rule_catalog",
+    "AsyncBlockingRule",
+    "WalAckRule",
+    "FsyncDisciplineRule",
+    "DeterminismRule",
+    "ProtocolConformanceRule",
+    "ExceptionContractRule",
+    "MetricHygieneRule",
+]

@@ -1,0 +1,82 @@
+"""REP001 — no blocking calls on the event loop."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.project import ModuleInfo
+from repro.analysis.rules.base import (
+    RawFinding,
+    Rule,
+    call_name,
+    iter_functions,
+    last_segment,
+    walk_own_scope,
+)
+
+#: Exact dotted names that block the calling thread.
+_BLOCKING_EXACT = frozenset(
+    {
+        "time.sleep",
+        "open",
+        "input",
+        "os.system",
+        "os.popen",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "retry_call",
+    }
+)
+
+#: Method names that block regardless of receiver (retry helper, pathlib
+#: file I/O, socket primitives).
+_BLOCKING_METHODS = frozenset(
+    {
+        "retry_call",
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+        "recv",
+        "sendall",
+        "makefile",
+    }
+)
+
+
+class AsyncBlockingRule(Rule):
+    code = "REP001"
+    title = "no blocking calls inside async def bodies"
+    rationale = (
+        "The daemon runs every socket and admission decision on one event "
+        "loop; a single time.sleep / blocking I/O / RetryPolicy.retry_call "
+        "on that loop stalls every connection at once.  Blocking work "
+        "belongs on the executor pool (closures handed to run_in_executor "
+        "are exempt: only the async function's own scope is checked)."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for func in iter_functions(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in walk_own_scope(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name is None:
+                    continue
+                blocked = name in _BLOCKING_EXACT or (
+                    "." in name and last_segment(name) in _BLOCKING_METHODS
+                )
+                if blocked:
+                    yield RawFinding(
+                        module,
+                        node.lineno,
+                        f"blocking call {name}() inside async def "
+                        f"{func.name}(); move it to the executor pool or "
+                        f"use the asyncio equivalent",
+                    )

@@ -1,0 +1,86 @@
+"""REP002 — WAL-append-before-ack in daemon mutation handlers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.project import ModuleInfo
+from repro.analysis.rules.base import (
+    RawFinding,
+    Rule,
+    call_name,
+    iter_calls,
+    iter_functions,
+    keyword_value,
+    last_segment,
+)
+
+#: Response payload keys that acknowledge a durable mutation.
+_ACK_KEYS = frozenset({"inserted", "deleted"})
+
+#: Callee segments that perform (or durably delegate) the mutation.
+_MUTATION_SEGMENTS = frozenset({"insert", "delete", "append"})
+
+
+def _acks_mutation(call: ast.Call) -> bool:
+    """True when this ``ok_response(...)`` call carries a mutation ack."""
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if isinstance(arg, ast.Dict):
+            for key in arg.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and key.value in _ACK_KEYS
+                ):
+                    return True
+    return False
+
+
+def _is_mutation_call(call: ast.Call) -> bool:
+    name = call_name(call)
+    if name is None:
+        return False
+    segment = last_segment(name)
+    if "." in name and segment in _MUTATION_SEGMENTS:
+        return True
+    if segment == "_run_locked":
+        write = keyword_value(call, "write")
+        return isinstance(write, ast.Constant) and write.value is True
+    return False
+
+
+class WalAckRule(Rule):
+    code = "REP002"
+    title = "mutation handlers must mutate (WAL-append) before acking"
+    rationale = (
+        "The durability contract is at-least-once: a success response for "
+        "insert/delete promises the record reached the WAL.  A handler "
+        "that constructs {'inserted': ...}/{'deleted': ...} without a "
+        "preceding store mutation (or a write-locked _run_locked dispatch) "
+        "acks work that can vanish in a crash."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return module.in_package("repro.server")
+
+    def check_module(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for func in iter_functions(module.tree):
+            acks: List[ast.Call] = []
+            mutation_lines: List[int] = []
+            for call in iter_calls(func):
+                name = call_name(call)
+                if name is not None and last_segment(name) == "ok_response":
+                    if _acks_mutation(call):
+                        acks.append(call)
+                if _is_mutation_call(call):
+                    mutation_lines.append(call.lineno)
+            for ack in acks:
+                if not any(line <= ack.lineno for line in mutation_lines):
+                    yield RawFinding(
+                        module,
+                        ack.lineno,
+                        f"{func.name}() acknowledges a mutation without a "
+                        f"preceding store mutation / WAL append on the "
+                        f"handler path",
+                    )

@@ -1,0 +1,179 @@
+"""REP005 — every registered index implements the TemporalIRIndex surface."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.project import ModuleInfo, Project
+from repro.analysis.rules.base import RawFinding, Rule, dotted_name
+
+_REGISTRY_MODULE = "repro.indexes.registry"
+_BASE_MODULE = "repro.indexes.base"
+_BASE_CLASS = "TemporalIRIndex"
+
+
+@dataclass
+class _MethodSig:
+    """Positional arity (including self) + whether *args makes it open."""
+
+    positional: int
+    has_vararg: bool
+    line: int
+
+    @classmethod
+    def of(cls, func: ast.FunctionDef | ast.AsyncFunctionDef) -> "_MethodSig":
+        count = len(func.args.posonlyargs) + len(func.args.args)
+        return cls(count, func.args.vararg is not None, func.lineno)
+
+
+@dataclass
+class _ClassInfo:
+    node: ast.ClassDef
+    module: ModuleInfo
+    bases: List[str]
+    methods: Dict[str, _MethodSig]
+
+
+def _class_table(project: Project) -> Dict[str, _ClassInfo]:
+    table: Dict[str, _ClassInfo] = {}
+    for module in project.modules:
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = []
+            for base in node.bases:
+                name = dotted_name(base)
+                if name is not None:
+                    bases.append(name.rsplit(".", 1)[-1])
+            methods = {
+                item.name: _MethodSig.of(item)
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            table[node.name] = _ClassInfo(node, module, bases, methods)
+    return table
+
+
+def _abstract_surface(base: _ClassInfo) -> Dict[str, _MethodSig]:
+    """The abstractmethod-decorated defs of the base class."""
+    surface: Dict[str, _MethodSig] = {}
+    for item in base.node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in item.decorator_list:
+            name = dotted_name(decorator)
+            if name is not None and name.rsplit(".", 1)[-1] == "abstractmethod":
+                surface[item.name] = _MethodSig.of(item)
+                break
+    return surface
+
+
+def _registered_classes(registry: ModuleInfo) -> List[Tuple[str, str, int]]:
+    """``(key, class_name, line)`` for every INDEX_CLASSES entry."""
+    out: List[Tuple[str, str, int]] = []
+    for node in registry.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "INDEX_CLASSES" for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for key_node, value_node in zip(value.keys, value.values):
+            if not (
+                isinstance(key_node, ast.Constant)
+                and isinstance(key_node.value, str)
+            ):
+                continue
+            class_name = dotted_name(value_node)
+            if class_name is not None:
+                out.append(
+                    (
+                        key_node.value,
+                        class_name.rsplit(".", 1)[-1],
+                        value_node.lineno,
+                    )
+                )
+    return out
+
+
+def _resolve_method(
+    class_name: str, method: str, table: Dict[str, _ClassInfo]
+) -> Optional[_MethodSig]:
+    """Nearest definition of ``method`` walking the (static) MRO chain,
+    stopping before the abstract base contributes its abstract stub."""
+    seen = set()
+    queue = [class_name]
+    while queue:
+        current = queue.pop(0)
+        if current in seen or current == _BASE_CLASS:
+            continue
+        seen.add(current)
+        info = table.get(current)
+        if info is None:
+            continue
+        if method in info.methods:
+            return info.methods[method]
+        queue.extend(info.bases)
+    return None
+
+
+class ProtocolConformanceRule(Rule):
+    code = "REP005"
+    title = "registered indexes implement the full TemporalIRIndex surface"
+    rationale = (
+        "The registry is the extension point: the differential harness, "
+        "the executor, the cluster, and the daemon all drive indexes "
+        "through the abstract surface.  A registered class missing an "
+        "override (or with a drifted signature) fails at query time deep "
+        "inside a scatter-gather instead of at registration."
+    )
+
+    def check_project(self, project: Project) -> Iterable[RawFinding]:
+        registry = project.get(_REGISTRY_MODULE)
+        base_module = project.get(_BASE_MODULE)
+        if registry is None or base_module is None:
+            return
+        table = _class_table(project)
+        base = table.get(_BASE_CLASS)
+        if base is None:
+            return
+        surface = _abstract_surface(base)
+        for key, class_name, line in _registered_classes(registry):
+            info = table.get(class_name)
+            if info is None:
+                yield RawFinding(
+                    registry,
+                    line,
+                    f"registry key {key!r} maps to {class_name}, which is "
+                    f"not a statically visible class",
+                )
+                continue
+            for method, expected in surface.items():
+                found = _resolve_method(class_name, method, table)
+                if found is None:
+                    yield RawFinding(
+                        registry,
+                        line,
+                        f"registry key {key!r}: {class_name} does not "
+                        f"implement required method {method}()",
+                    )
+                elif (
+                    not found.has_vararg
+                    and not expected.has_vararg
+                    and found.positional != expected.positional
+                ):
+                    yield RawFinding(
+                        info.module,
+                        found.line,
+                        f"{class_name}.{method}() takes {found.positional} "
+                        f"positional parameter(s); the TemporalIRIndex "
+                        f"surface declares {expected.positional}",
+                    )

@@ -1,0 +1,86 @@
+"""REP006 — no overbroad except that silently swallows."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.project import ModuleInfo
+from repro.analysis.rules.base import RawFinding, Rule, call_name, last_segment
+
+#: Exception names considered overbroad to catch.
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Call segments that count as surfacing the error (structured logging,
+#: event emission, metric recording of the failure).
+_SURFACING_CALLS = frozenset(
+    {"warning", "error", "exception", "critical", "debug", "info", "log", "emit"}
+)
+
+
+def _broad_caught(handler: ast.ExceptHandler) -> Optional[str]:
+    """The overbroad type name this handler catches, or None."""
+    node = handler.type
+    if node is None:
+        return "bare except"
+    candidates: List[ast.expr] = (
+        list(node.elts) if isinstance(node, ast.Tuple) else [node]
+    )
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            return candidate.id
+        if isinstance(candidate, ast.Attribute) and candidate.attr in _BROAD:
+            return candidate.attr
+    return None
+
+
+def _handler_surfaces(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises, uses the bound exception, or calls
+    a recognised logging/emission function — i.e. the failure is not
+    silently discarded."""
+    bound = handler.name
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            bound is not None
+            and isinstance(node, ast.Name)
+            and node.id == bound
+            and isinstance(node.ctx, ast.Load)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is not None and last_segment(name) in _SURFACING_CALLS:
+                return True
+    return False
+
+
+class ExceptionContractRule(Rule):
+    code = "REP006"
+    title = "no overbroad except that swallows without a trace"
+    rationale = (
+        "PR 6's hardest bugs hid behind except Exception: pass — a torn "
+        "WAL tail, a wedged thread, a dead replica all look identical to "
+        "silence.  A broad catch must re-raise, use the bound exception "
+        "(re-brand, record, degrade with the message), call a logging/"
+        "emission hook, or carry an explicit allow(REP006, reason=...) "
+        "naming why silence is correct at that site."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _broad_caught(node)
+            if caught is None:
+                continue
+            if _handler_surfaces(node):
+                continue
+            yield RawFinding(
+                module,
+                node.lineno,
+                f"overbroad handler ({caught}) swallows the exception "
+                f"without re-raise, use, or logging; narrow it or add "
+                f"# analysis: allow(REP006, reason=...)",
+            )

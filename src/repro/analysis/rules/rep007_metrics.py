@@ -1,0 +1,76 @@
+"""REP007 — metric families keep their label cardinality bounded."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.analysis.project import ModuleInfo
+from repro.analysis.rules.base import (
+    RawFinding,
+    Rule,
+    call_name,
+    constant_str_elements,
+    keyword_value,
+    last_segment,
+)
+
+#: Registry factory methods that create metric families.
+_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+#: Label names that are unbounded by construction (one value per tenant /
+#: object / trace) and therefore must designate an overflow bucket.
+_RUNAWAY_LABELS = frozenset({"tenant"})
+
+
+def _labels_arg(call: ast.Call, factory: str) -> Optional[ast.expr]:
+    # Signature: counter/gauge/histogram(name, help, labels=(), ...)
+    if len(call.args) >= 3:
+        return call.args[2]
+    return keyword_value(call, "labels")
+
+
+class MetricHygieneRule(Rule):
+    code = "REP007"
+    title = "tenant-labelled metric families must pass overflow="
+    rationale = (
+        "Label sets are registry memory: one child per distinct value "
+        "vector, forever.  The cardinality guard caps the damage, but a "
+        "tenant-labelled family that merely *raises* past the cap loses "
+        "data for every tenant after the 256th.  Families keyed by a "
+        "runaway label must collapse the excess into __other__ via "
+        "overflow=, keeping the registry bounded and the scrape complete."
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterable[RawFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or "." not in name:
+                continue
+            factory = last_segment(name)
+            if factory not in _FACTORIES:
+                continue
+            metric_name = None
+            if node.args and isinstance(node.args[0], ast.Constant):
+                if isinstance(node.args[0].value, str):
+                    metric_name = node.args[0].value
+            if metric_name is None or not metric_name.startswith("repro_"):
+                continue  # not a repro metric registration
+            labels = constant_str_elements(_labels_arg(node, factory))
+            if not labels:
+                continue
+            runaway = sorted(set(labels) & _RUNAWAY_LABELS)
+            if not runaway:
+                continue
+            if keyword_value(node, "overflow") is not None:
+                continue
+            yield RawFinding(
+                module,
+                node.lineno,
+                f"metric family {metric_name!r} is labelled by runaway "
+                f"label(s) {', '.join(runaway)} but passes no overflow=; "
+                f"past the cardinality cap it will raise instead of "
+                f"collapsing into __other__",
+            )

@@ -1,0 +1,97 @@
+"""Inline suppression comments: ``# analysis: allow(REP006, reason=...)``.
+
+A suppression silences one rule on one line and *must* carry a
+non-empty reason — the comment is the audit trail for why an invariant
+is waived at that site.  A malformed suppression (missing or empty
+reason, unknown shape) never silences anything; the engine reports it
+as an ``ANA000`` finding so it cannot rot silently.
+
+Placement: on the offending line itself, or alone on the line directly
+above it (for lines too long to carry a trailing comment).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: A well-formed suppression comment.
+_ALLOW_RE = re.compile(
+    r"#\s*analysis:\s*allow\(\s*(?P<code>[A-Z]{3}\d{3})\s*,"
+    r"\s*reason\s*=\s*(?P<reason>[^)]+?)\s*\)"
+)
+
+#: Anything that *looks* like a suppression attempt (to catch malformed ones).
+_ATTEMPT_RE = re.compile(r"#\s*analysis:\s*allow\b")
+
+#: Built by concatenation so this module's own source line does not
+#: itself look like a suppression attempt to the scanner.
+_MALFORMED_MESSAGE = (
+    "malformed suppression: expected '# analysis: "
+    + "allow(REPnnn, reason=...)' with a non-empty reason"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    code: str
+    reason: str
+    line: int  # where the comment sits
+    used: bool = False
+
+
+class SuppressionIndex:
+    """Per-file index of suppression comments, queried by (rule, line)."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        self._by_line: Dict[int, List[Suppression]] = {}
+        self.malformed: List[Tuple[int, str]] = []
+        for lineno, text in enumerate(lines, start=1):
+            matches = list(_ALLOW_RE.finditer(text))
+            for match in matches:
+                reason = match.group("reason").strip().strip("'\"").strip()
+                if not reason:
+                    self.malformed.append(
+                        (lineno, "suppression has an empty reason")
+                    )
+                    continue
+                entry = Suppression(match.group("code"), reason, lineno)
+                self._by_line.setdefault(lineno, []).append(entry)
+            if not matches and _ATTEMPT_RE.search(text):
+                self.malformed.append((lineno, _MALFORMED_MESSAGE))
+        self._comment_only = {
+            lineno
+            for lineno, text in enumerate(lines, start=1)
+            if text.strip().startswith("#")
+        }
+
+    def match(self, rule: str, line: int) -> Optional[Suppression]:
+        """The suppression covering ``rule`` at ``line``, if any.
+
+        Checks the line itself, then the line directly above — but the
+        line above only counts when it is a comment-only line (a
+        suppression trailing *code* applies to that code, not to the
+        next statement).
+        """
+        for entry in self._by_line.get(line, ()):
+            if entry.code == rule:
+                entry.used = True
+                return entry
+        if line - 1 in self._comment_only:
+            for entry in self._by_line.get(line - 1, ()):
+                if entry.code == rule:
+                    entry.used = True
+                    return entry
+        return None
+
+    def unused(self) -> List[Suppression]:
+        """Suppressions no finding consumed (candidates for deletion)."""
+        return [
+            entry
+            for entries in self._by_line.values()
+            for entry in entries
+            if not entry.used
+        ]

@@ -104,10 +104,9 @@ def _load_phase(
                     sheds[0] += shed
         except BaseException as exc:  # noqa: BLE001 — surfaced below
             errors.append(exc)
-            try:
-                barrier.abort()
-            except Exception:
-                pass
+            # Barrier.abort() never raises; it just breaks the barrier so
+            # the sibling clients unblock with BrokenBarrierError.
+            barrier.abort()
 
     threads = [
         threading.Thread(target=client_loop, args=(c,), daemon=True)

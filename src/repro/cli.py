@@ -20,6 +20,8 @@ Commands
 ``client``    talk to a running serve-net daemon
 ``top``       live per-tenant SLO / daemon health view over a running
               serve-net daemon's ``introspect`` verb
+``lint``      run the repro.analysis invariant checks (REP001-REP007)
+              over source paths (see ``docs/static-analysis.md``)
 
 Examples
 --------
@@ -914,6 +916,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_paths, rule_catalog
+
+    catalog = rule_catalog()
+    if args.list_rules:
+        for code, rule in catalog.items():
+            print(f"{code}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+    rules = None
+    if args.rules:
+        selected = []
+        for code in args.rules.split(","):
+            code = code.strip().upper()
+            if code not in catalog:
+                print(
+                    f"unknown rule {code!r}; available: "
+                    f"{', '.join(catalog)}",
+                    file=sys.stderr,
+                )
+                return 2
+            selected.append(catalog[code])
+        rules = selected
+    paths = args.paths or ["src"]
+    report = analyze_paths(paths, rules)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1231,6 +1265,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=sorted(SCALES), default="small")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the repro.analysis invariant checks (REP001-REP007)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files/directories to analyze (default: src)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--rules",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog with rationales and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -16,7 +16,6 @@ rebalancing never drops queries.
 from __future__ import annotations
 
 import shutil
-import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -36,6 +35,7 @@ from repro.cluster.routing import TIME_RANGE, RoutingTable
 from repro.obs.registry import OBS
 from repro.service.fsio import REAL_FS, FileSystem
 from repro.service.store import DurableIndexStore
+from repro.utils.locks import make_lock
 
 PathLike = Union[str, Path]
 
@@ -68,7 +68,7 @@ class TemporalCluster:
         self._cache_size = cache_size
         self._wal_fsync = wal_fsync
         self._fs = fs
-        self._swap_lock = threading.Lock()
+        self._swap_lock = make_lock("cluster.swap")
         self._closed = False
         self._set_gauges()
 

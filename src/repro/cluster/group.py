@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import random
 import shutil
-import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -30,6 +29,7 @@ from repro.obs.context import event, span
 from repro.obs.registry import OBS
 from repro.service.fsio import REAL_FS, FileSystem
 from repro.service.store import DurableIndexStore
+from repro.utils.locks import make_lock
 from repro.utils.retry import RetryPolicy, retry_call
 
 #: Backoff for the revive rebuild-from-peer path: a peer that dies
@@ -56,7 +56,7 @@ class ReplicaSet:
         # Serialises mutations against revival: an insert may not slip
         # between "copy the peer's objects" and "rejoin the rebuilt
         # replica", or the revived store would silently miss it.
-        self._write_lock = threading.Lock()
+        self._write_lock = make_lock("cluster.group-write")
         self.cache: Optional[ResultCache] = None
         if cache_size:
             self.cache = ResultCache(cache_size)

@@ -207,6 +207,7 @@ class ClusterRouter:
                             [queries[p] for p in misses],
                             workers=workers,
                         )
+                    # analysis: allow(REP006, reason=any primary failure degrades to the per-query replica failover path below; ShardUnavailableError from that path carries the per-replica detail)
                     except Exception:
                         # Primary died mid-batch: fall back to the failover
                         # read path, one query at a time.

@@ -23,13 +23,13 @@ updates.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.model import TimeTravelQuery
 from repro.obs.registry import OBS
+from repro.utils.locks import make_lock
 
 #: The cache identity of a query: interval endpoints plus the element set.
 CacheKey = Tuple[object, object, frozenset]
@@ -56,7 +56,7 @@ class ResultCache:
             raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._entries: "OrderedDict[CacheKey, List[int]]" = OrderedDict()
-        self._lock = threading.Lock()
+        self._lock = make_lock("exec.cache")
         self.hits = 0
         self.misses = 0
         self.evictions = 0

@@ -40,11 +40,12 @@ instrumented code paths need no guards:
 from __future__ import annotations
 
 import random
-import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.utils.locks import make_lock
 
 __all__ = [
     "TraceContext",
@@ -166,7 +167,7 @@ class TraceBuilder:
     def __init__(self, trace_id: str, rng: random.Random) -> None:
         self.trace_id = trace_id
         self._rng = rng
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.trace")
         self._spans: List[SpanRecord] = []
         self._t0 = time.perf_counter()
         self.start_utc = time.time()
@@ -313,7 +314,7 @@ class TraceBuffer:
         if capacity < 1:
             raise ValueError(f"trace buffer capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.trace-buffer")
         self._docs: List[Dict[str, object]] = []
         self.dropped = 0  #: traces evicted to make room
 

@@ -18,11 +18,12 @@ query can be investigated after the fact without reproducing it (see
 from __future__ import annotations
 
 import json
-import threading
 import time
 from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Union
+
+from repro.utils.locks import make_lock
 
 __all__ = ["EventLog", "SlowQueryLog", "phase_durations"]
 
@@ -35,7 +36,7 @@ class EventLog:
     def __init__(self, capacity: int = 256, path: Optional[PathLike] = None) -> None:
         if capacity < 1:
             raise ValueError(f"event log capacity must be >= 1, got {capacity}")
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.events")
         self._ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
         self._path = Path(path) if path is not None else None
         self._file = None

@@ -18,10 +18,11 @@ tenants collapse into the ``__other__`` window.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.utils.locks import make_lock
 
 __all__ = ["OUTCOMES", "OVERFLOW_TENANT", "TenantWindow", "SloAccountant"]
 
@@ -120,7 +121,7 @@ class SloAccountant:
         self.latency_slo_ms = latency_slo_ms
         self.error_budget = error_budget
         self.max_tenants = max_tenants
-        self._lock = threading.Lock()
+        self._lock = make_lock("obs.slo")
         self._windows: Dict[str, TenantWindow] = {}
 
     def _window(self, tenant: str) -> TenantWindow:

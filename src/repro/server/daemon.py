@@ -99,6 +99,10 @@ from repro.service.faults import (
     InjectedDisconnect,
     NetworkFaultInjector,
 )
+# Re-exported here for compatibility: the lock class moved to
+# repro.utils.locks so the lock-order checker can observe it without
+# importing the serving tier.
+from repro.utils.locks import AsyncRWLock
 
 #: Verbs that go through admission control and the executor pool.
 WORK_VERBS = frozenset({"query", "batch", "insert", "delete"})
@@ -162,53 +166,6 @@ class ServerConfig:
             raise ReproError(
                 f"slow_query_ms must be >= 0 or None, got {self.slow_query_ms}"
             )
-
-
-class AsyncRWLock:
-    """Many readers or one writer, asyncio-native, writer-preferring.
-
-    New readers also wait while a writer is *queued* (not just while one
-    holds the lock), so a continuous stream of overlapping queries
-    cannot starve an insert/delete past its deadline.
-    """
-
-    def __init__(self) -> None:
-        self._cond = asyncio.Condition()
-        self._readers = 0
-        self._writing = False
-        self._writers_waiting = 0
-
-    async def acquire_read(self) -> None:
-        async with self._cond:
-            while self._writing or self._writers_waiting:
-                await self._cond.wait()
-            self._readers += 1
-
-    async def release_read(self) -> None:
-        async with self._cond:
-            self._readers -= 1
-            if not self._readers:
-                self._cond.notify_all()
-
-    async def acquire_write(self) -> None:
-        async with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writing or self._readers:
-                    await self._cond.wait()
-                self._writing = True
-            finally:
-                self._writers_waiting -= 1
-                if not self._writing:
-                    # Acquisition was abandoned (deadline cancel while
-                    # queued); wake the readers this writer was holding
-                    # back.
-                    self._cond.notify_all()
-
-    async def release_write(self) -> None:
-        async with self._cond:
-            self._writing = False
-            self._cond.notify_all()
 
 
 class QueryDaemon:
@@ -310,6 +267,7 @@ class QueryDaemon:
         for writer in list(self._writers):
             try:
                 writer.close()
+            # analysis: allow(REP006, reason=best-effort severing of an already-dying socket during drain; any close failure means the peer is gone, which is the goal)
             except Exception:
                 pass
         await asyncio.sleep(0)  # let connection tasks observe the close
@@ -371,6 +329,7 @@ class QueryDaemon:
             self._count(lambda i: i.open_connections.dec())
             try:
                 writer.close()
+            # analysis: allow(REP006, reason=connection teardown after the request loop ended; a close failure on a dead transport has no remaining observer)
             except Exception:
                 pass
 
@@ -849,7 +808,11 @@ class QueryDaemon:
         writer can acquire the lock and mutate the same store while the
         abandoned thread is still inside it.
         """
-        lock = self._locks.setdefault(tenant_name, AsyncRWLock())
+        lock = self._locks.get(tenant_name)
+        if lock is None:
+            lock = self._locks[tenant_name] = AsyncRWLock(
+                name=f"tenant:{tenant_name}"
+            )
         remaining = deadline - time.monotonic()
         if remaining <= 0:
             raise _DeadlineHit("deadline expired before execution began")

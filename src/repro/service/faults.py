@@ -27,7 +27,7 @@ import os
 import random
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import BinaryIO, Dict, Optional, Tuple, Union
+from typing import BinaryIO, Dict, Optional, Tuple
 
 from repro.service.fsio import FileSystem, PathLike
 
@@ -108,6 +108,7 @@ class FaultyFileSystem(FileSystem):
         return self.plan.match in Path(path).name
 
     def open(self, path: PathLike, mode: str) -> BinaryIO:
+        # analysis: allow(REP003, reason=this class IS the fault-injected FileSystem seam; it must reach the real filesystem to wrap it)
         handle = open(path, mode)
         if "b" in mode and ("w" in mode or "a" in mode) and self._matches(path):
             return _CountingFile(handle, self)  # type: ignore[return-value]
@@ -250,5 +251,6 @@ def flip_bit(path: PathLike, byte_offset: int, bit: int = 0) -> None:
 def truncate_tail(path: PathLike, nbytes: int) -> None:
     """Chop the last ``nbytes`` off a file — a torn final write."""
     size = os.path.getsize(path)
+    # analysis: allow(REP003, reason=deliberate corruption injector for the crash matrix; it simulates the torn write the fsio seam exists to prevent)
     with open(path, "r+b") as handle:
         handle.truncate(max(0, size - nbytes))

@@ -1,0 +1,197 @@
+"""Lock primitives with optional order-checking instrumentation.
+
+Two kinds of locks live here:
+
+* :class:`AsyncRWLock` — the daemon's many-readers/one-writer asyncio
+  lock (moved out of :mod:`repro.server.daemon` so the lock-order
+  checker can observe it without importing the serving tier);
+* :func:`make_lock` — the factory every ``threading.Lock`` creation
+  site in the library goes through.
+
+Both consult a module-level *observer* slot.  Production never installs
+an observer, so the overhead is one global load and a branch per
+acquisition — and for :func:`make_lock`, zero: with no observer the raw
+``threading.Lock`` is returned and the wrapper class never exists.
+
+The observer protocol (implemented by
+:class:`repro.analysis.lockcheck.LockOrderChecker`)::
+
+    before_acquire(name, mode)   # about to block on `name`
+    acquired(name, mode)         # acquisition succeeded
+    released(name, mode)         # lock handed back
+
+``mode`` is ``"read"`` / ``"write"`` for the RW lock and ``"exclusive"``
+for plain mutexes.  The observer derives its own notion of *who* is
+acquiring (thread / asyncio task) — these hooks carry only the lock's
+name, which doubles as its identity in the ordering graph (every lock
+created under one name is one node: ordering discipline is a property
+of lock *roles*, not instances).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Protocol, Union
+
+
+class LockObserver(Protocol):
+    """What the lock-order checker implements (see module docstring)."""
+
+    def before_acquire(self, name: str, mode: str) -> None: ...
+
+    def acquired(self, name: str, mode: str) -> None: ...
+
+    def released(self, name: str, mode: str) -> None: ...
+
+
+#: The installed observer, or None (the production state).
+_observer: Optional[LockObserver] = None
+
+
+def install_observer(observer: Optional[LockObserver]) -> Optional[LockObserver]:
+    """Install ``observer`` (or None to clear); returns the previous one.
+
+    Only locks *created after* installation are tracked by
+    :func:`make_lock`; :class:`AsyncRWLock` instances check the slot on
+    every acquisition, so existing RW locks join immediately.
+    """
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
+
+def get_observer() -> Optional[LockObserver]:
+    """The currently installed observer (None in production)."""
+    return _observer
+
+
+class TrackedLock:
+    """A ``threading.Lock`` façade that reports to the observer.
+
+    Created only by :func:`make_lock` while an observer is installed —
+    the fast path of every method still guards on the module slot so an
+    uninstalled observer (e.g. after a test) silences a leftover
+    instance.
+    """
+
+    __slots__ = ("_lock", "name")
+
+    def __init__(self, name: str) -> None:
+        self._lock = threading.Lock()
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        observer = _observer
+        if observer is not None:
+            observer.before_acquire(self.name, "exclusive")
+        ok = self._lock.acquire(blocking, timeout)
+        if ok and observer is not None:
+            observer.acquired(self.name, "exclusive")
+        return ok
+
+    def release(self) -> None:
+        observer = _observer
+        self._lock.release()
+        if observer is not None:
+            observer.released(self.name, "exclusive")
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<TrackedLock {self.name!r} {state}>"
+
+
+#: What lock-holding call sites receive from :func:`make_lock`.
+LockLike = Union[threading.Lock, TrackedLock]
+
+
+def make_lock(name: str) -> LockLike:
+    """A mutex for the role ``name`` — raw in production, tracked under test.
+
+    Library code creates every long-lived ``threading.Lock`` through
+    this factory so the lock-order checker can see acquisitions without
+    monkeypatching the stdlib.  ``name`` should describe the lock's
+    *role* (``"exec.cache"``, ``"cluster.swap"``), not the instance.
+    """
+    if _observer is None:
+        return threading.Lock()
+    return TrackedLock(name)
+
+
+class AsyncRWLock:
+    """Many readers or one writer, asyncio-native, writer-preferring.
+
+    New readers also wait while a writer is *queued* (not just while one
+    holds the lock), so a continuous stream of overlapping queries
+    cannot starve an insert/delete past its deadline.
+
+    Acquire/release may legally happen from *different* tasks: the
+    daemon releases a deadline-abandoned acquisition from the pool
+    future's done-callback.  The observer hooks therefore identify the
+    lock by name only and leave ownership bookkeeping to the checker.
+    """
+
+    def __init__(self, name: str = "rwlock") -> None:
+        self.name = name
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    async def acquire_read(self) -> None:
+        observer = _observer
+        if observer is not None:
+            observer.before_acquire(self.name, "read")
+        async with self._cond:
+            while self._writing or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+        if observer is not None:
+            observer.acquired(self.name, "read")
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+        observer = _observer
+        if observer is not None:
+            observer.released(self.name, "read")
+
+    async def acquire_write(self) -> None:
+        observer = _observer
+        if observer is not None:
+            observer.before_acquire(self.name, "write")
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    await self._cond.wait()
+                self._writing = True
+            finally:
+                self._writers_waiting -= 1
+                if not self._writing:
+                    # Acquisition was abandoned (deadline cancel while
+                    # queued); wake the readers this writer was holding
+                    # back.
+                    self._cond.notify_all()
+        if observer is not None:
+            observer.acquired(self.name, "write")
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writing = False
+            self._cond.notify_all()
+        observer = _observer
+        if observer is not None:
+            observer.released(self.name, "write")

@@ -1,0 +1,41 @@
+"""Fixture helpers for the static-analysis suite.
+
+Rule tests build a miniature source tree under ``tmp_path`` shaped like
+the real one (``repro/server/x.py`` …) — :func:`repro.analysis.project.
+module_name_for` anchors at the last ``repro`` path component, so the
+fixtures scope exactly like in-repo modules — and run the analyzer over
+it with a single rule enabled.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import Dict, Optional, Sequence, Type
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.analysis.findings import AnalysisReport
+from repro.analysis.rules.base import Rule
+
+
+@pytest.fixture()
+def run_analysis(tmp_path):
+    """``run_analysis({relpath: source}, rules=[RuleClass])`` → report."""
+
+    def run(
+        tree: Dict[str, str],
+        rules: Optional[Sequence[Type[Rule]]] = None,
+    ) -> AnalysisReport:
+        for rel, source in tree.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return analyze_paths([tmp_path], rules)
+
+    return run
+
+
+def codes(report: AnalysisReport) -> list:
+    """The unsuppressed rule codes, in report order."""
+    return [f.rule for f in report.unsuppressed]

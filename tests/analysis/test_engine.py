@@ -1,0 +1,94 @@
+"""Engine behaviour (parse errors, ordering, scoping) and the lint CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import ENGINE_CODE, ALL_RULES, analyze_paths, rule_catalog
+from repro.cli import main
+
+
+class TestEngine:
+    def test_syntax_error_is_an_engine_finding(self, run_analysis):
+        report = run_analysis({"repro/core/broken.py": "def oops(:\n"})
+        assert [f.rule for f in report.unsuppressed] == [ENGINE_CODE]
+        assert "syntax error" in report.unsuppressed[0].message
+        assert not report.clean
+
+    def test_findings_sorted_by_location(self, run_analysis):
+        report = run_analysis(
+            {
+                "repro/core/b.py": "import time\n\n\ndef t():\n    return time.time()\n",
+                "repro/core/a.py": "import time\n\n\ndef t():\n    return time.time()\n",
+            }
+        )
+        paths = [f.path for f in report.findings]
+        assert paths == sorted(paths)
+
+    def test_files_checked_counts_discovered_sources(self, run_analysis):
+        report = run_analysis(
+            {"repro/core/a.py": "x = 1\n", "repro/core/b.py": "y = 2\n"}
+        )
+        assert report.files_checked == 2
+        assert report.rules_run == [rule.code for rule in ALL_RULES]
+
+    def test_module_scoping_from_path_anchor(self, tmp_path):
+        # Wherever the tree sits, the dotted name anchors at .../repro/.
+        nested = tmp_path / "deep" / "copy" / "repro" / "server" / "h.py"
+        nested.parent.mkdir(parents=True)
+        nested.write_text(
+            'def handle_insert(store, r):\n    return ok_response({"inserted": True})\n'
+        )
+        report = analyze_paths([tmp_path])
+        assert [f.rule for f in report.unsuppressed] == ["REP002"]
+
+
+class TestLintCli:
+    def test_exit_zero_and_text_summary_when_clean(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "ok.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\n\n\ndef t():\n    return time.time()\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "REP004" in capsys.readouterr().out
+
+    def test_json_format_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\n\n\ndef t():\n    return time.time()\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is False
+        assert doc["counts_by_rule"] == {"REP004": 1}
+        (finding,) = doc["findings"]
+        assert finding["rule"] == "REP004"
+        assert finding["line"] == 5
+
+    def test_rule_selection_and_unknown_rule(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\n\n\ndef t():\n    return time.time()\n")
+        # Deselecting the only firing rule makes the run clean.
+        assert main(["lint", str(tmp_path), "--rules", "REP001"]) == 0
+        capsys.readouterr()
+        assert main(["lint", str(tmp_path), "--rules", "REP999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules_prints_the_catalog(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in rule_catalog():
+            assert code in out
+
+    @pytest.mark.parametrize("code", [f"REP00{i}" for i in range(1, 8)])
+    def test_catalog_is_complete(self, code):
+        assert code in rule_catalog()

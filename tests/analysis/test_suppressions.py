@@ -1,0 +1,129 @@
+"""Suppression comments: valid ones silence with an audit trail, broken
+ones surface as unsuppressable ANA000 engine findings."""
+
+from __future__ import annotations
+
+from repro.analysis import ENGINE_CODE
+from repro.analysis.rules.rep006_exceptions import ExceptionContractRule
+from repro.analysis.suppressions import SuppressionIndex
+
+_ALLOW = "# analysis: " + "allow"  # concatenated: not itself an attempt
+
+
+def _swallow(comment: str = "", above: str = "") -> str:
+    lines = ["def run(job):", "    try:", "        job()"]
+    if above:
+        lines.append(f"    {above}")
+    lines.append(f"    except Exception:{('  ' + comment) if comment else ''}")
+    lines.append("        pass")
+    return "\n".join(lines) + "\n"
+
+
+class TestValidSuppressions:
+    def test_same_line_suppresses_with_reason(self, run_analysis):
+        source = _swallow(
+            comment=_ALLOW + "(REP006, reason=crash cleanup must not mask the original error)"
+        )
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+        finding = report.suppressed[0]
+        assert finding.rule == "REP006"
+        assert finding.suppression_reason == (
+            "crash cleanup must not mask the original error"
+        )
+
+    def test_comment_line_above_suppresses(self, run_analysis):
+        source = _swallow(above=_ALLOW + "(REP006, reason=documented waiver)")
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        assert report.clean
+        assert len(report.suppressed) == 1
+
+    def test_json_carries_the_reason(self, run_analysis):
+        import json
+
+        source = _swallow(comment=_ALLOW + "(REP006, reason=waived here)")
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        doc = json.loads(report.to_json())
+        assert doc["clean"] is True
+        (finding,) = doc["findings"]
+        assert finding["suppressed"] is True
+        assert finding["suppression_reason"] == "waived here"
+
+
+class TestSuppressionMisuse:
+    def test_wrong_code_does_not_suppress(self, run_analysis):
+        source = _swallow(comment=_ALLOW + "(REP001, reason=wrong rule entirely)")
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        assert [f.rule for f in report.unsuppressed] == ["REP006"]
+
+    def test_trailing_comment_on_other_code_does_not_leak_down(self, run_analysis):
+        # The allow trails a *code* line; it must not cover the next line.
+        source = "\n".join(
+            [
+                "def run(job):",
+                "    try:",
+                "        job()  " + _ALLOW + "(REP006, reason=on the wrong line)",
+                "    except Exception:",
+                "        pass",
+                "",
+            ]
+        )
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        assert [f.rule for f in report.unsuppressed] == ["REP006"]
+
+    def test_missing_reason_is_malformed_and_does_not_silence(self, run_analysis):
+        source = _swallow(comment=_ALLOW + "(REP006)")
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        rules = sorted(f.rule for f in report.unsuppressed)
+        assert rules == [ENGINE_CODE, "REP006"]
+
+    def test_empty_reason_is_malformed(self, run_analysis):
+        source = _swallow(comment=_ALLOW + "(REP006, reason= )")
+        report = run_analysis(
+            {"repro/service/w.py": source}, rules=[ExceptionContractRule]
+        )
+        assert ENGINE_CODE in [f.rule for f in report.unsuppressed]
+
+    def test_ana000_cannot_be_suppressed(self, run_analysis):
+        # An allow(ANA000, ...) above a malformed attempt changes nothing:
+        # engine findings bypass suppression matching by design.
+        source = "\n".join(
+            [
+                _ALLOW + "(ANA000, reason=trying to silence the engine)",
+                _ALLOW + "(REP006)",
+                "x = 1",
+                "",
+            ]
+        )
+        report = run_analysis({"repro/service/w.py": source})
+        assert [f.rule for f in report.unsuppressed] == [ENGINE_CODE]
+
+    def test_malformed_surfaces_even_in_rule_clean_files(self, run_analysis):
+        source = _ALLOW + "(REP006 oops no reason at all\nx = 1\n"
+        report = run_analysis({"repro/core/clean.py": source})
+        assert [f.rule for f in report.unsuppressed] == [ENGINE_CODE]
+
+
+class TestSuppressionIndex:
+    def test_unused_tracking(self):
+        lines = [
+            "x = 1  " + _ALLOW + "(REP001, reason=never consumed)",
+            "y = 2  " + _ALLOW + "(REP002, reason=consumed below)",
+        ]
+        index = SuppressionIndex(lines)
+        assert index.match("REP002", 2) is not None
+        unused = index.unused()
+        assert [entry.code for entry in unused] == ["REP001"]
