@@ -39,8 +39,7 @@ from repro.intervals.hint.domain import DomainMapper
 from repro.intervals.hint.index import Hint
 from repro.intervals.hint.partition import SortPolicy
 from repro.intervals.hint.traversal import DivisionKind, assign, iter_relevant_divisions
-from repro.ir.intersection import intersect_adaptive
-from repro.ir.inverted import TemporalCheck, TemporalInvertedFile
+from repro.ir.inverted import TemporalInvertedFile
 from repro.ir.postings import IdPostingsList
 from repro.obs.registry import OBS
 from repro.utils.memory import CONTAINER_BYTES

@@ -6,7 +6,7 @@ match the rows of the paper's Table 5.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 from repro.core.collection import Collection
 from repro.core.errors import ConfigurationError

@@ -14,7 +14,7 @@ tombstones for a logical deletion").
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left
 from typing import Iterator, List, Tuple
 
 from repro.core.errors import UnknownObjectError

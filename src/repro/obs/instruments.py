@@ -43,7 +43,7 @@ class QueryInstruments:
 
 
 def query_instruments(registry: MetricsRegistry) -> QueryInstruments:
-    return registry.bundle("query", QueryInstruments)  # type: ignore[return-value]
+    return registry.bundle("query", QueryInstruments)
 
 
 class WalInstruments:
@@ -66,7 +66,7 @@ class WalInstruments:
 
 
 def wal_instruments(registry: MetricsRegistry) -> WalInstruments:
-    return registry.bundle("wal", WalInstruments)  # type: ignore[return-value]
+    return registry.bundle("wal", WalInstruments)
 
 
 class SnapshotInstruments:
@@ -90,7 +90,7 @@ class SnapshotInstruments:
 
 
 def snapshot_instruments(registry: MetricsRegistry) -> SnapshotInstruments:
-    return registry.bundle("snapshot", SnapshotInstruments)  # type: ignore[return-value]
+    return registry.bundle("snapshot", SnapshotInstruments)
 
 
 class RecoveryInstruments:
@@ -123,7 +123,7 @@ class RecoveryInstruments:
 
 
 def recovery_instruments(registry: MetricsRegistry) -> RecoveryInstruments:
-    return registry.bundle("recovery", RecoveryInstruments)  # type: ignore[return-value]
+    return registry.bundle("recovery", RecoveryInstruments)
 
 
 class StoreInstruments:
@@ -149,7 +149,7 @@ class StoreInstruments:
 
 
 def store_instruments(registry: MetricsRegistry) -> StoreInstruments:
-    return registry.bundle("store", StoreInstruments)  # type: ignore[return-value]
+    return registry.bundle("store", StoreInstruments)
 
 
 class ExecInstruments:
@@ -183,7 +183,7 @@ class ExecInstruments:
 
 
 def exec_instruments(registry: MetricsRegistry) -> ExecInstruments:
-    return registry.bundle("exec", ExecInstruments)  # type: ignore[return-value]
+    return registry.bundle("exec", ExecInstruments)
 
 
 class CacheInstruments:
@@ -210,7 +210,7 @@ class CacheInstruments:
 
 
 def cache_instruments(registry: MetricsRegistry) -> CacheInstruments:
-    return registry.bundle("cache", CacheInstruments)  # type: ignore[return-value]
+    return registry.bundle("cache", CacheInstruments)
 
 
 #: Linear shards-visited buckets: 1 … 16 shards per query.
@@ -268,7 +268,7 @@ class ClusterInstruments:
 
 
 def cluster_instruments(registry: MetricsRegistry) -> ClusterInstruments:
-    return registry.bundle("cluster", ClusterInstruments)  # type: ignore[return-value]
+    return registry.bundle("cluster", ClusterInstruments)
 
 
 class ServerInstruments:
@@ -337,7 +337,7 @@ class ServerInstruments:
 
 
 def server_instruments(registry: MetricsRegistry) -> ServerInstruments:
-    return registry.bundle("server", ServerInstruments)  # type: ignore[return-value]
+    return registry.bundle("server", ServerInstruments)
 
 
 #: Distinct tenants carried with full fidelity in tenant-labelled families;
@@ -412,7 +412,7 @@ class TenantInstruments:
 
 
 def tenant_instruments(registry: MetricsRegistry) -> TenantInstruments:
-    return registry.bundle("tenant", TenantInstruments)  # type: ignore[return-value]
+    return registry.bundle("tenant", TenantInstruments)
 
 
 class TraceInstruments:
@@ -443,7 +443,7 @@ class TraceInstruments:
 
 
 def trace_instruments(registry: MetricsRegistry) -> TraceInstruments:
-    return registry.bundle("dist_trace", TraceInstruments)  # type: ignore[return-value]
+    return registry.bundle("dist_trace", TraceInstruments)
 
 
 def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:

@@ -19,7 +19,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, Optional, Sequence
+from typing import Callable, Dict, Iterator, Optional, Sequence, TypeVar, cast
 
 from repro.core.errors import MetricError
 from repro.obs.metrics import (
@@ -29,6 +29,10 @@ from repro.obs.metrics import (
     Histogram,
     MetricFamily,
 )
+
+
+#: An instrument bundle — whatever dataclass a ``bundle()`` factory builds.
+B = TypeVar("B")
 
 
 class MetricsRegistry:
@@ -143,12 +147,17 @@ class MetricsRegistry:
         )
         return family if labels else family.solo
 
-    def bundle(self, key: str, factory: Callable[["MetricsRegistry"], object]) -> object:
-        """Memoised instrument bundles (one construction per registry)."""
+    def bundle(self, key: str, factory: Callable[["MetricsRegistry"], B]) -> B:
+        """Memoised instrument bundles (one construction per registry).
+
+        The cast is sound by construction: each key is only ever paired
+        with one factory (the ``*_instruments`` accessors), so the cached
+        object is always the type that factory returns.
+        """
         bundle = self._bundles.get(key)
         if bundle is None:
             bundle = self._bundles[key] = factory(self)
-        return bundle
+        return cast(B, bundle)
 
     # -------------------------------------------------------------- inspection
     def families(self) -> Dict[str, MetricFamily]:
@@ -178,10 +187,12 @@ class MetricsRegistry:
             if family.type != "counter":
                 continue
             for key, child in family.children().items():
+                if not isinstance(child, Counter):
+                    continue  # unreachable for a counter family; typing proof
                 label_text = ",".join(
                     f"{ln}={lv}" for ln, lv in zip(family.label_names, key)
                 )
-                out[f"{name}{{{label_text}}}"] = child.value  # type: ignore[union-attr]
+                out[f"{name}{{{label_text}}}"] = child.value
         return out
 
 

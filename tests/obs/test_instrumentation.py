@@ -4,8 +4,6 @@ import io
 import json
 import sys
 
-import pytest
-
 from repro.core.model import make_object, make_query
 from repro.indexes.registry import build_index
 from repro.obs.exposition import parse_prometheus_text

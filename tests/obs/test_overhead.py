@@ -11,7 +11,6 @@ built in via best-of-N timing).
 import pytest
 
 from repro.core.collection import Collection
-from repro.core.model import make_query
 from repro.indexes.registry import build_index
 from repro.obs.registry import OBS, isolated_registry
 from repro.utils.timing import Stopwatch
