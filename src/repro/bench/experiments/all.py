@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     fig10,
     fig11,
     fig12,
+    postings,
     server,
     table3,
     table5,
@@ -36,6 +37,7 @@ SEQUENCE = [
     ("table6", table6),
     ("table7", table7),
     ("throughput", throughput),
+    ("postings", postings),
     ("cluster", cluster),
     ("server", server),
 ]

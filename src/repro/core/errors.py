@@ -50,6 +50,13 @@ class CorruptSnapshotError(ReproError):
     payload checksum, or unpickling) and must not be trusted."""
 
 
+class CorruptPostingsError(ReproError):
+    """A compressed postings buffer failed to decode (truncated varint,
+    overlong encoding, bad block header or entry count).  Mirrors the WAL's
+    torn-tail discipline: damaged bytes surface as one typed error, never as
+    ``IndexError`` or silently wrong entries."""
+
+
 class StoreClosedError(ReproError):
     """A mutation or query was issued against a closed DurableIndexStore."""
 

@@ -1,153 +1,36 @@
-"""Inverted-file compression (paper §7 future work; techniques of [56]).
+"""Backward-compatibility shim: postings compression moved into ``repro.ir``.
 
-The paper explicitly leaves compression out ("we did not utilize any
-inverted file compression... such techniques are orthogonal").  This
-extension prototypes the orthogonal piece so its cost/benefit can be
-measured: classic **gap + varint** coding for id-sorted postings.
+The gap+varint codec that started life here as an orphan extension (paper
+§7: "such techniques are orthogonal") has been promoted into the real
+postings substrate:
 
-* ids are delta-encoded (gaps between consecutive sorted ids),
-* gaps and timestamps are written as LEB128 variable-length ints,
-* a :class:`CompressedPostingsList` answers the same temporal scans as
-  :class:`~repro.ir.postings.PostingsList` by decoding on the fly.
+* :mod:`repro.ir.codec` — varint/zigzag primitives, the legacy entry
+  stream, and the block codec (with typed
+  :class:`~repro.core.errors.CorruptPostingsError` torn-buffer handling);
+* :mod:`repro.ir.compressed` — :class:`CompressedPostingsList`, now a
+  *mutable* backend (tombstone deletes, tail appends, compaction) that
+  serves real queries when ``REPRO_POSTINGS_BACKEND=compressed`` (see
+  :mod:`repro.ir.backends`).
 
-The ablation bench (``benchmarks/test_ablation_compression.py``) reports the
-space saved and the decode overhead per query — the trade-off the paper
-defers.
+This module re-exports the original names so existing imports keep
+working; new code should import from ``repro.ir`` directly.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Tuple
+from repro.ir.codec import (
+    decode_postings,
+    encode_postings,
+    varint_decode,
+    varint_encode,
+)
+from repro.ir.compressed import CompressedPostingsList, compression_ratio
 
-from repro.core.errors import ConfigurationError
-from repro.ir.postings import PostingsList
-from repro.utils.memory import CONTAINER_BYTES
-
-
-def varint_encode(value: int, out: bytearray) -> None:
-    """Append the LEB128 encoding of a non-negative int."""
-    if value < 0:
-        raise ConfigurationError(f"varint requires non-negative values, got {value}")
-    while True:
-        byte = value & 0x7F
-        value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return
-
-
-def varint_decode(buffer: bytes, offset: int) -> Tuple[int, int]:
-    """Decode one LEB128 int; returns (value, next offset)."""
-    value = 0
-    shift = 0
-    while True:
-        byte = buffer[offset]
-        offset += 1
-        value |= (byte & 0x7F) << shift
-        if not byte & 0x80:
-            return value, offset
-        shift += 7
-
-
-def encode_postings(entries: Iterable[Tuple[int, int, int]]) -> bytes:
-    """Encode id-sorted ``(id, st, end)`` triples: id gaps + st + duration.
-
-    Durations rather than raw ends keep the third stream small (durations
-    are usually tiny next to absolute timestamps).
-    """
-    out = bytearray()
-    previous_id = 0
-    first = True
-    for object_id, st, end in entries:
-        if end < st:
-            raise ConfigurationError(f"entry {object_id}: end {end} < st {st}")
-        gap = object_id - previous_id if not first else object_id
-        if not first and gap <= 0:
-            raise ConfigurationError("entries must be strictly id-sorted")
-        varint_encode(gap, out)
-        varint_encode(st, out)
-        varint_encode(end - st, out)
-        previous_id = object_id
-        first = False
-    return bytes(out)
-
-
-def decode_postings(buffer: bytes) -> Iterator[Tuple[int, int, int]]:
-    """Stream the triples back out of an encoded buffer."""
-    offset = 0
-    object_id = 0
-    first = True
-    n = len(buffer)
-    while offset < n:
-        gap, offset = varint_decode(buffer, offset)
-        st, offset = varint_decode(buffer, offset)
-        duration, offset = varint_decode(buffer, offset)
-        object_id = gap if first else object_id + gap
-        first = False
-        yield object_id, st, st + duration
-
-
-class CompressedPostingsList:
-    """An immutable, gap+varint-coded postings list.
-
-    Built from a live :class:`PostingsList` (or raw entries); supports the
-    temporal scans Algorithm 1 needs.  Updates require re-encoding — the
-    standard trade-off of compressed IR indexes.
-    """
-
-    __slots__ = ("_buffer", "_n")
-
-    def __init__(self, entries: Iterable[Tuple[int, int, int]]) -> None:
-        materialised = list(entries)
-        self._buffer = encode_postings(materialised)
-        self._n = len(materialised)
-
-    @classmethod
-    def from_postings(cls, postings: PostingsList) -> "CompressedPostingsList":
-        return cls(postings.entries())
-
-    def __len__(self) -> int:
-        return self._n
-
-    def entries(self) -> Iterator[Tuple[int, int, int]]:
-        return decode_postings(self._buffer)
-
-    def ids(self) -> List[int]:
-        return [entry[0] for entry in self.entries()]
-
-    def overlapping_ids(self, q_st: int, q_end: int) -> List[int]:
-        """Ids of entries overlapping ``[q_st, q_end]`` (decode + filter)."""
-        return [
-            object_id
-            for object_id, st, end in self.entries()
-            if st <= q_end and q_st <= end
-        ]
-
-    def intersect_sorted(self, sorted_ids: List[int]) -> List[int]:
-        """Merge intersection against an ascending id list while decoding."""
-        out: List[int] = []
-        i = 0
-        n_c = len(sorted_ids)
-        for object_id, _st, _end in self.entries():
-            while i < n_c and sorted_ids[i] < object_id:
-                i += 1
-            if i >= n_c:
-                break
-            if sorted_ids[i] == object_id:
-                out.append(object_id)
-                i += 1
-        return out
-
-    def size_bytes(self) -> int:
-        """Actual encoded bytes plus container overhead."""
-        return len(self._buffer) + CONTAINER_BYTES
-
-
-def compression_ratio(postings: PostingsList) -> float:
-    """Modelled uncompressed bytes / actual compressed bytes."""
-    compressed = CompressedPostingsList.from_postings(postings)
-    if compressed.size_bytes() == 0:
-        return 1.0
-    return postings.size_bytes() / compressed.size_bytes()
+__all__ = [
+    "CompressedPostingsList",
+    "compression_ratio",
+    "decode_postings",
+    "encode_postings",
+    "varint_decode",
+    "varint_encode",
+]

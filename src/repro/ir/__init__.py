@@ -1,5 +1,26 @@
-"""Inverted-file substrate: postings lists, intersections, de-duplication, tIF."""
+"""Inverted-file substrate: postings backends, intersections, de-dup, tIF."""
 
+from repro.ir.backends import (
+    ID_POSTINGS_BACKEND_ENV,
+    ID_POSTINGS_BACKENDS,
+    POSTINGS_BACKEND_ENV,
+    POSTINGS_BACKENDS,
+    id_postings_backend,
+    make_id_postings,
+    make_postings,
+    postings_backend,
+)
+from repro.ir.codec import (
+    decode_block,
+    decode_postings,
+    encode_block,
+    encode_postings,
+    svarint_decode,
+    svarint_encode,
+    varint_decode,
+    varint_encode,
+)
+from repro.ir.compressed import CompressedPostingsList, compression_ratio
 from repro.ir.dedup import dedupe_preserving_order, is_reference_partition, reference_value
 from repro.ir.intersection import (
     contains_sorted,
@@ -11,19 +32,41 @@ from repro.ir.intersection import (
     intersect_merge,
 )
 from repro.ir.inverted import TemporalCheck, TemporalInvertedFile
-from repro.ir.postings import IdPostingsList, PostingsEntry, PostingsList
+from repro.ir.packed import BitsetIdPostingsList, PackedPostingsList
+from repro.ir.postings import (
+    IdPostingsBackend,
+    IdPostingsList,
+    PostingsBackend,
+    PostingsEntry,
+    PostingsList,
+)
 from repro.ir.settrie import SetTrie
 from repro.ir.signatures import element_pattern, make_signature
 
 __all__ = [
+    "BitsetIdPostingsList",
+    "CompressedPostingsList",
+    "ID_POSTINGS_BACKENDS",
+    "ID_POSTINGS_BACKEND_ENV",
+    "IdPostingsBackend",
     "IdPostingsList",
+    "POSTINGS_BACKENDS",
+    "POSTINGS_BACKEND_ENV",
+    "PackedPostingsList",
+    "PostingsBackend",
     "PostingsEntry",
     "PostingsList",
     "SetTrie",
     "TemporalCheck",
     "TemporalInvertedFile",
+    "compression_ratio",
     "contains_sorted",
+    "decode_block",
+    "decode_postings",
     "dedupe_preserving_order",
+    "encode_block",
+    "encode_postings",
+    "id_postings_backend",
     "intersect_adaptive",
     "intersect_binary",
     "intersect_galloping",
@@ -31,7 +74,14 @@ __all__ = [
     "intersect_many",
     "element_pattern",
     "intersect_merge",
+    "make_id_postings",
+    "make_postings",
     "make_signature",
     "is_reference_partition",
+    "postings_backend",
     "reference_value",
+    "svarint_decode",
+    "svarint_encode",
+    "varint_decode",
+    "varint_encode",
 ]

@@ -1,0 +1,108 @@
+"""Postings backend selection: one knob, every index unchanged.
+
+Every structure that stores postings (`TemporalInvertedFile`, the irHINT
+per-division dictionaries) creates its lists through the factories here
+instead of naming a class, so the whole engine — indexes, executor,
+cluster router, WAL/snapshot recovery — runs unmodified on any backend:
+
+``list``
+    :class:`~repro.ir.postings.PostingsList` — boxed Python columns, the
+    original substrate and the oracle of the property harness.
+``packed``
+    :class:`~repro.ir.packed.PackedPostingsList` — flat ``array('q')``
+    columns with numpy kernels (the default).
+``compressed``
+    :class:`~repro.ir.compressed.CompressedPostingsList` — delta+varint
+    blocks with skip summaries.
+
+Id-only postings (irHINT-size divisions) have their own axis:
+
+``list``
+    :class:`~repro.ir.postings.IdPostingsList` (the default).
+``bitset``
+    :class:`~repro.ir.packed.BitsetIdPostingsList` — a byte-per-8-ids
+    bitmap for dense, small-id division dictionaries.
+
+Selection order: explicit ``backend=`` argument, else the environment
+(:data:`POSTINGS_BACKEND_ENV` / :data:`ID_POSTINGS_BACKEND_ENV`, read at
+list-creation time so tests can flip it per-case), else the default.
+Unknown names raise :class:`~repro.core.errors.ConfigurationError` with
+the available set.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.ir.compressed import CompressedPostingsList
+from repro.ir.packed import BitsetIdPostingsList, PackedPostingsList
+from repro.ir.postings import (
+    IdPostingsBackend,
+    IdPostingsList,
+    PostingsBackend,
+    PostingsList,
+)
+
+#: Environment knobs (read when a list is created, not at import).
+POSTINGS_BACKEND_ENV = "REPRO_POSTINGS_BACKEND"
+ID_POSTINGS_BACKEND_ENV = "REPRO_ID_POSTINGS_BACKEND"
+
+DEFAULT_POSTINGS_BACKEND = "packed"
+DEFAULT_ID_POSTINGS_BACKEND = "list"
+
+#: name → zero-arg factory for full ⟨id, st, end⟩ postings lists.
+POSTINGS_BACKENDS: Dict[str, Callable[[], PostingsBackend]] = {
+    "list": PostingsList,
+    "packed": PackedPostingsList,
+    "compressed": CompressedPostingsList,
+}
+
+#: name → zero-arg factory for id-only postings lists.
+ID_POSTINGS_BACKENDS: Dict[str, Callable[[], IdPostingsBackend]] = {
+    "list": IdPostingsList,
+    "bitset": BitsetIdPostingsList,
+}
+
+
+def _resolve(
+    backend: Optional[str],
+    env_var: str,
+    default: str,
+    table: Mapping[str, Callable[[], object]],
+) -> str:
+    name = backend if backend is not None else os.environ.get(env_var, default)
+    if name not in table:
+        raise ConfigurationError(
+            f"unknown postings backend {name!r}; "
+            f"available: {', '.join(sorted(table))}"
+        )
+    return name
+
+
+def postings_backend(backend: Optional[str] = None) -> str:
+    """The effective full-postings backend name (arg > env > default)."""
+    return _resolve(
+        backend, POSTINGS_BACKEND_ENV, DEFAULT_POSTINGS_BACKEND, POSTINGS_BACKENDS
+    )
+
+
+def id_postings_backend(backend: Optional[str] = None) -> str:
+    """The effective id-only backend name (arg > env > default)."""
+    return _resolve(
+        backend,
+        ID_POSTINGS_BACKEND_ENV,
+        DEFAULT_ID_POSTINGS_BACKEND,
+        ID_POSTINGS_BACKENDS,
+    )
+
+
+def make_postings(backend: Optional[str] = None) -> PostingsBackend:
+    """A fresh, empty full-postings list of the selected backend."""
+    return POSTINGS_BACKENDS[postings_backend(backend)]()
+
+
+def make_id_postings(backend: Optional[str] = None) -> IdPostingsBackend:
+    """A fresh, empty id-only postings list of the selected backend."""
+    return ID_POSTINGS_BACKENDS[id_postings_backend(backend)]()

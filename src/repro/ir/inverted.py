@@ -19,7 +19,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.interval import Timestamp
 from repro.core.model import Element
-from repro.ir.postings import PostingsEntry, PostingsList
+from repro.ir.backends import make_postings, postings_backend
+from repro.ir.postings import PostingsBackend, PostingsEntry
 from repro.utils.memory import CONTAINER_BYTES
 
 
@@ -39,12 +40,22 @@ class TemporalCheck(enum.Enum):
 
 
 class TemporalInvertedFile:
-    """Element → :class:`PostingsList` map with Algorithm 1 querying."""
+    """Element → postings-list map with Algorithm 1 querying.
 
-    __slots__ = ("_lists",)
+    The postings representation is pluggable (``list`` / ``packed`` /
+    ``compressed`` — see :mod:`repro.ir.backends`): pass ``backend=`` to
+    pin one, or leave it ``None`` to follow the ``REPRO_POSTINGS_BACKEND``
+    environment knob (default packed).  Every backend honours the exact
+    :class:`~repro.ir.postings.PostingsList` surface, so Algorithm 1 and
+    the irHINT per-division scans are backend-agnostic.
+    """
 
-    def __init__(self) -> None:
-        self._lists: Dict[Element, PostingsList] = {}
+    __slots__ = ("_lists", "_backend")
+
+    def __init__(self, backend: "str | None" = None) -> None:
+        # Resolve eagerly so a bad name fails at construction, not first add.
+        self._backend = postings_backend(backend) if backend is not None else None
+        self._lists: Dict[Element, PostingsBackend] = {}
 
     # ---------------------------------------------------------------- updates
     def add_object(
@@ -55,7 +66,7 @@ class TemporalInvertedFile:
         for element in description:
             postings = lists.get(element)
             if postings is None:
-                postings = lists[element] = PostingsList()
+                postings = lists[element] = make_postings(self._backend)
             postings.add(object_id, st, end)
 
     def delete_object(self, object_id: int, description: Iterable[Element]) -> None:
@@ -65,8 +76,19 @@ class TemporalInvertedFile:
             if postings is not None and object_id in postings:
                 postings.delete(object_id)
 
+    def compact(self) -> None:
+        """Compact every postings list (drop tombstones, seal tails).
+
+        Call after a bulk load or a delete burst; answers are unchanged.
+        What compaction means is backend-specific — the list/packed
+        backends drop tombstoned slots, the compressed backend also seals
+        its uncompressed tail into encoded blocks.
+        """
+        for postings in self._lists.values():
+            postings.compact()
+
     # ------------------------------------------------------------------ reads
-    def postings(self, element: Element) -> Optional[PostingsList]:
+    def postings(self, element: Element) -> Optional[PostingsBackend]:
         """The postings list of ``element`` or ``None``."""
         return self._lists.get(element)
 
@@ -205,7 +227,7 @@ def _passes(
 
 
 def _filtered_ids(
-    postings: PostingsList, q_st: Timestamp, q_end: Timestamp, check: TemporalCheck
+    postings: PostingsBackend, q_st: Timestamp, q_end: Timestamp, check: TemporalCheck
 ) -> List[int]:
     """Ids of live entries passing the configured temporal predicate."""
     if check is TemporalCheck.BOTH:

@@ -1,0 +1,483 @@
+"""Packed columnar postings: flat ``array('q')`` columns + numpy kernels.
+
+The list-backed :class:`~repro.ir.postings.PostingsList` stores one boxed
+Python int per id/endpoint — the hot intersection and scan loops pay a
+pointer chase and a refcount per element.  :class:`PackedPostingsList`
+keeps the same public surface on three ``array('q')`` columns (ids, starts,
+ends) plus a one-byte-per-slot tombstone column, the closest CPython
+analogue of the paper's packed C++ arrays (HINT §5's cache-miss argument,
+arXiv 2104.10939).
+
+When numpy is importable the temporal scans and the sorted-id intersection
+run as vectorised kernels over zero-copy views of those columns; without
+numpy everything falls back to the same scalar loops the list backend uses
+(correctness never depends on numpy).
+
+Values that do not fit a signed 64-bit slot (floats, or ints beyond the
+i64 range — both legal :data:`~repro.core.interval.Timestamp` values)
+trigger a one-way *spill*: the columns are converted to plain Python lists
+and the instance keeps working with identical semantics, just without the
+packed representation.  Tombstone-heavy lists compact automatically once
+dead slots outnumber live ones (see :meth:`PackedPostingsList.compact`).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterator, List, Optional, Tuple
+
+try:  # gated: numpy accelerates, never gates correctness
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    _np = None  # type: ignore[assignment]
+
+from repro.core.errors import UnknownObjectError
+from repro.core.interval import Timestamp
+from repro.ir.postings import PostingsEntry
+from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES, ENTRY_ID_BYTES
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+#: Below this many physical slots the scalar loops beat the numpy setup
+#: cost; kernels only engage past it.
+_VECTOR_MIN = 64
+
+#: Auto-compaction threshold: compact when dead slots exceed this fraction
+#: of physical slots (and the list is big enough for it to matter).
+_COMPACT_FRACTION = 0.5
+_COMPACT_MIN_SLOTS = 32
+
+
+def _fits_i64(value: Timestamp) -> bool:
+    """True when ``value`` can live in an ``array('q')`` slot losslessly."""
+    return isinstance(value, int) and _I64_MIN <= value <= _I64_MAX
+
+
+class PackedPostingsList:
+    """Id-ordered ``⟨id, t_st, t_end⟩`` entries in flat packed columns.
+
+    Drop-in replacement for :class:`~repro.ir.postings.PostingsList`
+    (same public surface, same semantics — tombstone deletes, revive on
+    re-add, ``UnknownObjectError`` on bad deletes).
+    """
+
+    __slots__ = ("_ids", "_sts", "_ends", "_alive", "_n_dead", "_packed")
+
+    def __init__(self) -> None:
+        self._ids: "array | List[int]" = array("q")
+        self._sts: "array | List[Timestamp]" = array("q")
+        self._ends: "array | List[Timestamp]" = array("q")
+        self._alive = bytearray()
+        self._n_dead = 0
+        self._packed = True
+
+    # ----------------------------------------------------------------- spill
+    def _spill(self) -> None:
+        """Convert packed columns to plain lists (non-i64 value arrived)."""
+        if self._packed:
+            self._ids = list(self._ids)
+            self._sts = list(self._sts)
+            self._ends = list(self._ends)
+            self._packed = False
+
+    # --------------------------------------------------------------- updates
+    def add(self, object_id: int, st: Timestamp, end: Timestamp) -> None:
+        """Insert an entry, preserving id order (append fast path).
+
+        Same contract as ``PostingsList.add``: appending ids in increasing
+        order is O(1); re-adding an existing id overwrites its interval and
+        revives a tombstoned entry in place.
+        """
+        if self._packed and not (
+            _fits_i64(object_id) and _fits_i64(st) and _fits_i64(end)
+        ):
+            self._spill()
+        ids = self._ids
+        if not ids or object_id > ids[-1]:
+            ids.append(object_id)
+            self._sts.append(st)
+            self._ends.append(end)
+            self._alive.append(1)
+            return
+        pos = bisect_left(ids, object_id)
+        if pos < len(ids) and ids[pos] == object_id:
+            self._sts[pos] = st
+            self._ends[pos] = end
+            if not self._alive[pos]:
+                self._alive[pos] = 1
+                self._n_dead -= 1
+            return
+        ids.insert(pos, object_id)
+        self._sts.insert(pos, st)
+        self._ends.insert(pos, end)
+        self._alive.insert(pos, 1)
+
+    def delete(self, object_id: int) -> None:
+        """Tombstone the entry for ``object_id`` (raises if absent)."""
+        ids = self._ids
+        pos = bisect_left(ids, object_id)
+        if pos >= len(ids) or ids[pos] != object_id or not self._alive[pos]:
+            raise UnknownObjectError(object_id)
+        self._alive[pos] = 0
+        self._n_dead += 1
+        if (
+            len(ids) >= _COMPACT_MIN_SLOTS
+            and self._n_dead > len(ids) * _COMPACT_FRACTION
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop tombstoned slots, rebuilding the columns densely.
+
+        Runs automatically once dead slots outnumber live ones; callable
+        directly after a bulk delete.  A compacted id can still be re-added
+        later — it simply inserts fresh, which is observationally identical
+        to the revive path.
+        """
+        if not self._n_dead:
+            return
+        alive = self._alive
+        keep = [i for i in range(len(alive)) if alive[i]]
+        ids, sts, ends = self._ids, self._sts, self._ends
+        if self._packed:
+            self._ids = array("q", (ids[i] for i in keep))
+            self._sts = array("q", (sts[i] for i in keep))
+            self._ends = array("q", (ends[i] for i in keep))
+        else:
+            self._ids = [ids[i] for i in keep]
+            self._sts = [sts[i] for i in keep]
+            self._ends = [ends[i] for i in keep]
+        self._alive = bytearray(b"\x01" * len(keep))
+        self._n_dead = 0
+
+    # ----------------------------------------------------------------- reads
+    def __len__(self) -> int:
+        """Number of live entries."""
+        return len(self._ids) - self._n_dead
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __contains__(self, object_id: int) -> bool:
+        ids = self._ids
+        pos = bisect_left(ids, object_id)
+        return pos < len(ids) and ids[pos] == object_id and bool(self._alive[pos])
+
+    def physical_len(self) -> int:
+        """Slots including tombstones (drops back after compaction)."""
+        return len(self._ids)
+
+    def entries(self) -> Iterator[PostingsEntry]:
+        """Live entries in id order."""
+        ids, sts, ends, alive = self._ids, self._sts, self._ends, self._alive
+        for i in range(len(ids)):
+            if alive[i]:
+                yield ids[i], sts[i], ends[i]
+
+    def ids(self) -> List[int]:
+        """Live object ids, sorted."""
+        if not self._n_dead:
+            return list(self._ids)
+        alive = self._alive
+        return [oid for i, oid in enumerate(self._ids) if alive[i]]
+
+    # ------------------------------------------------------------ numpy views
+    def _views(self):
+        """Zero-copy int64 views over the packed columns (numpy path only)."""
+        return (
+            _np.frombuffer(self._ids, dtype=_np.int64),
+            _np.frombuffer(self._sts, dtype=_np.int64),
+            _np.frombuffer(self._ends, dtype=_np.int64),
+        )
+
+    def _alive_mask(self):
+        return _np.frombuffer(self._alive, dtype=_np.uint8) != 0
+
+    def _use_kernels(self) -> bool:
+        return (
+            _np is not None and self._packed and len(self._ids) >= _VECTOR_MIN
+        )
+
+    # ----------------------------------------------------------------- scans
+    def overlapping(self, q_st: Timestamp, q_end: Timestamp) -> List[PostingsEntry]:
+        """Live entries whose interval overlaps ``[q_st, q_end]`` (Alg. 1)."""
+        if self._use_kernels():
+            ids, sts, ends = self._views()
+            mask = (sts <= q_end) & (ends >= q_st)
+            if self._n_dead:
+                mask &= self._alive_mask()
+            return list(
+                zip(ids[mask].tolist(), sts[mask].tolist(), ends[mask].tolist())
+            )
+        ids, sts, ends, alive = self._ids, self._sts, self._ends, self._alive
+        return [
+            (ids[i], sts[i], ends[i])
+            for i in range(len(ids))
+            if alive[i] and q_st <= ends[i] and sts[i] <= q_end
+        ]
+
+    def overlapping_ids(self, q_st: Timestamp, q_end: Timestamp) -> List[int]:
+        """Ids of live entries overlapping ``[q_st, q_end]``, in id order."""
+        if self._use_kernels():
+            ids, sts, ends = self._views()
+            mask = (sts <= q_end) & (ends >= q_st)
+            if self._n_dead:
+                mask &= self._alive_mask()
+            return ids[mask].tolist()
+        ids, sts, ends, alive = self._ids, self._sts, self._ends, self._alive
+        return [
+            ids[i]
+            for i in range(len(ids))
+            if alive[i] and q_st <= ends[i] and sts[i] <= q_end
+        ]
+
+    def ids_end_ge(self, q_st: Timestamp) -> List[int]:
+        """Live ids with ``t_end >= q_st`` (the START_ONLY check), id order."""
+        if self._use_kernels():
+            ids, _sts, ends = self._views()
+            mask = ends >= q_st
+            if self._n_dead:
+                mask &= self._alive_mask()
+            return ids[mask].tolist()
+        ids, ends, alive = self._ids, self._ends, self._alive
+        return [ids[i] for i in range(len(ids)) if alive[i] and ends[i] >= q_st]
+
+    def ids_st_le(self, q_end: Timestamp) -> List[int]:
+        """Live ids with ``t_st <= q_end`` (the END_ONLY check), id order."""
+        if self._use_kernels():
+            ids, sts, _ends = self._views()
+            mask = sts <= q_end
+            if self._n_dead:
+                mask &= self._alive_mask()
+            return ids[mask].tolist()
+        ids, sts, alive = self._ids, self._sts, self._alive
+        return [ids[i] for i in range(len(ids)) if alive[i] and sts[i] <= q_end]
+
+    def intersect_sorted(self, sorted_ids: List[int]) -> List[int]:
+        """Intersection with an ascending id list (live entries only).
+
+        The numpy kernel binary-searches every candidate into the packed id
+        column at once (``searchsorted`` — a vectorised gallop); the scalar
+        fallback keeps the merge-vs-probe switch of the list backend.
+        """
+        n_c, n_e = len(sorted_ids), len(self._ids)
+        if n_c == 0 or n_e == 0:
+            return []
+        if (
+            self._use_kernels()
+            and n_c >= 8
+            and all(type(c) is int for c in sorted_ids)
+        ):
+            try:
+                candidates = _np.asarray(sorted_ids, dtype=_np.int64)
+            except OverflowError:  # an id beyond i64: scalar fallback
+                candidates = None
+            if candidates is not None:
+                ids, _sts, _ends = self._views()
+                positions = _np.searchsorted(ids, candidates)
+                positions[positions >= n_e] = n_e - 1
+                hit = ids[positions] == candidates
+                if self._n_dead:
+                    hit &= self._alive_mask()[positions]
+                if n_c > 1:  # repeated candidates report once (merge parity)
+                    hit[1:] &= candidates[1:] != candidates[:-1]
+                return candidates[hit].tolist()
+        ids, alive = self._ids, self._alive
+        out: List[int] = []
+        if n_e > 16 * n_c:
+            lo = 0
+            for c in sorted_ids:
+                pos = bisect_left(ids, c, lo)
+                if pos < n_e and ids[pos] == c:
+                    if alive[pos]:
+                        out.append(c)
+                    lo = pos + 1
+                else:
+                    lo = pos
+                if lo >= n_e:
+                    break
+            return out
+        i = j = 0
+        while i < n_c and j < n_e:
+            c, e = sorted_ids[i], ids[j]
+            if c == e:
+                if alive[j]:
+                    out.append(c)
+                i += 1
+                j += 1
+            elif c < e:
+                i += 1
+            else:
+                j += 1
+        return out
+
+    def span(self) -> Tuple[Timestamp, Timestamp]:
+        """``[min t_st, max t_end]`` over live entries."""
+        if not len(self):
+            raise UnknownObjectError("span() of an empty postings list")
+        if self._use_kernels():
+            _ids, sts, ends = self._views()
+            if self._n_dead:
+                alive = self._alive_mask()
+                return int(sts[alive].min()), int(ends[alive].max())
+            return int(sts.min()), int(ends.max())
+        lo: Optional[Timestamp] = None
+        hi: Optional[Timestamp] = None
+        for _, st, end in self.entries():
+            lo = st if lo is None or st < lo else lo
+            hi = end if hi is None or end > hi else hi
+        assert lo is not None and hi is not None
+        return lo, hi
+
+    # ----------------------------------------------------------------- sizes
+    def size_bytes(self) -> int:
+        """Modelled size: full entries + one container overhead.
+
+        Uses the same size model as the list backend so relative index
+        sizes (Table 5, Figures 8–9) stay comparable across backends; the
+        actual packed footprint is ~24 bytes/slot + 1 tombstone byte.
+        """
+        return self.physical_len() * ENTRY_FULL_BYTES + CONTAINER_BYTES
+
+
+#: Ids above this bound (or negative) keep a bitset from being the right
+#: structure; the list spills to sorted-array mode instead of growing a
+#: multi-megabyte bitmap for one id.
+_BITSET_MAX_ID = 1 << 22
+
+
+class BitsetIdPostingsList:
+    """Id-only postings backed by a byte-per-8-ids bitmap.
+
+    Drop-in for :class:`~repro.ir.postings.IdPostingsList` on the dense,
+    small-id universes of per-division dictionaries (irHINT-size's
+    Algorithm 6): membership tests are O(1), and ``intersect_sorted``
+    degenerates to one bit probe per candidate.  Ids outside
+    ``[0, 2**22)`` spill the instance to plain sorted-list mode (same
+    semantics, no bitmap).
+
+    Unlike the tombstoning list backends this structure frees a deleted
+    id's slot immediately, so ``physical_len`` tracks the live count.
+    """
+
+    __slots__ = ("_bits", "_n", "_spilled")
+
+    def __init__(self) -> None:
+        self._bits = bytearray()
+        self._n = 0
+        self._spilled: Optional[List[int]] = None
+
+    def _spill(self) -> None:
+        if self._spilled is None:
+            self._spilled = self.ids()
+            self._bits = bytearray()
+
+    def add(self, object_id: int) -> None:
+        """Insert an id (idempotent for already-live ids)."""
+        if self._spilled is None and (
+            not isinstance(object_id, int)
+            or isinstance(object_id, bool)
+            or not 0 <= object_id < _BITSET_MAX_ID
+        ):
+            self._spill()
+        if self._spilled is not None:
+            ids = self._spilled
+            pos = bisect_left(ids, object_id)
+            if pos >= len(ids) or ids[pos] != object_id:
+                ids.insert(pos, object_id)
+                self._n += 1
+            return
+        byte, bit = object_id >> 3, 1 << (object_id & 7)
+        if byte >= len(self._bits):
+            self._bits.extend(b"\x00" * (byte + 1 - len(self._bits)))
+        if not self._bits[byte] & bit:
+            self._bits[byte] |= bit
+            self._n += 1
+
+    def delete(self, object_id: int) -> None:
+        """Remove an id (raises if absent)."""
+        if object_id not in self:
+            raise UnknownObjectError(object_id)
+        if self._spilled is not None:
+            self._spilled.remove(object_id)
+        else:
+            self._bits[object_id >> 3] &= ~(1 << (object_id & 7))
+        self._n -= 1
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __bool__(self) -> bool:
+        return self._n > 0
+
+    def __contains__(self, object_id: int) -> bool:
+        if self._spilled is not None:
+            ids = self._spilled
+            pos = bisect_left(ids, object_id)
+            return pos < len(ids) and ids[pos] == object_id
+        if (
+            not isinstance(object_id, int)
+            or isinstance(object_id, bool)
+            or not 0 <= object_id < _BITSET_MAX_ID
+        ):
+            return False
+        byte = object_id >> 3
+        return byte < len(self._bits) and bool(
+            self._bits[byte] & (1 << (object_id & 7))
+        )
+
+    def ids(self) -> List[int]:
+        """Live ids, sorted (bit scan in byte order)."""
+        if self._spilled is not None:
+            return list(self._spilled)
+        out: List[int] = []
+        for byte_index, byte in enumerate(self._bits):
+            if not byte:
+                continue
+            base = byte_index << 3
+            while byte:
+                low = byte & -byte
+                out.append(base + low.bit_length() - 1)
+                byte ^= low
+        return out
+
+    def intersect_sorted(self, sorted_ids: List[int]) -> List[int]:
+        """One O(1) bit probe per candidate — no merge, no gallop."""
+        if self._spilled is not None:
+            ids = self._spilled
+            n_e = len(ids)
+            out: List[int] = []
+            lo = 0
+            for c in sorted_ids:
+                pos = bisect_left(ids, c, lo)
+                if pos < n_e and ids[pos] == c:
+                    out.append(c)
+                    lo = pos + 1
+                else:
+                    lo = pos
+                if lo >= n_e:
+                    break
+            return out
+        bits = self._bits
+        n_bytes = len(bits)
+        result: List[int] = []
+        for c in sorted_ids:
+            if 0 <= c < _BITSET_MAX_ID:
+                byte = c >> 3
+                if byte < n_bytes and bits[byte] & (1 << (c & 7)):
+                    if result and result[-1] == c:
+                        continue  # repeated candidates report once
+                    result.append(c)
+        return result
+
+    def physical_len(self) -> int:
+        """Live count — the bitmap holds no tombstones."""
+        return self._n
+
+    def size_bytes(self) -> int:
+        """Actual bitmap bytes (or modelled ids when spilled) + container."""
+        if self._spilled is not None:
+            return len(self._spilled) * ENTRY_ID_BYTES + CONTAINER_BYTES
+        return len(self._bits) + CONTAINER_BYTES

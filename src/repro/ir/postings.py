@@ -15,7 +15,7 @@ tombstones for a logical deletion").
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Protocol, Tuple
 
 from repro.core.errors import UnknownObjectError
 from repro.core.interval import Timestamp
@@ -23,6 +23,45 @@ from repro.utils.memory import CONTAINER_BYTES, ENTRY_FULL_BYTES
 
 #: One materialised postings entry.
 PostingsEntry = Tuple[int, Timestamp, Timestamp]
+
+
+class PostingsBackend(Protocol):
+    """The full ⟨id, st, end⟩ postings surface every backend implements.
+
+    :class:`PostingsList` is the reference implementation (and the oracle
+    of the property harness in ``tests/ir``); ``packed`` and
+    ``compressed`` (:mod:`repro.ir.packed`, :mod:`repro.ir.compressed`)
+    must be observationally identical on every method here.
+    """
+
+    def add(self, object_id: int, st: Timestamp, end: Timestamp) -> None: ...
+    def delete(self, object_id: int) -> None: ...
+    def __len__(self) -> int: ...
+    def __contains__(self, object_id: int) -> bool: ...
+    def physical_len(self) -> int: ...
+    def entries(self) -> Iterator[PostingsEntry]: ...
+    def ids(self) -> List[int]: ...
+    def overlapping(self, q_st: Timestamp, q_end: Timestamp) -> List[PostingsEntry]: ...
+    def overlapping_ids(self, q_st: Timestamp, q_end: Timestamp) -> List[int]: ...
+    def ids_end_ge(self, q_st: Timestamp) -> List[int]: ...
+    def ids_st_le(self, q_end: Timestamp) -> List[int]: ...
+    def intersect_sorted(self, sorted_ids: List[int]) -> List[int]: ...
+    def span(self) -> Tuple[Timestamp, Timestamp]: ...
+    def size_bytes(self) -> int: ...
+    def compact(self) -> None: ...
+
+
+class IdPostingsBackend(Protocol):
+    """The id-only postings surface (irHINT-size division dictionaries)."""
+
+    def add(self, object_id: int) -> None: ...
+    def delete(self, object_id: int) -> None: ...
+    def __len__(self) -> int: ...
+    def __contains__(self, object_id: int) -> bool: ...
+    def physical_len(self) -> int: ...
+    def ids(self) -> List[int]: ...
+    def intersect_sorted(self, sorted_ids: List[int]) -> List[int]: ...
+    def size_bytes(self) -> int: ...
 
 
 class PostingsList:
@@ -72,6 +111,17 @@ class PostingsList:
             raise UnknownObjectError(object_id)
         self._alive[pos] = False
         self._n_dead += 1
+
+    def compact(self) -> None:
+        """Physically drop tombstoned slots; answers are unchanged."""
+        if not self._n_dead:
+            return
+        keep = [i for i, alive in enumerate(self._alive) if alive]
+        self._ids = [self._ids[i] for i in keep]
+        self._sts = [self._sts[i] for i in keep]
+        self._ends = [self._ends[i] for i in keep]
+        self._alive = [True] * len(keep)
+        self._n_dead = 0
 
     # ------------------------------------------------------------------ reads
     def __len__(self) -> int:

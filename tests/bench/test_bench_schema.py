@@ -88,7 +88,11 @@ class TestCommittedArtifacts:
 
     @pytest.mark.parametrize(
         "name, top_key",
-        [("BENCH_cluster.json", "cluster"), ("BENCH_server.json", "server")],
+        [
+            ("BENCH_cluster.json", "cluster"),
+            ("BENCH_server.json", "server"),
+            ("BENCH_postings.json", "postings"),
+        ],
     )
     def test_reference_run_is_version_one(self, name, top_key):
         path = REPO_ROOT / name

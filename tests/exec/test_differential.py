@@ -289,6 +289,32 @@ def test_trace_generation_is_deterministic():
     assert any(op[0] == "insert" for op in a)
 
 
+# ----------------------------------------------- postings backend legs
+#: Postings-heavy registry keys replayed once per postings backend: the
+#: whole tIF/irHINT family must answer identically whatever representation
+#: stores its lists (see repro.ir.backends).
+POSTINGS_BACKEND_KEYS = ("tif", "tif-slicing", "irhint-perf")
+
+
+@pytest.mark.parametrize("backend", ["list", "packed", "compressed"])
+@pytest.mark.parametrize("key", POSTINGS_BACKEND_KEYS)
+def test_differential_postings_backends(key, backend, monkeypatch):
+    """Interleaved query/insert/delete with the postings backend pinned
+    via REPRO_POSTINGS_BACKEND: every backend, same answers."""
+    from repro.ir.backends import POSTINGS_BACKEND_ENV
+
+    monkeypatch.setenv(POSTINGS_BACKEND_ENV, backend)
+    run_differential(key, SEEDS[0], executor_config=None)
+
+
+def test_differential_bitset_id_backend(monkeypatch):
+    """irHINT-size divisions on the bitset id-postings backend."""
+    from repro.ir.backends import ID_POSTINGS_BACKEND_ENV
+
+    monkeypatch.setenv(ID_POSTINGS_BACKEND_ENV, "bitset")
+    run_differential("irhint-size", SEEDS[0], executor_config=None)
+
+
 # ----------------------------------------------------- network daemon leg
 def test_differential_server_with_chaos(tmp_path):
     """One seeded chaos interleaving replayed over the network daemon.

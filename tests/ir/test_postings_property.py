@@ -1,0 +1,381 @@
+"""Property-based differential harness: every postings backend vs the oracle.
+
+:class:`~repro.ir.postings.PostingsList` is the reference semantics for
+the whole postings surface — adds that revive tombstones, logical
+deletes, order-preserving scans, the merge/gallop intersection, span and
+size accounting.  This harness replays seeded operation traces drawn
+from *adversarial regimes* (duplicate-heavy id universes, point
+intervals, tombstone churn, i64 extremes, float/overflow spill) against
+every alternative backend and cross-checks the **full** observable
+surface after every mutation:
+
+``add`` / ``delete`` (exception parity included) / ``__len__`` /
+``__contains__`` / ``entries`` / ``ids`` / ``overlapping`` /
+``overlapping_ids`` / ``ids_end_ge`` / ``ids_st_le`` /
+``intersect_sorted`` / ``span`` / ``size_bytes`` invariants.
+
+Determinism: no wall-clock, no unseeded RNG — every trace derives from
+an explicit integer seed, and a mismatch prints the seed, the regime and
+the reproducing operation trace (same discipline as
+``tests/exec/test_differential.py``).  CI pins the per-trace operation
+budget with ``REPRO_POSTINGS_PROP_OPS``; the defaults below replay
+500+ operations per backend.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, List, Tuple
+
+import pytest
+
+from repro.core.errors import UnknownObjectError
+from repro.ir.backends import ID_POSTINGS_BACKENDS, POSTINGS_BACKENDS
+from repro.ir.postings import IdPostingsList, PostingsList
+from repro.utils.memory import CONTAINER_BYTES
+
+#: Operations per (backend, regime, seed) trace; CI pins this knob the
+#: same way REPRO_DIFF_OPS pins the exec harness.
+N_OPS = int(os.environ.get("REPRO_POSTINGS_PROP_OPS", "60"))
+
+SEEDS = (2025, 8061)
+
+I64_MIN = -(1 << 63)
+I64_MAX = (1 << 63) - 1
+
+Op = Tuple  # ("add", id, st, end) | ("delete", id)
+
+
+# --------------------------------------------------------------- generators
+def _gen_mixed(rng: random.Random) -> Op:
+    """General workload: moderate id universe, mixed interval shapes."""
+    if rng.random() < 0.30:
+        return ("delete", rng.randrange(160))
+    st = rng.randint(-500, 2_000)
+    return ("add", rng.randrange(160), st, st + rng.choice([0, 1, 7, 90, 800]))
+
+
+def _gen_duplicates(rng: random.Random) -> Op:
+    """Tiny id universe: every add is likely an overwrite or a revive."""
+    if rng.random() < 0.35:
+        return ("delete", rng.randrange(8))
+    st = rng.randint(0, 50)
+    return ("add", rng.randrange(8), st, st + rng.choice([0, 0, 3, 10]))
+
+
+def _gen_points(rng: random.Random) -> Op:
+    """Every interval is a point (st == end) — boundary-equality heavy."""
+    if rng.random() < 0.25:
+        return ("delete", rng.randrange(120))
+    t = rng.randint(0, 300)
+    return ("add", rng.randrange(120), t, t)
+
+
+def _gen_churn(rng: random.Random) -> Op:
+    """Tombstone-heavy: deletes dominate, compaction must keep up."""
+    if rng.random() < 0.55:
+        return ("delete", rng.randrange(100))
+    st = rng.randint(0, 1_000)
+    return ("add", rng.randrange(100), st, st + rng.choice([0, 5, 60]))
+
+
+def _gen_extremes(rng: random.Random) -> Op:
+    """Ids and timestamps at the i64 boundary (packed/compressed native
+    limits): the columns must neither wrap nor lose precision."""
+    ids = (0, 1, I64_MAX, I64_MAX - 1, I64_MIN, I64_MIN + 1, 7, 1 << 40)
+    if rng.random() < 0.30:
+        return ("delete", rng.choice(ids))
+    st = rng.choice((I64_MIN, I64_MIN + 1, -1, 0, 1, I64_MAX - 1, I64_MAX))
+    end = rng.choice((st, I64_MAX)) if st != I64_MAX else st
+    return ("add", rng.choice(ids), st, end)
+
+
+def _gen_spill(rng: random.Random) -> Op:
+    """Floats and beyond-i64 ints: forces the packed/compressed one-way
+    spill to boxed storage mid-trace, which must be seamless."""
+    if rng.random() < 0.25:
+        return ("delete", rng.randrange(60))
+    roll = rng.random()
+    if roll < 0.4:
+        st: float = rng.uniform(-100.0, 100.0)
+        return ("add", rng.randrange(60), st, st + rng.uniform(0.0, 10.0))
+    if roll < 0.5:
+        big = 1 << rng.randint(64, 80)
+        return ("add", rng.randrange(60), -big, big)
+    st2 = rng.randint(0, 500)
+    return ("add", rng.randrange(60), st2, st2 + rng.choice([0, 2, 30]))
+
+
+REGIMES: List[Tuple[str, Callable[[random.Random], Op]]] = [
+    ("mixed", _gen_mixed),
+    ("duplicates", _gen_duplicates),
+    ("points", _gen_points),
+    ("churn", _gen_churn),
+    ("extremes", _gen_extremes),
+    ("spill", _gen_spill),
+]
+REGIME_GENERATORS = dict(REGIMES)
+REGIME_NAMES = [name for name, _ in REGIMES]
+
+ALT_BACKENDS = sorted(name for name in POSTINGS_BACKENDS if name != "list")
+ALL_BACKENDS = sorted(POSTINGS_BACKENDS)
+
+
+def make_trace(regime: str, seed: int, n_ops: int) -> List[Op]:
+    """The deterministic operation trace for one (regime, seed) pair."""
+    rng = random.Random(seed * 6151 + 17)
+    gen = REGIME_GENERATORS[regime]
+    return [gen(rng) for _ in range(n_ops)]
+
+
+def format_trace(ops: List[Op]) -> str:
+    lines = []
+    for i, op in enumerate(ops):
+        if op[0] == "add":
+            lines.append(f"  {i:3d} add    id={op[1]} [{op[2]}, {op[3]}]")
+        else:
+            lines.append(f"  {i:3d} delete id={op[1]}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- checking
+def _probe_times(rng: random.Random, oracle: PostingsList) -> List:
+    """Query timestamps biased toward stored endpoints (boundary hits)."""
+    stored = [t for _, st, end in oracle.entries() for t in (st, end)]
+    times = [rng.randint(-600, 2_200), rng.uniform(-50.0, 50.0)]
+    if stored:
+        times.append(rng.choice(stored))
+    return times
+
+
+def _check_surface(
+    backend: str, subject, oracle: PostingsList, rng: random.Random, context: str
+) -> None:
+    """Compare every read-side observation of ``subject`` vs the oracle."""
+
+    def expect(label: str, got, want) -> None:
+        assert got == want, (
+            f"{context}\n  surface  {label}\n  got      {got!r}\n"
+            f"  expected {want!r}"
+        )
+
+    expect("len()", len(subject), len(oracle))
+    expect("bool()", bool(subject), bool(oracle))
+    expect("entries()", list(subject.entries()), list(oracle.entries()))
+    expect("ids()", subject.ids(), oracle.ids())
+    assert subject.physical_len() >= len(subject), (
+        f"{context}\n  physical_len() {subject.physical_len()} < live "
+        f"len() {len(subject)}"
+    )
+    assert subject.size_bytes() >= CONTAINER_BYTES, (
+        f"{context}\n  size_bytes() fell below the container overhead"
+    )
+
+    known = oracle.ids()
+    probes = [rng.randrange(200), I64_MAX, I64_MIN]
+    if known:
+        probes.append(rng.choice(known))
+    for oid in probes:
+        expect(f"{oid} in list", oid in subject, oid in oracle)
+
+    times = _probe_times(rng, oracle)
+    for q_st in times:
+        expect(f"ids_end_ge({q_st})", subject.ids_end_ge(q_st), oracle.ids_end_ge(q_st))
+        expect(f"ids_st_le({q_st})", subject.ids_st_le(q_st), oracle.ids_st_le(q_st))
+        for q_end in times:
+            if q_end < q_st:
+                continue
+            expect(
+                f"overlapping_ids({q_st}, {q_end})",
+                subject.overlapping_ids(q_st, q_end),
+                oracle.overlapping_ids(q_st, q_end),
+            )
+            expect(
+                f"overlapping({q_st}, {q_end})",
+                subject.overlapping(q_st, q_end),
+                oracle.overlapping(q_st, q_end),
+            )
+
+    # Candidate sets: subsets of stored ids, misses, duplicates, and a long
+    # run that keeps the merge path (not just the gallop path) exercised.
+    candidate_sets = [
+        [],
+        sorted(rng.sample(known, min(len(known), 5))) if known else [0],
+        sorted({rng.randrange(250) for _ in range(rng.randint(1, 40))}),
+        [I64_MIN, -3, 0, I64_MAX - 1, I64_MAX],
+    ]
+    if known:
+        dup_source = sorted(rng.choices(known, k=min(len(known), 6)))
+        candidate_sets.append(dup_source)  # repeated candidates must dedup
+    for candidates in candidate_sets:
+        expect(
+            f"intersect_sorted({candidates})",
+            subject.intersect_sorted(candidates),
+            oracle.intersect_sorted(candidates),
+        )
+
+    try:
+        want_span = oracle.span()
+    except UnknownObjectError:
+        with pytest.raises(UnknownObjectError):
+            subject.span()
+    else:
+        expect("span()", subject.span(), want_span)
+
+
+def run_property_trace(backend: str, regime: str, seed: int, n_ops: int = N_OPS) -> None:
+    """Replay one trace against ``backend`` and the oracle; fail loudly."""
+    subject = POSTINGS_BACKENDS[backend]()
+    oracle = PostingsList()
+    check_rng = random.Random(seed ^ 0x5EED)
+    ops = make_trace(regime, seed, n_ops)
+    for step, op in enumerate(ops):
+        context = (
+            f"{backend}: postings property mismatch at step {step} "
+            f"(regime={regime!r}, seed={seed}, n_ops={n_ops}); reproducing "
+            f"trace:\n{format_trace(ops[: step + 1])}"
+        )
+        if op[0] == "add":
+            subject.add(op[1], op[2], op[3])
+            oracle.add(op[1], op[2], op[3])
+        else:
+            oracle_raised = False
+            try:
+                oracle.delete(op[1])
+            except UnknownObjectError:
+                oracle_raised = True
+            try:
+                subject.delete(op[1])
+                subject_raised = False
+            except UnknownObjectError:
+                subject_raised = True
+            assert subject_raised == oracle_raised, (
+                f"{context}\n  delete({op[1]}) exception parity: subject "
+                f"raised={subject_raised}, oracle raised={oracle_raised}"
+            )
+        _check_surface(backend, subject, oracle, check_rng, context)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("regime", REGIME_NAMES)
+@pytest.mark.parametrize("backend", ALT_BACKENDS)
+def test_postings_backend_matches_oracle(backend, regime, seed):
+    """Every alternative full-postings backend is observationally equal to
+    the list oracle on seeded adversarial traces."""
+    run_property_trace(backend, regime, seed)
+
+
+@pytest.mark.parametrize("regime", ["mixed", "churn"])
+def test_oracle_self_consistency(regime):
+    """The harness replayed list-vs-list: catches bugs in the checker
+    itself (a checker that can never fail would vacuously pass)."""
+    run_property_trace("list", regime, SEEDS[0])
+
+
+def test_trace_generation_is_deterministic():
+    """Identical (regime, seed) pairs yield identical traces — the
+    contract the reproducing failure message relies on."""
+    for regime in REGIME_NAMES:
+        assert make_trace(regime, 99, 50) == make_trace(regime, 99, 50)
+
+
+def test_default_budget_covers_acceptance_floor():
+    """Unless explicitly capped below the default, each backend sees 500+
+    seeded operations across the regime × seed grid."""
+    if N_OPS < 60:
+        pytest.skip("REPRO_POSTINGS_PROP_OPS capped below the default")
+    assert N_OPS * len(REGIME_NAMES) * len(SEEDS) >= 500
+
+
+# ------------------------------------------------------------ id-only leg
+def _gen_id_dense(rng: random.Random) -> Tuple:
+    if rng.random() < 0.35:
+        return ("delete", rng.randrange(300))
+    return ("add", rng.randrange(300))
+
+
+def _gen_id_sparse(rng: random.Random) -> Tuple:
+    """Huge and negative ids: drives the bitset past its bitmap range."""
+    ids = (-5, 0, 3, 1 << 30, 1 << 50, I64_MAX)
+    if rng.random() < 0.35:
+        return ("delete", rng.choice(ids))
+    return ("add", rng.choice(ids))
+
+
+def _gen_id_churn(rng: random.Random) -> Tuple:
+    if rng.random() < 0.55:
+        return ("delete", rng.randrange(40))
+    return ("add", rng.randrange(40))
+
+
+ID_REGIMES = {"dense": _gen_id_dense, "sparse": _gen_id_sparse, "churn": _gen_id_churn}
+ALT_ID_BACKENDS = sorted(name for name in ID_POSTINGS_BACKENDS if name != "list")
+
+
+def _check_id_surface(subject, oracle: IdPostingsList, rng: random.Random, context):
+    assert len(subject) == len(oracle), f"{context}\n  len() diverged"
+    assert subject.ids() == oracle.ids(), (
+        f"{context}\n  ids()\n  got      {subject.ids()!r}\n"
+        f"  expected {oracle.ids()!r}"
+    )
+    assert subject.physical_len() >= len(subject), f"{context}\n  physical_len()"
+    assert subject.size_bytes() >= CONTAINER_BYTES, f"{context}\n  size_bytes()"
+    known = oracle.ids()
+    probes = [rng.randrange(350), -1, I64_MAX]
+    if known:
+        probes.append(rng.choice(known))
+    for oid in probes:
+        assert (oid in subject) == (oid in oracle), f"{context}\n  {oid} in list"
+    candidate_sets = [
+        [],
+        sorted({rng.randrange(350) for _ in range(rng.randint(1, 30))}),
+        [-7, 0, 1 << 50, I64_MAX],
+    ]
+    if known:
+        candidate_sets.append(sorted(rng.choices(known, k=min(len(known), 6))))
+    for candidates in candidate_sets:
+        got = subject.intersect_sorted(candidates)
+        want = oracle.intersect_sorted(candidates)
+        assert got == want, (
+            f"{context}\n  intersect_sorted({candidates})\n"
+            f"  got      {got!r}\n  expected {want!r}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("regime", sorted(ID_REGIMES))
+@pytest.mark.parametrize("backend", ALT_ID_BACKENDS)
+def test_id_postings_backend_matches_oracle(backend, regime, seed):
+    """Id-only backends (bitset) vs the IdPostingsList oracle, including
+    the out-of-range spill path."""
+    subject = ID_POSTINGS_BACKENDS[backend]()
+    oracle = IdPostingsList()
+    rng = random.Random(seed * 6151 + 17)
+    check_rng = random.Random(seed ^ 0x1D5)
+    gen = ID_REGIMES[regime]
+    ops = [gen(rng) for _ in range(N_OPS)]
+    for step, op in enumerate(ops):
+        context = (
+            f"{backend}: id-postings property mismatch at step {step} "
+            f"(regime={regime!r}, seed={seed}, n_ops={N_OPS}); reproducing "
+            f"trace:\n" + "\n".join(f"  {i:3d} {o[0]} id={o[1]}" for i, o in enumerate(ops[: step + 1]))
+        )
+        if op[0] == "add":
+            subject.add(op[1])
+            oracle.add(op[1])
+        else:
+            oracle_raised = False
+            try:
+                oracle.delete(op[1])
+            except UnknownObjectError:
+                oracle_raised = True
+            try:
+                subject.delete(op[1])
+                subject_raised = False
+            except UnknownObjectError:
+                subject_raised = True
+            assert subject_raised == oracle_raised, (
+                f"{context}\n  delete({op[1]}) exception parity"
+            )
+        _check_id_surface(subject, oracle, check_rng, context)
