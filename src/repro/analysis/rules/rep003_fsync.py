@@ -1,4 +1,4 @@
-"""REP003 — durable writes in repro.service flow through the fsio seam."""
+"""REP003 — durable writes in repro.service/repro.storage flow through fsio."""
 
 from __future__ import annotations
 
@@ -20,19 +20,21 @@ def _mode_expr(call: ast.Call) -> Optional[ast.expr]:
 
 class FsyncDisciplineRule(Rule):
     code = "REP003"
-    title = "service-layer file writes must go through the fsio seam"
+    title = "service/storage-layer file writes must go through the fsio seam"
     rationale = (
         "Crash-consistency holds because every durable byte flows through "
         "FileSystem (fsio) — the object the fault injector substitutes and "
         "the single place fsync discipline lives.  A raw builtin "
-        "open(..., 'w') in repro.service writes bytes the crash matrix "
-        "never tears, so its failure modes are untested."
+        "open(..., 'w') in repro.service or repro.storage writes bytes the "
+        "crash matrix never tears, so its failure modes are untested.  The "
+        "storage package's segment installs and tier-state commits carry "
+        "the same obligation as WALs and snapshots."
     )
 
     def applies_to(self, module: ModuleInfo) -> bool:
         return (
-            module.in_package("repro.service") and module.module != _SEAM_MODULE
-        )
+            module.in_package("repro.service") or module.in_package("repro.storage")
+        ) and module.module != _SEAM_MODULE
 
     def check_module(self, module: ModuleInfo) -> Iterable[RawFinding]:
         for node in ast.walk(module.tree):

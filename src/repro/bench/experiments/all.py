@@ -15,6 +15,7 @@ from repro.bench.experiments import (
     fig12,
     postings,
     server,
+    storage,
     table3,
     table5,
     table6,
@@ -39,6 +40,7 @@ SEQUENCE = [
     ("throughput", throughput),
     ("postings", postings),
     ("cluster", cluster),
+    ("storage", storage),
     ("server", server),
 ]
 

@@ -1,0 +1,269 @@
+"""Cold-segment tiering — RAM shed vs latency paid, on one cluster.
+
+Not a paper figure.  The question this experiment answers: how many
+resident bytes does demoting cold shards to mmap'd segments actually
+shed, and what does a query pay when it lands on the cold tier?
+
+One time-range cluster serves one synthetic collection twice: first with
+every shard hot (the ``BENCH_cluster.json`` configuration), then with
+every bounded shard demoted — a majority-cold layout where only the
+open-ended newest shard keeps RAM-resident replicas — under a segment
+cache budgeted to hold a single segment.  The same workload runs in both
+phases and must answer bit-identically.
+
+Reported:
+
+* resident bytes all-hot vs tiered, and the reduction factor;
+* routed q/s all-hot vs tiered, split by whether a query's interval
+  touches a cold shard (the hot path must stay within noise of the
+  all-hot run — cold shards are off its route entirely);
+* the zero-decode evidence: postings blocks decoded vs skipped and the
+  ``descriptions_decoded`` flag of every open reader (must stay False —
+  cold queries never unpickle the segment's descriptions blob);
+* segment-cache hit rates across a budget sweep, from thrashing
+  (sub-segment budget) to fully resident.
+
+``python -m repro bench storage`` archives this dict (via the harness) —
+the repo keeps a reference run in ``BENCH_storage.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.cli import run_cli
+from repro.bench.config import get_scale, synthetic_collection
+from repro.bench.experiments.cluster import DEFAULT_METHOD, build_workload
+from repro.bench.reporting import SeriesTable, banner, summarize_shape
+from repro.bench.tuned import tuned
+from repro.obs.registry import isolated_registry
+from repro.utils.timing import Stopwatch
+
+#: More, thinner shards than the cluster bench: the open-ended newest
+#: shard (which can never demote) then holds a small slice of the
+#: corpus, so a majority-cold layout actually sheds the majority.
+N_SHARDS = 8
+
+#: Hot replicas per shard.  Replication is what the cold tier shreds
+#: hardest: a hot shard pays its index size per replica, a cold shard
+#: is one segment file regardless.
+N_REPLICAS = 2
+
+
+def _hot_resident_bytes(cluster) -> int:
+    """RAM held by hot replicas: index size × replica count per shard."""
+    total = 0
+    for replica_set in cluster.group.replica_sets.values():
+        if getattr(replica_set, "is_cold", False):
+            continue
+        total += replica_set.primary_index().size_bytes() * len(
+            replica_set.stores
+        )
+    return total
+
+
+def _touches_cold(cluster, q) -> bool:
+    state = cluster.tier_state
+    for spec in cluster.table.shards:
+        if not state.is_cold(spec.shard_id):
+            continue
+        if (spec.lo is None or spec.lo <= q.end) and (
+            spec.hi is None or spec.hi > q.st
+        ):
+            return True
+    return False
+
+
+def _throughput(cluster, queries) -> float:
+    if not queries:
+        return 0.0
+    watch = Stopwatch()
+    watch.start()
+    for q in queries:
+        cluster.query(q)
+    seconds = watch.stop()
+    return len(queries) / seconds if seconds > 0 else float("inf")
+
+
+def _descriptions_decoded(cluster) -> bool:
+    """True if any cached reader ever unpickled its descriptions blob."""
+    cache = cluster.segment_cache
+    for shard_id in sorted(cluster.tier_state.cold):
+        replica_set = cluster.group.replica_set(shard_id)
+        with cache.lease(replica_set.segment_path) as reader:
+            if reader.descriptions_decoded:
+                return True
+    return False
+
+
+def run(
+    scale: str = "small", seed: int = 0, method: Optional[str] = None
+) -> Dict[str, object]:
+    """All-hot vs majority-cold residency and throughput on one cluster."""
+    method = method or DEFAULT_METHOD
+    cfg = get_scale(scale)
+    n_queries = cfg.n_queries * 10
+    banner(
+        f"Storage: cold-segment tiering, {N_SHARDS} shards x "
+        f"{N_REPLICAS} replicas, "
+        f"{n_queries} queries (scale={scale})"
+    )
+    collection = synthetic_collection(scale)
+    params = tuned(method)
+    queries = build_workload(collection, n_queries, seed)
+
+    from repro.cluster import TemporalCluster
+
+    scratch = Path(tempfile.mkdtemp(prefix="repro-storage-bench-"))
+    try:
+        cluster = TemporalCluster.create(
+            scratch / "tiered",
+            collection,
+            index_key=method,
+            index_params=params,
+            n_shards=N_SHARDS,
+            n_replicas=N_REPLICAS,
+            wal_fsync=False,
+            cache_size=0,
+        )
+        with cluster:
+            # ---------------------------------------------- phase 1: all hot
+            expected = [cluster.query(q) for q in queries]
+            hot_resident = _hot_resident_bytes(cluster)
+            hot_qps = _throughput(cluster, queries)
+
+            # ------------------------------------- phase 2: demote the bulk
+            demotable = [
+                spec.shard_id
+                for spec in cluster.table.shards
+                if spec.hi is not None
+            ]
+            segments = [cluster.demote(shard_id) for shard_id in demotable]
+            segment_bytes = [path.stat().st_size for path in segments]
+            # Budget: one segment resident at a time — the cold tier's
+            # whole point is *not* re-growing the RAM it just shed.
+            cluster.segment_cache.budget_bytes = max(segment_bytes)
+
+            got = [cluster.query(q) for q in queries]
+            if got != expected:
+                raise AssertionError(
+                    "tiered cluster answers diverge from the all-hot run"
+                )
+
+            hot_path = [q for q in queries if not _touches_cold(cluster, q)]
+            cold_path = [q for q in queries if _touches_cold(cluster, q)]
+            with isolated_registry() as registry:
+                tiered_qps = _throughput(cluster, queries)
+                decoded = registry.sample_value(
+                    "repro_storage_blocks_decoded_total"
+                )
+                skipped = registry.sample_value(
+                    "repro_storage_blocks_skipped_total"
+                )
+                cold_queries = registry.sample_value(
+                    "repro_storage_cold_queries_total"
+                )
+            hot_path_qps = _throughput(cluster, hot_path)
+            cold_path_qps = _throughput(cluster, cold_path)
+            tiered_resident = (
+                _hot_resident_bytes(cluster)
+                + cluster.segment_cache.resident_bytes
+            )
+            reduction = (
+                hot_resident / tiered_resident if tiered_resident else 0.0
+            )
+            descriptions_decoded = _descriptions_decoded(cluster)
+
+            # --------------------------------- phase 3: cache budget sweep
+            sweep: List[Dict[str, object]] = []
+            for label, budget in (
+                ("thrash", max(1, min(segment_bytes) // 2)),
+                ("one-segment", max(segment_bytes)),
+                ("all-resident", sum(segment_bytes) + 1),
+            ):
+                cache = cluster.segment_cache
+                cache.budget_bytes = budget
+                before = cache.stats()
+                for q in cold_path:
+                    cluster.query(q)
+                after = cache.stats()
+                lookups = (after["hits"] - before["hits"]) + (
+                    after["misses"] - before["misses"]
+                )
+                sweep.append(
+                    {
+                        "label": label,
+                        "budget_bytes": budget,
+                        "hit_rate": (
+                            (after["hits"] - before["hits"]) / lookups
+                            if lookups
+                            else 0.0
+                        ),
+                        "resident_bytes": cache.resident_bytes,
+                    }
+                )
+
+            # ------------------------------- phase 4: promote back, verify
+            for shard_id in demotable:
+                cluster.promote(shard_id)
+            if [cluster.query(q) for q in queries] != expected:
+                raise AssertionError(
+                    "promoted cluster answers diverge from the all-hot run"
+                )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    table = SeriesTable(
+        f"Tiering [{method}, {len(collection)} objects, {N_SHARDS} shards, "
+        f"{len(demotable)} demoted, {n_queries} queries]",
+        "configuration",
+        ["q/s", "resident MiB"],
+    )
+    table.add_point("all hot", [hot_qps, hot_resident / 2**20])
+    table.add_point("tiered (mixed)", [tiered_qps, tiered_resident / 2**20])
+    table.add_point("tiered hot path", [hot_path_qps, float("nan")])
+    table.add_point("tiered cold path", [cold_path_qps, float("nan")])
+    table.print()
+    summarize_shape(
+        "Storage",
+        [
+            "tiered answers are bit-identical to the all-hot run (validated)",
+            f"resident bytes drop {reduction:.1f}x with the bulk demoted",
+            "the hot path pays nothing: cold shards are off its route",
+            "cold queries skip most postings blocks via the summaries",
+            "the descriptions blob is never decoded on the query path",
+        ],
+    )
+    return {
+        "method": method,
+        "objects": len(collection),
+        "n_shards": N_SHARDS,
+        "n_replicas": N_REPLICAS,
+        "n_queries": n_queries,
+        "demoted_shards": len(demotable),
+        "segment_bytes": segment_bytes,
+        "hot": {"qps": hot_qps, "resident_bytes": hot_resident},
+        "tiered": {
+            "qps": tiered_qps,
+            "resident_bytes": tiered_resident,
+            "reduction_x": reduction,
+            "hot_path_qps": hot_path_qps,
+            "cold_path_qps": cold_path_qps,
+            "hot_path_queries": len(hot_path),
+            "cold_path_queries": len(cold_path),
+        },
+        "zero_decode": {
+            "blocks_decoded": decoded,
+            "blocks_skipped": skipped,
+            "cold_queries": cold_queries,
+            "descriptions_decoded": descriptions_decoded,
+        },
+        "cache_sweep": sweep,
+    }
+
+
+if __name__ == "__main__":
+    run_cli(run, __doc__ or "cold-segment tiering")

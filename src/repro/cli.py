@@ -15,6 +15,8 @@ Commands
 ``recover``   replay a store directory's snapshots + WAL; print a report
 ``cluster``   shard-cluster operations: build / serve / query /
               rebalance / status (see ``docs/cluster.md``)
+``tier``      cold-tier operations: demote / promote / auto / status
+              (see ``docs/storage.md``)
 ``serve-net`` run the resilient asyncio network daemon over a
               multi-tenant root (see ``docs/server.md``)
 ``client``    talk to a running serve-net daemon
@@ -45,6 +47,8 @@ Examples
     python -m repro cluster build /tmp/cluster --data /tmp/ec.bin --shards 4
     python -m repro cluster query /tmp/cluster --start 100000 --end 500000
     python -m repro cluster rebalance /tmp/cluster --dry-run
+    python -m repro tier demote /tmp/cluster g0001-s00
+    python -m repro tier status /tmp/cluster
     python -m repro bench fig8 --scale tiny
 """
 
@@ -65,12 +69,13 @@ from repro.datasets.synthetic import generate_synthetic
 from repro.datasets.wikipedia import generate_wikipedia
 from repro.indexes.explain import explain as explain_query
 from repro.indexes.registry import available_indexes, build_index
+from repro.storage.cache import DEFAULT_SEGMENT_CACHE_BYTES
 from repro.utils.timing import timed
 
 _EXPERIMENTS = [
     "table3", "fig7", "fig8", "fig9", "fig10",
     "table5", "fig11", "fig12", "table6", "table7", "throughput",
-    "postings", "cluster", "server", "all",
+    "postings", "cluster", "server", "storage", "all",
 ]
 
 
@@ -639,6 +644,52 @@ def _cmd_cluster_rebalance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tier(args: argparse.Namespace) -> int:
+    from repro.cluster import TemporalCluster
+
+    with TemporalCluster.open(
+        args.directory, wal_fsync=not args.no_fsync,
+        segment_cache_bytes=args.segment_cache_bytes,
+    ) as cluster:
+        command = args.tier_command
+        if command == "demote":
+            segment = cluster.demote(args.shard_id)
+            print(
+                f"demoted {args.shard_id} → {segment} "
+                f"({segment.stat().st_size} bytes)"
+            )
+        elif command == "promote":
+            cluster.promote(args.shard_id)
+            print(f"promoted {args.shard_id} back to the hot tier")
+        elif command == "auto":
+            plan = cluster.auto_tier()
+            if plan.is_noop:
+                print(f"nothing to do: {plan.reason}")
+            else:
+                print(f"applied: {plan.reason}")
+        else:  # status
+            tiers = cluster.stats()["tiers"]
+            print(f"tiers: {tiers['hot']} hot, {tiers['cold']} cold")
+            for stats in cluster.tier_status():
+                if stats.get("tier") == "cold":
+                    print(
+                        f"  {stats['shard_id']}: cold, {stats['objects']} objects, "
+                        f"{stats['segment_bytes']} segment bytes"
+                    )
+                else:
+                    print(
+                        f"  {stats['shard_id']}: hot, {stats['objects']} objects, "
+                        f"{stats['live_replicas']}/{stats['replicas']} replicas live"
+                    )
+            cache = cluster.segment_cache.stats()
+            print(
+                f"segment cache: {cache['resident_bytes']}/{cache['budget_bytes']} "
+                f"bytes resident, {cache['hits']} hits, {cache['misses']} misses, "
+                f"{cache['evictions']} evictions"
+            )
+    return 0
+
+
 def _cluster_serve_line(cluster, line: str) -> Optional[str]:
     """Execute one cluster-serve command; the reply text (None = quit)."""
     from repro.core.model import make_object
@@ -1169,6 +1220,47 @@ def build_parser() -> argparse.ArgumentParser:
     cp = cluster_sub.add_parser("status", help="print routing table and shard health")
     add_cluster_dir(cp)
     cp.set_defaults(func=_cmd_cluster_status)
+
+    p = sub.add_parser(
+        "tier", help="cold-tier operations (demote/promote/auto/status)"
+    )
+    tier_sub = p.add_subparsers(dest="tier_command", required=True)
+
+    def add_tier_dir(tp: argparse.ArgumentParser) -> None:
+        tp.add_argument("directory", help="cluster directory")
+        tp.add_argument(
+            "--no-fsync", action="store_true",
+            help="skip per-record WAL fsync in the shard stores",
+        )
+        tp.add_argument(
+            "--segment-cache-bytes", type=int,
+            default=DEFAULT_SEGMENT_CACHE_BYTES,
+            help="byte budget for resident cold segments",
+        )
+
+    tp = tier_sub.add_parser(
+        "demote", help="freeze one hot shard into an mmap-served segment"
+    )
+    add_tier_dir(tp)
+    tp.add_argument("shard_id", help="shard to demote")
+    tp.set_defaults(func=_cmd_tier)
+
+    tp = tier_sub.add_parser(
+        "promote", help="rebuild one cold shard's durable hot replicas"
+    )
+    add_tier_dir(tp)
+    tp.add_argument("shard_id", help="shard to promote")
+    tp.set_defaults(func=_cmd_tier)
+
+    tp = tier_sub.add_parser(
+        "auto", help="plan from query heat and apply every movement"
+    )
+    add_tier_dir(tp)
+    tp.set_defaults(func=_cmd_tier)
+
+    tp = tier_sub.add_parser("status", help="per-shard tier and cache view")
+    add_tier_dir(tp)
+    tp.set_defaults(func=_cmd_tier)
 
     p = sub.add_parser(
         "serve-net",

@@ -40,6 +40,12 @@ REVIVE_RETRY = RetryPolicy(max_attempts=3, base_delay=0.01, max_delay=0.1)
 class ReplicaSet:
     """One shard's replicas plus its shared result cache."""
 
+    #: Tier marker: hot replica sets serve from in-RAM indexes.  The cold
+    #: counterpart (:class:`repro.storage.tiering.ColdShard`) carries the
+    #: same serving surface with ``is_cold = True``; routing, batching and
+    #: planning key off this attribute instead of the concrete type.
+    is_cold = False
+
     def __init__(
         self,
         shard_id: str,
@@ -281,6 +287,7 @@ class ReplicaSet:
             "replicas": len(self.stores),
             "live_replicas": len(live),
             "objects": len(self.primary_index()) if live else 0,
+            "tier": "hot",
         }
         if self.cache is not None:
             out["cache"] = self.cache.stats()
@@ -323,6 +330,7 @@ class ShardGroup:
         wal_fsync: bool = True,
         fs: FileSystem = REAL_FS,
         reuse: Optional[Dict[str, ReplicaSet]] = None,
+        cold: Optional[Dict[str, ReplicaSet]] = None,
     ) -> "ShardGroup":
         """Open (or create) every shard's replicas under ``directory``.
 
@@ -330,10 +338,19 @@ class ShardGroup:
         a previous generation's group — a rebalance keeps surviving shards
         serving without re-opening their stores (two live handles on one
         WAL would corrupt it).
+
+        ``cold`` hands over the demoted shards' serving façades
+        (:class:`repro.storage.tiering.ColdShard`): those shards have no
+        replica directories on disk — their data is one immutable segment
+        — so no :class:`~repro.service.store.DurableIndexStore` may be
+        opened (or created!) for them.
         """
         params = dict(index_params or {})
         replica_sets: Dict[str, ReplicaSet] = {}
         for spec in table.shards:
+            if cold is not None and spec.shard_id in cold:
+                replica_sets[spec.shard_id] = cold[spec.shard_id]
+                continue
             if reuse is not None and spec.shard_id in reuse:
                 replica_sets[spec.shard_id] = reuse[spec.shard_id]
                 continue

@@ -36,6 +36,7 @@ PathLike = Union[str, Path]
 
 MANIFEST_NAME = "cluster.json"
 SHARDS_DIR = "shards"
+SEGMENTS_DIR = "segments"
 _ROUTING_RE = re.compile(r"^routing-(\d{8})\.json$")
 _TMP_SUFFIX = ".tmp"
 
@@ -53,6 +54,17 @@ def shard_dir(directory: PathLike, shard_id: str) -> Path:
 
 def replica_dir(directory: PathLike, shard_id: str, replica: int) -> Path:
     return shard_dir(directory, shard_id) / f"replica-{replica}"
+
+
+def segments_dir(directory: PathLike) -> Path:
+    """Where demoted shards' cold segments live."""
+    return Path(directory) / SEGMENTS_DIR
+
+
+def segment_path(directory: PathLike, shard_id: str) -> Path:
+    from repro.storage.format import SEGMENT_SUFFIX
+
+    return segments_dir(directory) / f"{shard_id}{SEGMENT_SUFFIX}"
 
 
 def list_routing_generations(directory: PathLike) -> List[Tuple[int, Path]]:
@@ -155,16 +167,27 @@ def current_routing_table(directory: PathLike) -> RoutingTable:
 
 
 # ------------------------------------------------------------------ housekeeping
-def prune_orphans(directory: PathLike, table: RoutingTable) -> List[Path]:
-    """Remove leftovers no committed generation can reference.
+def prune_orphans(
+    directory: PathLike,
+    table: RoutingTable,
+    cold: Optional[Dict[str, str]] = None,
+) -> List[Path]:
+    """Remove leftovers no committed generation (or tier state) references.
 
     Drops routing files *newer* than the current generation (a rebalance
     that crashed before its manifest commit) and shard directories the
     current table does not name (either that same crash's half-built
     shards, or shards replaced by an already-committed rebalance whose
     cleanup was interrupted).  Returns the removed paths.
+
+    ``cold`` is the committed tier assignment (shard id → segment file
+    name).  A committed-cold shard's hot directories are stale — a
+    demotion that crashed after its tier commit but before the removal —
+    and are swept; likewise segment files the tier state does not name
+    are uncommitted demotions (or promoted leftovers) and are removed.
     """
     directory = Path(directory)
+    cold = dict(cold or {})
     removed: List[Path] = []
     for generation, path in list_routing_generations(directory):
         if generation > table.generation:
@@ -172,10 +195,17 @@ def prune_orphans(directory: PathLike, table: RoutingTable) -> List[Path]:
             removed.append(path)
     shards_root = directory / SHARDS_DIR
     if shards_root.is_dir():
-        live = set(table.shard_ids())
+        live = set(table.shard_ids()) - set(cold)
         for entry in sorted(shards_root.iterdir()):
             if entry.is_dir() and entry.name not in live:
                 shutil.rmtree(entry)
+                removed.append(entry)
+    segments_root = directory / SEGMENTS_DIR
+    if segments_root.is_dir():
+        committed = set(cold.values())
+        for entry in sorted(segments_root.iterdir()):
+            if entry.is_file() and entry.name not in committed:
+                entry.unlink()
                 removed.append(entry)
     for entry in sorted(directory.glob(f"*{_TMP_SUFFIX}")):
         entry.unlink()

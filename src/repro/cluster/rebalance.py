@@ -55,8 +55,15 @@ class RebalancePlan:
         return self.kind == "none"
 
 
-def _query_share(shard_ids: List[str]) -> Dict[str, float]:
-    """Per-shard query counts from the metrics registry (0.0 when off)."""
+def query_share(shard_ids: List[str]) -> Dict[str, float]:
+    """Per-shard query counts from the metrics registry (0.0 when off).
+
+    This is the cluster's single heat signal: the rebalancer reads it to
+    find overloaded shards and the tiering controller
+    (:func:`repro.storage.tiering.plan_tiering`) reads the *same* counter
+    to find shards cold enough to demote — cold shards keep counting
+    because the router increments per planned shard regardless of tier.
+    """
     registry = OBS.registry
     if not registry.enabled:
         return {shard_id: 0.0 for shard_id in shard_ids}
@@ -66,6 +73,10 @@ def _query_share(shard_ids: List[str]) -> Dict[str, float]:
         )
         for shard_id in shard_ids
     }
+
+
+#: Backwards-compatible private alias (pre-tiering callers).
+_query_share = query_share
 
 
 def plan_rebalance(
@@ -88,7 +99,15 @@ def plan_rebalance(
         spec.shard_id: len(group.replica_set(spec.shard_id).primary_index())
         for spec in ordered
     }
-    queries = _query_share(list(sizes))
+    queries = query_share(list(sizes))
+    # Cold shards are immutable segments: splitting or merging one means
+    # a full decode + rebuild, which is the tiering controller's job
+    # (promote first), not the rebalancer's.
+    cold = {
+        spec.shard_id
+        for spec in ordered
+        if getattr(group.replica_set(spec.shard_id), "is_cold", False)
+    }
     mean_size = sum(sizes.values()) / len(sizes)
     total_queries = sum(queries.values())
     mean_queries = total_queries / len(queries) if total_queries else 0.0
@@ -104,7 +123,8 @@ def plan_rebalance(
     candidates = [
         spec
         for spec in ordered
-        if overload(spec) >= split_factor
+        if spec.shard_id not in cold
+        and overload(spec) >= split_factor
         and sizes[spec.shard_id] >= min_split_objects
     ]
     if candidates:
@@ -123,9 +143,14 @@ def plan_rebalance(
                 ),
             )
 
-    if len(ordered) > 1:
+    mergeable = [
+        i
+        for i in range(len(ordered) - 1)
+        if ordered[i].shard_id not in cold and ordered[i + 1].shard_id not in cold
+    ]
+    if mergeable:
         lightest = min(
-            range(len(ordered) - 1),
+            mergeable,
             key=lambda i: sizes[ordered[i].shard_id] + sizes[ordered[i + 1].shard_id],
         )
         pair = ordered[lightest], ordered[lightest + 1]

@@ -297,6 +297,12 @@ class ClusterRouter:
         """Distinct live objects across the cluster."""
         ids: set = set()
         for shard_id in self.table.shard_ids():
-            replica_set = self.group.replica_set(shard_id)
-            ids.update(obj.id for obj in replica_set.primary_index().objects())
+            index = self.group.replica_set(shard_id).primary_index()
+            id_column = getattr(index, "object_ids", None)
+            if id_column is not None:
+                # Cold shards expose the raw id column — counting them must
+                # not decode the whole segment.
+                ids.update(id_column())
+            else:
+                ids.update(obj.id for obj in index.objects())
         return len(ids)

@@ -61,6 +61,20 @@ class StoreClosedError(ReproError):
     """A mutation or query was issued against a closed DurableIndexStore."""
 
 
+class CorruptSegmentError(ReproError):
+    """A cold-tier segment file failed an integrity check (magic, footer,
+    directory checksum, or unpickling) and must not be served.  Block-level
+    payload damage inside an otherwise-sound segment surfaces as
+    :class:`CorruptPostingsError` instead — same typed discipline, scoped
+    to the unit that is actually damaged."""
+
+
+class ReadOnlySegmentError(ReproError):
+    """A mutation reached an immutable cold-tier segment directly.  Cold
+    shards promote back to the hot tier before accepting writes; only code
+    that bypasses the tiering controller can hit this."""
+
+
 class ClusterError(ReproError):
     """A shard-cluster operation failed (bad layout, routing mismatch)."""
 

@@ -1,14 +1,13 @@
 """Extensions beyond the paper's core scope (its §7 future-work directions):
-relevance ranking, postings compression, temporal IR joins."""
+relevance ranking and temporal IR joins.
 
-from repro.extensions.compression import (
-    CompressedPostingsList,
-    compression_ratio,
-    decode_postings,
-    encode_postings,
-    varint_decode,
-    varint_encode,
-)
+Postings compression is no longer an extension — the codec graduated into
+the engine proper (:mod:`repro.ir.codec` / :mod:`repro.ir.compressed`,
+plus the mmap-served cold variant in :mod:`repro.ir.cold`).  The legacy
+``repro.extensions.compression`` module remains as a deprecation shim but
+is deliberately not re-exported here.
+"""
+
 from repro.extensions.joins import (
     common_elements,
     index_join,
@@ -25,13 +24,9 @@ from repro.extensions.ranking import (
 )
 
 __all__ = [
-    "CompressedPostingsList",
     "ScoredObject",
     "TopKSearcher",
     "common_elements",
-    "compression_ratio",
-    "decode_postings",
-    "encode_postings",
     "idf",
     "index_join",
     "join_selectivity",
@@ -39,6 +34,4 @@ __all__ = [
     "rank_candidates",
     "temporal_score",
     "textual_score",
-    "varint_decode",
-    "varint_encode",
 ]

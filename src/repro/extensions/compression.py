@@ -1,4 +1,4 @@
-"""Backward-compatibility shim: postings compression moved into ``repro.ir``.
+"""Deprecated shim: postings compression lives in :mod:`repro.ir` now.
 
 The gap+varint codec that started life here as an orphan extension (paper
 §7: "such techniques are orthogonal") has been promoted into the real
@@ -7,16 +7,20 @@ postings substrate:
 * :mod:`repro.ir.codec` — varint/zigzag primitives, the legacy entry
   stream, and the block codec (with typed
   :class:`~repro.core.errors.CorruptPostingsError` torn-buffer handling);
-* :mod:`repro.ir.compressed` — :class:`CompressedPostingsList`, now a
-  *mutable* backend (tombstone deletes, tail appends, compaction) that
-  serves real queries when ``REPRO_POSTINGS_BACKEND=compressed`` (see
-  :mod:`repro.ir.backends`).
+* :mod:`repro.ir.compressed` — :class:`CompressedPostingsList`, a fully
+  *mutable* backend that serves real queries when
+  ``REPRO_POSTINGS_BACKEND=compressed`` (see :mod:`repro.ir.backends`);
+* :mod:`repro.ir.cold` — the same block format served read-only from
+  mmap'd cold segments (:mod:`repro.storage`).
 
-This module re-exports the original names so existing imports keep
-working; new code should import from ``repro.ir`` directly.
+Importing this module emits a :class:`DeprecationWarning` and re-exports
+the identical objects, so legacy ``repro.extensions.compression`` imports
+keep working but announce themselves.  Import from ``repro.ir`` directly.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.ir.codec import (
     decode_postings,
@@ -25,6 +29,14 @@ from repro.ir.codec import (
     varint_encode,
 )
 from repro.ir.compressed import CompressedPostingsList, compression_ratio
+
+warnings.warn(
+    "repro.extensions.compression is deprecated: the codec moved to "
+    "repro.ir.codec and CompressedPostingsList to repro.ir.compressed; "
+    "import from repro.ir directly",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = [
     "CompressedPostingsList",

@@ -14,6 +14,10 @@ cluster router, WAL/snapshot recovery — runs unmodified on any backend:
 ``compressed``
     :class:`~repro.ir.compressed.CompressedPostingsList` — delta+varint
     blocks with skip summaries.
+``cold`` *(read-only)*
+    :class:`~repro.ir.cold.ColdPostingsList` — the same blocks served
+    straight from an mmap'd segment (:mod:`repro.storage`); constructed
+    by ``SegmentReader``, never by these factories.
 
 Id-only postings (irHINT-size divisions) have their own axis:
 
@@ -36,6 +40,7 @@ import os
 from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.errors import ConfigurationError
+from repro.ir.cold import ColdPostingsList
 from repro.ir.compressed import CompressedPostingsList
 from repro.ir.packed import BitsetIdPostingsList, PackedPostingsList
 from repro.ir.postings import (
@@ -65,6 +70,16 @@ ID_POSTINGS_BACKENDS: Dict[str, Callable[[], IdPostingsBackend]] = {
     "bitset": BitsetIdPostingsList,
 }
 
+#: Read-only backends that honour the full read surface but cannot be
+#: created empty by a factory: ``cold`` postings are mmap views minted by
+#: :class:`repro.storage.reader.SegmentReader` over an open segment.
+#: They live in their own table so the property harness (which mutates)
+#: keeps iterating :data:`POSTINGS_BACKENDS` untouched, while the name
+#: still resolves — to a typed error explaining how the backend is built.
+READONLY_POSTINGS_BACKENDS: Dict[str, type] = {
+    "cold": ColdPostingsList,
+}
+
 
 def _resolve(
     backend: Optional[str],
@@ -74,6 +89,13 @@ def _resolve(
 ) -> str:
     name = backend if backend is not None else os.environ.get(env_var, default)
     if name not in table:
+        if name in READONLY_POSTINGS_BACKENDS:
+            raise ConfigurationError(
+                f"postings backend {name!r} is read-only: it is constructed "
+                f"by repro.storage.SegmentReader over a cold segment, not "
+                f"by the mutable-list factories; "
+                f"available here: {', '.join(sorted(table))}"
+            )
         raise ConfigurationError(
             f"unknown postings backend {name!r}; "
             f"available: {', '.join(sorted(table))}"

@@ -446,6 +446,66 @@ def trace_instruments(registry: MetricsRegistry) -> TraceInstruments:
     return registry.bundle("dist_trace", TraceInstruments)
 
 
+class StorageInstruments:
+    """Cold-segment tier accounting: writes, serving, cache, tiering."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.segments_written = registry.counter(
+            "repro_storage_segments_written_total",
+            "Cold segments atomically installed.",
+        )
+        self.segment_bytes_written = registry.counter(
+            "repro_storage_segment_bytes_written_total",
+            "Bytes written into installed cold segments.",
+        )
+        self.segments_open = registry.gauge(
+            "repro_storage_segments_open", "Segment readers currently mmap'd."
+        )
+        self.cold_queries = registry.counter(
+            "repro_storage_cold_queries_total",
+            "Queries answered from mmap'd segments.",
+        )
+        self.blocks_decoded = registry.counter(
+            "repro_storage_blocks_decoded_total",
+            "Postings blocks decoded (and CRC-checked) on the cold path.",
+        )
+        self.blocks_skipped = registry.counter(
+            "repro_storage_blocks_skipped_total",
+            "Postings blocks skipped by summary metadata without a decode.",
+        )
+        self.cache_hits = registry.counter(
+            "repro_storage_cache_hits_total",
+            "Segment-cache leases served by an already-open reader.",
+        )
+        self.cache_misses = registry.counter(
+            "repro_storage_cache_misses_total",
+            "Segment-cache leases that had to mmap the segment.",
+        )
+        self.cache_evictions = registry.counter(
+            "repro_storage_cache_evictions_total",
+            "Readers closed by the byte-budget LRU bound.",
+        )
+        self.cache_bytes = registry.gauge(
+            "repro_storage_cache_bytes",
+            "Mapped bytes resident in the segment cache.",
+        )
+        self.demotions = registry.counter(
+            "repro_storage_demotions_total",
+            "Shards demoted from the hot tier to a cold segment.",
+        )
+        self.promotions = registry.counter(
+            "repro_storage_promotions_total",
+            "Shards promoted from a cold segment back to the hot tier.",
+        )
+        self.cold_shards = registry.gauge(
+            "repro_storage_cold_shards", "Shards currently served cold."
+        )
+
+
+def storage_instruments(registry: MetricsRegistry) -> StorageInstruments:
+    return registry.bundle("storage", StorageInstruments)
+
+
 def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     """Materialise every family of the catalog (zero-valued).
 
@@ -463,4 +523,5 @@ def register_catalog(registry: MetricsRegistry) -> MetricsRegistry:
     server_instruments(registry)
     tenant_instruments(registry)
     trace_instruments(registry)
+    storage_instruments(registry)
     return registry

@@ -111,7 +111,7 @@ WORK_VERBS = frozenset({"query", "batch", "insert", "delete"})
 CONTROL_VERBS = frozenset({"status", "metrics", "ping", "shutdown", "introspect"})
 
 #: Introspection views exported by the ``introspect`` verb.
-INTROSPECT_VIEWS = ("traces", "slow_log", "events", "slo", "top")
+INTROSPECT_VIEWS = ("traces", "slow_log", "events", "slo", "top", "tiers")
 
 ALL_VERBS = WORK_VERBS | CONTROL_VERBS
 
@@ -540,6 +540,24 @@ class QueryDaemon:
                     "emitted": self.events.emitted,
                 },
             )
+        if what == "tiers":
+            tiers = []
+            for name in self.tenants.names():
+                tenant = self.tenants.get(name)
+                handle = tenant.handle
+                stats_fn = getattr(handle, "tier_status", None)
+                if stats_fn is None:
+                    continue  # store tenants have no tiers
+                cluster_stats = handle.stats()
+                tiers.append(
+                    {
+                        "tenant": name,
+                        "tiers": cluster_stats.get("tiers"),
+                        "segment_cache": cluster_stats.get("segment_cache"),
+                        "shards": stats_fn()[:limit],
+                    }
+                )
+            return protocol.ok_response(request_id, {"tenants": tiers})
         slo = self.slo.publish()
         if what == "slo":
             return protocol.ok_response(

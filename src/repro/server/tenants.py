@@ -114,12 +114,17 @@ class TenantRegistry:
         *,
         wal_fsync: bool = True,
         cache_size: int = 0,
+        segment_cache_bytes: Optional[int] = None,
     ) -> "TenantRegistry":
         """Open every recognisable tenant under ``root``.
 
         Subdirectories carrying neither manifest are skipped (scratch
         dirs, editor droppings) rather than refused — an operator can
         stage a tenant and only have it served once its manifest exists.
+
+        ``segment_cache_bytes`` bounds each cluster tenant's cold-segment
+        cache (every cluster gets its own budget — tenants never share
+        mmap residency any more than they share WALs).
         """
         root = Path(root)
         root.mkdir(parents=True, exist_ok=True)
@@ -127,7 +132,12 @@ class TenantRegistry:
         for child in sorted(root.iterdir()):
             if not child.is_dir():
                 continue
-            tenant = _open_tenant_dir(child, wal_fsync=wal_fsync, cache_size=cache_size)
+            tenant = _open_tenant_dir(
+                child,
+                wal_fsync=wal_fsync,
+                cache_size=cache_size,
+                segment_cache_bytes=segment_cache_bytes,
+            )
             if tenant is not None:
                 tenants[tenant.name] = tenant
         return cls(root, tenants)
@@ -183,7 +193,11 @@ class TenantRegistry:
 
 
 def _open_tenant_dir(
-    directory: Path, *, wal_fsync: bool, cache_size: int
+    directory: Path,
+    *,
+    wal_fsync: bool,
+    cache_size: int,
+    segment_cache_bytes: Optional[int] = None,
 ) -> Optional[Tenant]:
     """Autodetect and open one tenant directory; ``None`` if unrecognised.
 
@@ -195,9 +209,13 @@ def _open_tenant_dir(
     """
     if cluster_layout.is_cluster_dir(directory):
         name = validate_tenant_name(directory.name)
+        extra: Dict[str, object] = {}
+        if segment_cache_bytes is not None:
+            extra["segment_cache_bytes"] = segment_cache_bytes
         cluster = TemporalCluster.open(
             directory, wal_fsync=wal_fsync,
             cache_size=cache_size if cache_size else 0,
+            **extra,  # type: ignore[arg-type]
         )
         return Tenant(name, CLUSTER, cluster)
     if store_layout.read_manifest(directory) is not None:

@@ -1,0 +1,179 @@
+"""The LRU cache of open segment readers, bounded by resident bytes.
+
+A cold query needs its shard's :class:`~repro.storage.reader.SegmentReader`
+open (mmap established, directory parsed); keeping every segment open
+forever would re-grow exactly the RAM footprint the cold tier exists to
+shed.  :class:`SegmentCache` keeps the hottest readers open under a byte
+budget (each reader accounts for its full mapped file — the worst-case
+residency once the kernel has paged it in) and closes the least recently
+used ones as the budget is exceeded.
+
+Readers are handed out as **leases**: a reader is pinned while a query
+holds it, and eviction only ever closes unpinned readers — an evicted
+mmap must never be yanked out from under an in-flight scan.  Pinned
+readers can therefore carry the cache over budget transiently; the
+overrun is bounded by the number of concurrent cold queries.
+
+Hits, misses, evictions and resident bytes feed the
+``repro_storage_cache_*`` families.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.core.errors import ConfigurationError
+from repro.obs.registry import OBS
+from repro.storage.reader import SegmentReader
+from repro.utils.locks import make_lock
+
+PathLike = Union[str, Path]
+
+#: Default byte budget: 64 MiB of resident segments per cluster.
+DEFAULT_SEGMENT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class SegmentCache:
+    """Byte-budgeted LRU of open, pin-counted segment readers."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_SEGMENT_CACHE_BYTES) -> None:
+        if budget_bytes < 1:
+            raise ConfigurationError(
+                f"segment cache budget must be >= 1 byte, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        #: path → (reader, pins); insertion order is recency (LRU first).
+        self._entries: "OrderedDict[str, Tuple[SegmentReader, int]]" = OrderedDict()
+        self._lock = make_lock("storage.segment-cache")
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ leases
+    @contextmanager
+    def lease(self, path: PathLike) -> Iterator[SegmentReader]:
+        """Context-managed access: the reader is pinned for the duration."""
+        reader = self.acquire(path)
+        try:
+            yield reader
+        finally:
+            self.release(path)
+
+    def acquire(self, path: PathLike) -> SegmentReader:
+        """Open (or re-use) and pin the reader for ``path``."""
+        key = str(path)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                reader, pins = entry
+                self._entries[key] = (reader, pins + 1)
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._count("hits")
+                self._publish_bytes()
+                return reader
+            # Opening inside the lock serialises concurrent first-touch of
+            # one segment: the mmap + directory parse happens exactly once.
+            reader = SegmentReader(path)
+            self.misses += 1
+            self._count("misses")
+            self._entries[key] = (reader, 1)
+            self._evict_over_budget()
+            self._publish_bytes()
+            return reader
+
+    def release(self, path: PathLike) -> None:
+        key = str(path)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return  # discarded while leased; reader already closed below
+            reader, pins = entry
+            self._entries[key] = (reader, max(0, pins - 1))
+            self._evict_over_budget()
+            self._publish_bytes()
+
+    # ---------------------------------------------------------------- eviction
+    def _evict_over_budget(self) -> None:
+        """Close LRU unpinned readers until the budget holds (lock held)."""
+        while self._resident() > self.budget_bytes:
+            victim = next(
+                (
+                    key
+                    for key, (_reader, pins) in self._entries.items()
+                    if pins == 0
+                ),
+                None,
+            )
+            if victim is None:
+                return  # everything is pinned: transient overrun
+            reader, _pins = self._entries.pop(victim)
+            reader.close()
+            self.evictions += 1
+            self._count("evictions")
+
+    def _resident(self) -> int:
+        return sum(reader.size_bytes() for reader, _pins in self._entries.values())
+
+    # -------------------------------------------------------------- lifecycle
+    def discard(self, path: PathLike) -> None:
+        """Drop one segment (promotion removed its file)."""
+        key = str(path)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                entry[0].close()
+            self._publish_bytes()
+
+    def close(self) -> None:
+        with self._lock:
+            for reader, _pins in self._entries.values():
+                reader.close()
+            self._entries.clear()
+            self._publish_bytes()
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "budget_bytes": self.budget_bytes,
+                "resident_bytes": self._resident(),
+                "open_segments": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    # ---------------------------------------------------------------- metrics
+    def _count(self, which: str) -> None:
+        registry = OBS.registry
+        if not registry.enabled:
+            return
+        from repro.obs.instruments import storage_instruments
+
+        instruments = storage_instruments(registry)
+        if which == "hits":
+            instruments.cache_hits.inc()
+        elif which == "misses":
+            instruments.cache_misses.inc()
+        else:
+            instruments.cache_evictions.inc()
+
+    def _publish_bytes(self) -> None:
+        registry = OBS.registry
+        if registry.enabled:
+            from repro.obs.instruments import storage_instruments
+
+            storage_instruments(registry).cache_bytes.set(self._resident())

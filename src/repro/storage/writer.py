@@ -1,0 +1,171 @@
+"""Building and crash-safely installing cold segments.
+
+:func:`write_segment` turns a shard's live objects into one immutable
+segment file.  Every byte goes through the :mod:`repro.service.fsio`
+seam — the crash matrix substitutes a
+:class:`~repro.service.faults.FaultyFileSystem` and tears the write at
+each boundary — and installation follows the atomic pattern the rest of
+the durability layer uses: write ``<name>.tmp``, fsync, rename over the
+final name, fsync the directory.  A segment file, once visible under its
+final name, is therefore always complete; the *commit point* that makes
+the cluster serve it is the tier-state write in
+:mod:`repro.storage.tiering`, not the rename.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.errors import ClusterError
+from repro.core.model import Element, TemporalObject
+from repro.ir.codec import encode_block
+from repro.ir.compressed import BLOCK_SIZE
+from repro.obs.registry import OBS
+from repro.service.fsio import REAL_FS, FileSystem
+from repro.storage.format import (
+    BlockDescriptor,
+    SegmentDirectory,
+    align8,
+    build_footer,
+    pack_directory,
+)
+
+_TMP_SUFFIX = ".tmp"
+_I64 = struct.Struct("<q")
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _check_codable(obj: TemporalObject) -> None:
+    for value in (obj.st, obj.end):
+        if not isinstance(value, int) or not _I64_MIN <= value <= _I64_MAX:
+            raise ClusterError(
+                f"object {obj.id}: timestamp {value!r} is not an i64 — "
+                f"only integer-time shards can demote to the cold tier"
+            )
+
+
+def build_segment(
+    objects: Iterable[TemporalObject],
+    *,
+    shard_id: str,
+    index_key: str,
+    index_params: Dict[str, object],
+) -> bytes:
+    """Serialise ``objects`` into one complete segment image.
+
+    Objects are catalogued in id order; per-element postings runs are
+    sealed into :data:`~repro.ir.compressed.BLOCK_SIZE`-entry encoded
+    blocks with CRC32s and skip summaries.  Raises
+    :class:`~repro.core.errors.ClusterError` for non-i64 timestamps (the
+    block codec's domain — such shards stay RAM-resident).
+    """
+    catalog = sorted(objects, key=lambda obj: obj.id)
+    for obj in catalog:
+        _check_codable(obj)
+
+    body = bytearray()
+    terms: Dict[Element, List[BlockDescriptor]] = {}
+    postings: Dict[Element, List[Tuple[int, int, int]]] = {}
+    for obj in catalog:
+        for element in obj.d:
+            postings.setdefault(element, []).append((obj.id, obj.st, obj.end))
+    # Deterministic file layout: elements in repr order.
+    for element in sorted(postings, key=repr):
+        entries = postings[element]
+        descriptors: List[BlockDescriptor] = []
+        for start in range(0, len(entries), BLOCK_SIZE):
+            run = entries[start : start + BLOCK_SIZE]
+            block = encode_block(run)
+            descriptors.append(
+                (
+                    len(body),
+                    len(block),
+                    zlib.crc32(block),
+                    run[0][0],
+                    run[-1][0],
+                    min(entry[1] for entry in run),
+                    max(entry[2] for entry in run),
+                    len(run),
+                )
+            )
+            body += block
+        terms[element] = descriptors
+
+    body += b"\x00" * (align8(len(body)) - len(body))
+    ids_offset = len(body)
+    for obj in catalog:
+        body += _I64.pack(obj.id)
+    sts_offset = len(body)
+    for obj in catalog:
+        body += _I64.pack(obj.st)
+    ends_offset = len(body)
+    for obj in catalog:
+        body += _I64.pack(obj.end)
+
+    descriptions_blob = pickle.dumps(
+        {obj.id: obj.d for obj in catalog}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    descriptions_offset = len(body)
+    body += descriptions_blob
+
+    directory = SegmentDirectory(
+        shard_id=shard_id,
+        index_key=index_key,
+        index_params=dict(index_params),
+        count=len(catalog),
+        terms=terms,
+        catalog=(ids_offset, sts_offset, ends_offset, len(catalog)),
+        descriptions=(
+            descriptions_offset,
+            len(descriptions_blob),
+            zlib.crc32(descriptions_blob),
+        ),
+        span=(
+            (min(obj.st for obj in catalog), max(obj.end for obj in catalog))
+            if catalog
+            else None
+        ),
+    )
+    dir_blob = pack_directory(directory)
+    return bytes(body) + dir_blob + build_footer(len(body), dir_blob)
+
+
+def write_segment(
+    path: Path,
+    objects: Iterable[TemporalObject],
+    *,
+    shard_id: str,
+    index_key: str,
+    index_params: Dict[str, object],
+    fs: FileSystem = REAL_FS,
+) -> Path:
+    """Build and atomically install a segment at ``path``.
+
+    ``write .tmp → fsync → rename → fsync dir``: a crash at any boundary
+    leaves either no file or a ``.tmp`` the recovery sweep removes —
+    never a half-written segment under the final name.
+    """
+    payload = build_segment(
+        objects, shard_id=shard_id, index_key=index_key, index_params=index_params
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + _TMP_SUFFIX)
+    with fs.open(tmp, "wb") as handle:
+        handle.write(payload)
+        fs.fsync(handle)
+    fs.replace(tmp, path)
+    fs.fsync_dir(path.parent)
+    registry = OBS.registry
+    if registry.enabled:
+        from repro.obs.instruments import storage_instruments
+
+        instruments = storage_instruments(registry)
+        instruments.segments_written.inc()
+        instruments.segment_bytes_written.inc(len(payload))
+    return path

@@ -279,6 +279,84 @@ def test_differential_cluster(key, seed, tmp_path):
     run_differential_cluster(key, seed, tmp_path / "cluster")
 
 
+#: Keys for the tiered leg: the default composite plus the pure tIF whose
+#: postings the segment format mirrors block-for-block.
+TIERED_KEYS = ("tif", "irhint-perf")
+
+#: Re-freeze cadence for the tiered leg: every this many operations, all
+#: hot shards but the newest demote to mmap'd segments.
+TIER_EVERY = 20
+
+
+def run_differential_tiered(
+    key: str, seed: int, directory, n_ops: int = N_OPS
+) -> None:
+    """Replay one trace against a *mixed hot/cold* cluster and the oracle.
+
+    Every :data:`TIER_EVERY` steps all hot shards but the newest demote
+    to cold segments, so queries scatter across mmap'd and RAM-resident
+    shards; inserts and deletes that land on a cold shard trigger the
+    write-path promotion hook mid-trace.  Answers must stay bit-identical
+    to the oracle through every tier flip.
+    """
+    from repro.cluster import TemporalCluster
+
+    collection = small_collection(seed)
+    oracle = BruteForce.build(collection)
+    live = collection.ids()
+    ops = make_trace(seed, n_ops, live, max(live) + 1 if live else 0)
+    served_cold = False
+    with TemporalCluster.create(
+        directory,
+        collection,
+        index_key=key,
+        n_shards=4,
+        n_replicas=2,
+        wal_fsync=False,
+        cache_size=8,
+    ) as cluster:
+        for step, op in enumerate(ops):
+            if step % TIER_EVERY == TIER_EVERY - 1:
+                hot = [
+                    shard_id
+                    for shard_id in cluster.table.shard_ids()
+                    if not cluster.tier_state.is_cold(shard_id)
+                ]
+                for shard_id in hot[:-1]:
+                    cluster.demote(shard_id)
+                served_cold = served_cold or bool(cluster.tier_state.cold)
+            if op[0] == "query":
+                expected = sorted(oracle.query(op[1]))
+                got = cluster.query(op[1])
+                if got != expected or len(got) != len(set(got)):
+                    pytest.fail(
+                        f"{key}: tiered differential mismatch at step {step} "
+                        f"(seed={seed}, n_ops={n_ops}, cold="
+                        f"{sorted(cluster.tier_state.cold)}):\n"
+                        f"  got      {got}\n"
+                        f"  expected {expected}\n"
+                        f"reproducing trace (base collection = "
+                        f"small_collection({seed})):\n"
+                        f"{format_trace(ops[: step + 1])}"
+                    )
+            elif op[0] == "insert":
+                cluster.insert(op[1])
+                oracle.insert(op[1])
+            else:
+                cluster.delete(op[1])
+                oracle.delete(op[1])
+    assert served_cold, "the tiered trace never actually demoted a shard"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("key", TIERED_KEYS)
+def test_differential_tiered_cluster(key, seed, tmp_path):
+    """The cluster leg with the storage tier in the loop: periodic
+    demotions freeze shards into mmap'd segments mid-trace, mutations
+    promote them back, and every answer stays oracle-identical."""
+    run_differential_tiered(key, seed, tmp_path / "cluster")
+
+
 def test_trace_generation_is_deterministic():
     """Identical seeds yield identical traces — the reproducibility
     contract the failure message relies on."""

@@ -1,101 +1,50 @@
-"""Tests for gap+varint postings compression."""
+"""The compression module is a deprecation shim over ``repro.ir``.
+
+The codec's behaviour is tested where it lives (``tests/ir/test_codec.py``,
+``tests/ir/test_postings_backends.py``); this file only pins the shim
+contract: importing the legacy module warns, and every legacy name is the
+*same object* as its ``repro.ir`` home — not a copy that could drift.
+"""
+
+import importlib
+import sys
+import warnings
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
-
-from repro.core.errors import ConfigurationError
-from repro.extensions.compression import (
-    CompressedPostingsList,
-    compression_ratio,
-    decode_postings,
-    encode_postings,
-    varint_decode,
-    varint_encode,
-)
-from repro.ir.postings import PostingsList
 
 
-class TestVarint:
-    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**40])
-    def test_roundtrip(self, value):
-        out = bytearray()
-        varint_encode(value, out)
-        decoded, offset = varint_decode(bytes(out), 0)
-        assert decoded == value
-        assert offset == len(out)
-
-    def test_small_values_one_byte(self):
-        out = bytearray()
-        varint_encode(100, out)
-        assert len(out) == 1
-
-    def test_negative_rejected(self):
-        with pytest.raises(ConfigurationError):
-            varint_encode(-1, bytearray())
-
-    @given(st.lists(st.integers(0, 2**50), max_size=30))
-    def test_stream_roundtrip(self, values):
-        out = bytearray()
-        for value in values:
-            varint_encode(value, out)
-        buffer = bytes(out)
-        offset = 0
-        decoded = []
-        while offset < len(buffer):
-            value, offset = varint_decode(buffer, offset)
-            decoded.append(value)
-        assert decoded == values
+def _fresh_import():
+    sys.modules.pop("repro.extensions.compression", None)
+    return importlib.import_module("repro.extensions.compression")
 
 
-@st.composite
-def entry_lists(draw):
-    ids = sorted(draw(st.sets(st.integers(0, 10_000), max_size=50)))
-    out = []
-    for object_id in ids:
-        st_ = draw(st.integers(0, 100_000))
-        out.append((object_id, st_, st_ + draw(st.integers(0, 5_000))))
-    return out
+class TestDeprecationShim:
+    def test_import_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.ir"):
+            _fresh_import()
 
+    def test_names_are_identical_objects(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = _fresh_import()
+        from repro.ir import codec, compressed
 
-class TestEncoding:
-    @given(entry_lists())
-    def test_roundtrip(self, entries):
-        assert list(decode_postings(encode_postings(entries))) == entries
+        assert shim.CompressedPostingsList is compressed.CompressedPostingsList
+        assert shim.compression_ratio is compressed.compression_ratio
+        assert shim.decode_postings is codec.decode_postings
+        assert shim.encode_postings is codec.encode_postings
+        assert shim.varint_decode is codec.varint_decode
+        assert shim.varint_encode is codec.varint_encode
 
-    def test_unsorted_rejected(self):
-        with pytest.raises(ConfigurationError):
-            encode_postings([(5, 0, 1), (3, 0, 1)])
+    def test_all_matches_exports(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim = _fresh_import()
+        for name in shim.__all__:
+            assert hasattr(shim, name)
 
-    def test_inverted_interval_rejected(self):
-        with pytest.raises(ConfigurationError):
-            encode_postings([(1, 10, 5)])
+    def test_package_no_longer_reexports(self):
+        import repro.extensions as extensions
 
-
-class TestCompressedPostingsList:
-    def build_pair(self):
-        postings = PostingsList()
-        for i in range(0, 400, 2):
-            postings.add(i, i * 10, i * 10 + 50)
-        return postings, CompressedPostingsList.from_postings(postings)
-
-    def test_same_answers_as_uncompressed(self):
-        postings, compressed = self.build_pair()
-        assert compressed.ids() == postings.ids()
-        assert compressed.overlapping_ids(500, 900) == postings.overlapping_ids(500, 900)
-        probe = [0, 3, 88, 200, 399]
-        assert compressed.intersect_sorted(probe) == postings.intersect_sorted(probe)
-
-    def test_len(self):
-        _postings, compressed = self.build_pair()
-        assert len(compressed) == 200
-
-    def test_actually_smaller(self):
-        postings, compressed = self.build_pair()
-        assert compressed.size_bytes() < postings.size_bytes()
-        assert compression_ratio(postings) > 1.5
-
-    def test_empty(self):
-        compressed = CompressedPostingsList([])
-        assert len(compressed) == 0
-        assert compressed.ids() == []
+        assert "CompressedPostingsList" not in extensions.__all__
+        assert not hasattr(extensions, "varint_encode")
